@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the dictionary compressor and the FLL codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bugnet_core::dictionary::ValueDictionary;
+use bugnet_core::fll::{EncodedValue, FllCodec, FllEncoder};
+use bugnet_types::{BugNetConfig, SplitMix64, Word};
+
+fn value_stream(len: usize, locality: f64) -> Vec<Word> {
+    let mut rng = SplitMix64::new(0xC0DEC);
+    (0..len)
+        .map(|_| {
+            if rng.chance(locality) {
+                Word::new(rng.next_range(32) as u32)
+            } else {
+                Word::new(rng.next_u32())
+            }
+        })
+        .collect()
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression");
+    let values = value_stream(10_000, 0.5);
+
+    for entries in [8usize, 64, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("dictionary_encode_10k", entries),
+            &entries,
+            |b, &entries| {
+                b.iter(|| {
+                    let mut dict = ValueDictionary::new(entries, 3);
+                    let mut hits = 0u64;
+                    for v in &values {
+                        if dict.encode(*v).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            },
+        );
+    }
+
+    let codec = FllCodec::from_config(&BugNetConfig::default());
+    group.bench_function("fll_encode_10k_records", |b| {
+        b.iter(|| {
+            let mut dict = ValueDictionary::new(64, 3);
+            let mut enc = FllEncoder::new(codec);
+            for (i, v) in values.iter().enumerate() {
+                let encoded = match dict.encode(*v) {
+                    Some(rank) => EncodedValue::DictRank(rank),
+                    None => EncodedValue::Full(*v),
+                };
+                enc.push((i % 37) as u64, encoded);
+            }
+            enc.bits()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the recording path: how fast the simulated
+//! machine executes and logs a SPEC-like workload, with and without the
+//! BugNet recorder attached, plus a bug workload run to its crash.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bugnet_sim::MachineBuilder;
+use bugnet_types::BugNetConfig;
+use bugnet_workloads::bugs::BugSpec;
+use bugnet_workloads::spec::SpecProfile;
+
+const INSTRUCTIONS: u64 = 20_000;
+
+fn bench_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recording");
+    group.sample_size(10);
+
+    for profile in [SpecProfile::gzip(), SpecProfile::mcf()] {
+        let workload = profile.build_workload(INSTRUCTIONS, 1);
+        group.bench_with_input(
+            BenchmarkId::new("baseline_no_recorder", profile.name),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    let mut machine = MachineBuilder::new().build_with_workload(w);
+                    machine.run_to_completion().total_committed()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bugnet_recorder", profile.name),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    let mut machine = MachineBuilder::new()
+                        .bugnet(BugNetConfig::default().with_checkpoint_interval(5_000))
+                        .build_with_workload(w);
+                    machine.run_to_completion().total_committed()
+                })
+            },
+        );
+    }
+
+    let bug = BugSpec::all()[0].build(1.0);
+    group.bench_function("record_bug_to_crash/bc-1.06", |b| {
+        b.iter(|| {
+            let mut machine = MachineBuilder::new()
+                .bugnet(BugNetConfig::default().with_checkpoint_interval(100_000))
+                .build_with_workload(&bug);
+            machine.run_to_completion().bug_window()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_recording);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks for the replay path: replaying recorded First-Load
+//! Logs and verifying them against the recorded digests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bugnet_core::Replayer;
+use bugnet_sim::MachineBuilder;
+use bugnet_types::{BugNetConfig, ThreadId};
+use bugnet_workloads::spec::SpecProfile;
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(10);
+
+    // Record once, replay many times.
+    let workload = SpecProfile::gzip().build_workload(20_000, 1);
+    let mut machine = MachineBuilder::new()
+        .bugnet(BugNetConfig::default().with_checkpoint_interval(5_000))
+        .build_with_workload(&workload);
+    machine.run_to_completion();
+    let logs = machine
+        .log_store()
+        .expect("recorder attached")
+        .dump_thread(ThreadId(0));
+    let program = machine.program_of(ThreadId(0)).expect("program exists");
+    let replayer = Replayer::new(program);
+
+    group.bench_function("replay_thread/gzip_20k", |b| {
+        b.iter(|| replayer.replay_thread(&logs).expect("replay succeeds").len())
+    });
+
+    group.bench_function("replay_and_verify/gzip_20k", |b| {
+        b.iter(|| {
+            machine
+                .replay_and_verify()
+                .expect("verification runs")
+                .all_verified()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

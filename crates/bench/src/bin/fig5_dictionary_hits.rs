@@ -1,0 +1,42 @@
+//! Figure 5: percentage of logged load values found in the dictionary as a
+//! function of the dictionary size (8 … 1024 entries).
+//!
+//! Usage: `cargo run --release -p bugnet-bench --bin fig5_dictionary_hits [--paper-scale]`
+
+use bugnet_bench::{print_header, ExperimentOptions};
+use bugnet_sim::runner::record_spec_profile;
+use bugnet_workloads::spec::SpecProfile;
+
+/// Dictionary sizes swept by the paper's Figure 5.
+const DICTIONARY_SIZES: [usize; 7] = [8, 16, 32, 64, 128, 256, 1024];
+
+fn main() {
+    let opts = ExperimentOptions::from_args();
+    let window = opts.pick(200_000, 100_000_000);
+    let interval = opts.pick(100_000, 10_000_000);
+    println!("Figure 5: % of load values found in the dictionary vs dictionary size\n");
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(DICTIONARY_SIZES.iter().map(|d| d.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_header(&header_refs);
+
+    let profiles = SpecProfile::all();
+    let mut averages = vec![0f64; DICTIONARY_SIZES.len()];
+    for profile in &profiles {
+        let mut cells = vec![profile.name.to_string()];
+        for (i, entries) in DICTIONARY_SIZES.iter().enumerate() {
+            let run = record_spec_profile(profile, window, interval, *entries);
+            let pct = run.report.dictionary_hit_rate() * 100.0;
+            averages[i] += pct;
+            cells.push(format!("{pct:.1}%"));
+        }
+        println!("{}", cells.join(" | "));
+    }
+    let avg: Vec<String> = averages
+        .iter()
+        .map(|p| format!("{:.1}%", p / profiles.len() as f64))
+        .collect();
+    println!("Avg | {}", avg.join(" | "));
+    println!("\nPaper observation: a 64-entry dictionary already captures ~50% of load");
+    println!("values on average, with diminishing returns beyond that.");
+}

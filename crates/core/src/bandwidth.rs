@@ -1,0 +1,129 @@
+//! Recording-overhead model (paper §6.3).
+//!
+//! BugNet's logs are compressed incrementally and written back to main memory
+//! lazily, when the memory bus is idle. The paper measures the resulting
+//! slowdown with SimpleScalar and finds it below 0.01% for SPEC. This module
+//! reproduces the argument analytically: given the log bytes produced, the
+//! instructions executed, and the bus parameters, it computes how often the
+//! Checkpoint Buffer would have to stall the pipeline because the idle-bus
+//! drain cannot keep up.
+
+use bugnet_types::{ByteSize, MachineConfig};
+
+/// Inputs to the overhead model for one recorded execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadInputs {
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Total log bytes produced (FLL + MRL).
+    pub log_bytes: ByteSize,
+    /// On-chip buffer capacity available to absorb bursts.
+    pub buffer: ByteSize,
+    /// Average instructions per cycle of the baseline machine.
+    pub ipc: f64,
+}
+
+/// Result of the overhead model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadReport {
+    /// Log traffic in bytes per committed instruction.
+    pub log_bytes_per_instruction: f64,
+    /// Idle-bus drain capacity in bytes per instruction.
+    pub drain_bytes_per_instruction: f64,
+    /// Fraction of execution cycles added by recording (0.0 = free).
+    pub overhead_fraction: f64,
+}
+
+impl OverheadReport {
+    /// Overhead as a percentage.
+    pub fn overhead_percent(&self) -> f64 {
+        self.overhead_fraction * 100.0
+    }
+
+    /// Whether recording fits entirely in idle bus bandwidth.
+    pub fn is_free(&self) -> bool {
+        self.overhead_fraction == 0.0
+    }
+}
+
+/// Computes the recording overhead for one execution.
+///
+/// The model: the bus can drain `bus_bytes_per_cycle * bus_idle_fraction`
+/// bytes per cycle without disturbing the program. If the produced log rate
+/// (bytes per cycle, derived from the IPC) exceeds that, the surplus must be
+/// written back synchronously and each surplus byte costs `1 /
+/// bus_bytes_per_cycle` stall cycles once the on-chip buffer has filled.
+pub fn estimate_overhead(machine: &MachineConfig, inputs: &OverheadInputs) -> OverheadReport {
+    let instructions = inputs.instructions.max(1) as f64;
+    let cycles = instructions / inputs.ipc.max(1e-9);
+    let log_bytes = inputs.log_bytes.bytes() as f64;
+
+    let log_bytes_per_instruction = log_bytes / instructions;
+    let drain_per_cycle = machine.bus_bytes_per_cycle * machine.bus_idle_fraction;
+    let drain_bytes_per_instruction = drain_per_cycle * cycles / instructions;
+
+    let drain_capacity = drain_per_cycle * cycles + inputs.buffer.bytes() as f64;
+    let surplus = (log_bytes - drain_capacity).max(0.0);
+    let stall_cycles = surplus / machine.bus_bytes_per_cycle.max(1e-9);
+    let overhead_fraction = stall_cycles / cycles;
+
+    OverheadReport {
+        log_bytes_per_instruction,
+        drain_bytes_per_instruction,
+        overhead_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(instructions: u64, log_bytes: u64) -> OverheadInputs {
+        OverheadInputs {
+            instructions,
+            log_bytes: ByteSize::from_bytes(log_bytes),
+            buffer: ByteSize::from_kib(16),
+            ipc: 1.0,
+        }
+    }
+
+    #[test]
+    fn spec_like_logging_is_effectively_free() {
+        // ~225 KB per 10M instructions, as the paper reports.
+        let machine = MachineConfig::default();
+        let report = estimate_overhead(&machine, &inputs(10_000_000, 225 * 1024));
+        assert!(report.is_free(), "overhead = {}", report.overhead_percent());
+        assert!(report.log_bytes_per_instruction < 0.1);
+    }
+
+    #[test]
+    fn pathological_logging_rate_shows_overhead() {
+        // 16 bytes of log per instruction cannot hide in idle bandwidth.
+        let machine = MachineConfig {
+            bus_bytes_per_cycle: 4.0,
+            bus_idle_fraction: 0.1,
+            ..MachineConfig::default()
+        };
+        let report = estimate_overhead(&machine, &inputs(1_000_000, 16_000_000));
+        assert!(report.overhead_percent() > 1.0);
+        assert!(!report.is_free());
+    }
+
+    #[test]
+    fn buffer_absorbs_small_bursts() {
+        let machine = MachineConfig {
+            bus_idle_fraction: 0.0,
+            ..MachineConfig::default()
+        };
+        // All traffic fits in the on-chip buffer: still free.
+        let report = estimate_overhead(&machine, &inputs(1000, 8 * 1024));
+        assert!(report.is_free());
+    }
+
+    #[test]
+    fn zero_instruction_input_is_safe() {
+        let machine = MachineConfig::default();
+        let report = estimate_overhead(&machine, &inputs(0, 1024));
+        assert!(report.overhead_fraction.is_finite());
+    }
+}

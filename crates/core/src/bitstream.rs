@@ -1,0 +1,228 @@
+//! Bit-granular serialization for log records.
+//!
+//! FLL records are variable-width (1-bit type flags, 5-bit or 24-bit load
+//! counts, 6-bit dictionary indices or 32-bit raw values), so the logs are
+//! written and read as a packed bit stream. Sizes reported by the statistics
+//! module are exact bit counts of these streams.
+
+use std::fmt;
+
+/// Append-only bit writer (least-significant-bit first within each byte).
+///
+/// # Examples
+///
+/// ```
+/// use bugnet_core::bitstream::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bit(true);
+/// w.write_bits(0b1011, 4);
+/// let stream = w.finish();
+/// let mut r = BitReader::new(&stream);
+/// assert_eq!(r.read_bit(), Some(true));
+/// assert_eq!(r.read_bits(4), Some(0b1011));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: u64,
+}
+
+/// A finished, immutable bit stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitStream {
+    bytes: Vec<u8>,
+    bit_len: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.bit_len
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        let byte_index = (self.bit_len / 8) as usize;
+        let bit_index = (self.bit_len % 8) as u32;
+        if byte_index == self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte_index] |= 1 << bit_index;
+        }
+        self.bit_len += 1;
+    }
+
+    /// Appends the low `width` bits of `value` (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width must be at most 64 bits");
+        for i in 0..width {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Finalizes the stream.
+    pub fn finish(self) -> BitStream {
+        BitStream {
+            bytes: self.bytes,
+            bit_len: self.bit_len,
+        }
+    }
+}
+
+impl BitStream {
+    /// Exact length in bits.
+    pub fn bit_len(&self) -> u64 {
+        self.bit_len
+    }
+
+    /// Length in whole bytes (rounded up).
+    pub fn byte_len(&self) -> u64 {
+        self.bit_len.div_ceil(8)
+    }
+
+    /// The backing bytes (the final byte may be partially used).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Whether the stream contains no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bit_len == 0
+    }
+}
+
+impl fmt::Display for BitStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bitstream of {} bits", self.bit_len)
+    }
+}
+
+/// Sequential reader over a [`BitStream`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    stream: &'a BitStream,
+    cursor: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at the first bit.
+    pub fn new(stream: &'a BitStream) -> Self {
+        BitReader { stream, cursor: 0 }
+    }
+
+    /// Bits remaining to be read.
+    pub fn remaining(&self) -> u64 {
+        self.stream.bit_len - self.cursor
+    }
+
+    /// Whether all bits have been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads one bit, or `None` at end of stream.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.cursor >= self.stream.bit_len {
+            return None;
+        }
+        let byte = self.stream.bytes[(self.cursor / 8) as usize];
+        let bit = (byte >> (self.cursor % 8)) & 1 == 1;
+        self.cursor += 1;
+        Some(bit)
+    }
+
+    /// Reads `width` bits (LSB first), or `None` if fewer remain.
+    pub fn read_bits(&mut self, width: u32) -> Option<u64> {
+        assert!(width <= 64, "width must be at most 64 bits");
+        if self.remaining() < width as u64 {
+            return None;
+        }
+        let mut value = 0u64;
+        for i in 0..width {
+            if self.read_bit()? {
+                value |= 1 << i;
+            }
+        }
+        Some(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x2a, 6);
+        w.write_bit(true);
+        w.write_bits(0xdead_beef, 32);
+        w.write_bits(5, 3);
+        let s = w.finish();
+        assert_eq!(s.bit_len(), 6 + 1 + 32 + 3);
+        let mut r = BitReader::new(&s);
+        assert_eq!(r.read_bits(6), Some(0x2a));
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_bits(32), Some(0xdead_beef));
+        assert_eq!(r.read_bits(3), Some(5));
+        assert!(r.is_exhausted());
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = BitWriter::new().finish();
+        assert!(s.is_empty());
+        assert_eq!(s.byte_len(), 0);
+        let mut r = BitReader::new(&s);
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn byte_len_rounds_up() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 9);
+        let s = w.finish();
+        assert_eq!(s.byte_len(), 2);
+        assert_eq!(s.as_bytes().len(), 2);
+    }
+
+    #[test]
+    fn read_past_end_is_none_without_consuming() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert_eq!(r.read_bits(5), None);
+        assert_eq!(r.read_bits(3), Some(0b101));
+    }
+
+    #[test]
+    fn zero_width_reads_and_writes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 0);
+        w.write_bits(1, 1);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert_eq!(r.read_bits(0), Some(0));
+        assert_eq!(r.read_bits(1), Some(1));
+    }
+
+    #[test]
+    fn display_reports_length() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 10);
+        assert_eq!(w.finish().to_string(), "bitstream of 10 bits");
+    }
+}

@@ -1,0 +1,283 @@
+//! The frequent-value dictionary compressor (paper §4.3.1).
+//!
+//! Load values exhibit frequent-value locality: a small set of values (0, 1,
+//! small constants, common pointers) accounts for a large fraction of all
+//! load results. BugNet exploits this with a small fully-associative table:
+//! if a load value is found in the table it is logged as a 6-bit index
+//! instead of a full 32-bit value. The table is emptied at the start of each
+//! checkpoint interval and updated on *every* executed load, so the replayer
+//! can reconstruct the exact table state by simulating the same updates.
+//!
+//! The update rule follows the paper: each entry carries a 3-bit saturating
+//! counter; on a hit the counter increments and, if it now reaches or exceeds
+//! the counter of the entry ranked immediately above, the two entries swap
+//! positions, letting very frequent values percolate to the top. On a miss
+//! the value replaces the entry with the smallest counter (ties broken by the
+//! lowest position in the table).
+
+use bugnet_types::Word;
+
+/// Fully-associative table of frequently-occurring load values.
+///
+/// # Examples
+///
+/// ```
+/// use bugnet_core::dictionary::ValueDictionary;
+/// use bugnet_types::Word;
+///
+/// let mut dict = ValueDictionary::new(64, 3);
+/// assert_eq!(dict.lookup(Word::new(7)), None);
+/// dict.observe(Word::new(7));
+/// assert_eq!(dict.lookup(Word::new(7)), Some(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueDictionary {
+    entries: Vec<Entry>,
+    capacity: usize,
+    counter_max: u8,
+    lookups: u64,
+    hits: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    value: Word,
+    counter: u8,
+}
+
+impl ValueDictionary {
+    /// Creates an empty dictionary with `capacity` entries and
+    /// `counter_bits`-wide saturating counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `counter_bits` is zero or above 8.
+    pub fn new(capacity: usize, counter_bits: u32) -> Self {
+        assert!(capacity > 0, "dictionary needs at least one entry");
+        assert!((1..=8).contains(&counter_bits), "counter must be 1..=8 bits");
+        ValueDictionary {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            counter_max: ((1u16 << counter_bits) - 1) as u8,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Number of entries the table can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries currently occupied.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Empties the table (start of a checkpoint interval) without resetting
+    /// the hit statistics.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The rank (index) of `value` if present. Does **not** update the table
+    /// or the statistics; encoding uses [`ValueDictionary::encode`].
+    pub fn lookup(&self, value: Word) -> Option<usize> {
+        self.entries.iter().position(|e| e.value == value)
+    }
+
+    /// The value stored at `rank`, used by the replayer to resolve a logged
+    /// dictionary index.
+    pub fn value_at(&self, rank: usize) -> Option<Word> {
+        self.entries.get(rank).map(|e| e.value)
+    }
+
+    /// Looks up `value` for encoding (recording statistics) and then applies
+    /// the per-load table update. Returns the rank the value had *before* the
+    /// update, which is what gets written to the log.
+    pub fn encode(&mut self, value: Word) -> Option<usize> {
+        self.lookups += 1;
+        let rank = self.lookup(value);
+        if rank.is_some() {
+            self.hits += 1;
+        }
+        self.observe(value);
+        rank
+    }
+
+    /// Applies the per-load table update for an executed load of `value`
+    /// without recording compression statistics (used for loads that are not
+    /// logged, and by the replayer for every load).
+    pub fn observe(&mut self, value: Word) {
+        match self.lookup(value) {
+            Some(index) => {
+                let bumped = self.entries[index].counter.saturating_add(1).min(self.counter_max);
+                self.entries[index].counter = bumped;
+                if index > 0 && bumped >= self.entries[index - 1].counter {
+                    self.entries.swap(index - 1, index);
+                }
+            }
+            None => {
+                if self.entries.len() < self.capacity {
+                    self.entries.push(Entry { value, counter: 1 });
+                } else {
+                    // Replace the entry with the smallest counter; ties go to
+                    // the lowest position (largest index).
+                    let victim = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .rev()
+                        .min_by_key(|(i, e)| (e.counter, std::cmp::Reverse(*i)))
+                        .map(|(i, _)| i)
+                        .expect("capacity > 0");
+                    self.entries[victim] = Entry { value, counter: 1 };
+                }
+            }
+        }
+    }
+
+    /// `(lookups, hits)` observed through [`ValueDictionary::encode`].
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.hits)
+    }
+
+    /// Fraction of encoded values found in the table, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Estimated CAM area of the table in bits (value + counter per entry),
+    /// used by the hardware-complexity report.
+    pub fn area_bits(&self) -> u64 {
+        let counter_bits = 8 - self.counter_max.leading_zeros() as u64;
+        self.capacity as u64 * (32 + counter_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict(cap: usize) -> ValueDictionary {
+        ValueDictionary::new(cap, 3)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut d = dict(4);
+        assert_eq!(d.encode(Word::new(5)), None);
+        assert_eq!(d.encode(Word::new(5)), Some(0));
+        assert_eq!(d.stats(), (2, 1));
+        assert!((d.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequent_values_percolate_to_top() {
+        let mut d = dict(4);
+        d.observe(Word::new(1));
+        d.observe(Word::new(2));
+        // Value 2 becomes more frequent than value 1 and should climb above it.
+        for _ in 0..3 {
+            d.observe(Word::new(2));
+        }
+        assert_eq!(d.lookup(Word::new(2)), Some(0));
+        assert_eq!(d.lookup(Word::new(1)), Some(1));
+    }
+
+    #[test]
+    fn replacement_picks_smallest_counter_lowest_position() {
+        let mut d = dict(2);
+        d.observe(Word::new(10)); // counter 1
+        d.observe(Word::new(20)); // counter 1
+        d.observe(Word::new(10)); // counter 2, stays/rises to top
+        // Table full; 30 replaces the entry with the smallest counter; both
+        // candidates... only 20 has counter 1, and it sits at the bottom.
+        d.observe(Word::new(30));
+        assert!(d.lookup(Word::new(10)).is_some());
+        assert!(d.lookup(Word::new(20)).is_none());
+        assert!(d.lookup(Word::new(30)).is_some());
+    }
+
+    #[test]
+    fn replacement_tie_breaks_to_lowest_position() {
+        let mut d = dict(3);
+        d.observe(Word::new(1));
+        d.observe(Word::new(2));
+        d.observe(Word::new(3));
+        // All counters are 1; the victim must be the lowest position (index 2).
+        d.observe(Word::new(4));
+        assert!(d.lookup(Word::new(3)).is_none());
+        assert_eq!(d.lookup(Word::new(1)), Some(0));
+        assert_eq!(d.lookup(Word::new(2)), Some(1));
+        assert_eq!(d.lookup(Word::new(4)), Some(2));
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut d = ValueDictionary::new(2, 3);
+        for _ in 0..100 {
+            d.observe(Word::new(9));
+        }
+        // Still present and still at rank 0; the counter stopped at 7.
+        assert_eq!(d.lookup(Word::new(9)), Some(0));
+        // A new value can still be inserted into the free slot.
+        d.observe(Word::new(10));
+        assert_eq!(d.lookup(Word::new(10)), Some(1));
+    }
+
+    #[test]
+    fn clear_keeps_statistics() {
+        let mut d = dict(4);
+        d.encode(Word::new(3));
+        d.encode(Word::new(3));
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.stats(), (2, 1));
+        assert_eq!(d.lookup(Word::new(3)), None);
+    }
+
+    #[test]
+    fn encode_rank_is_pre_update() {
+        let mut d = dict(4);
+        d.observe(Word::new(1));
+        d.observe(Word::new(2));
+        d.observe(Word::new(2));
+        // 2 is now at rank 0, 1 at rank 1. Encoding 1 reports rank 1 even if
+        // the update that follows could eventually move it.
+        assert_eq!(d.encode(Word::new(1)), Some(1));
+    }
+
+    #[test]
+    fn area_scales_with_capacity() {
+        assert_eq!(dict(64).area_bits(), 64 * 35);
+        assert_eq!(dict(8).area_bits(), 8 * 35);
+    }
+
+    #[test]
+    fn encoder_and_replayer_stay_in_sync() {
+        // Simulate the encoder (encode) and replayer (observe) over the same
+        // value stream and check the tables match after every step.
+        let mut enc = dict(8);
+        let mut rep = dict(8);
+        let stream: Vec<u32> = (0..200).map(|i| (i * 7) % 13).collect();
+        for v in stream {
+            let rank = enc.encode(Word::new(v));
+            // The replayer first resolves the rank (if any), then observes.
+            if let Some(r) = rank {
+                assert_eq!(rep.value_at(r), Some(Word::new(v)));
+            }
+            rep.observe(Word::new(v));
+            assert_eq!(enc.entries, rep.entries);
+        }
+    }
+}

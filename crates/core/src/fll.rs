@@ -1,0 +1,561 @@
+//! First-Load Logs (paper §4.2-4.3).
+//!
+//! A First-Load Log (FLL) captures everything needed to deterministically
+//! replay one checkpoint interval of one thread:
+//!
+//! * a header with the process/thread identifiers, the checkpoint interval
+//!   identifier (C-ID), a timestamp, and the architectural state (PC +
+//!   register file) at the start of the interval;
+//! * one record per *first load* to a memory location inside the interval,
+//!   encoded as `(LC-Type, L-Count, LV-Type, value)` where `L-Count` is the
+//!   number of loads skipped since the previous logged load (5 bits when it
+//!   fits, otherwise `log2(interval)` bits) and the value is either a 6-bit
+//!   dictionary rank or a full 32-bit word;
+//! * if the interval was terminated by a fault, the faulting PC and the
+//!   instruction count at the fault, which the OS appends before dumping the
+//!   logs (§4.8).
+
+use std::error::Error;
+use std::fmt;
+
+use bugnet_cpu::ArchState;
+use bugnet_types::{
+    Addr, BugNetConfig, ByteSize, CheckpointId, InstrCount, ProcessId, ThreadId, Timestamp, Word,
+};
+
+use crate::bitstream::{BitReader, BitStream, BitWriter};
+
+/// Why a checkpoint interval was terminated (paper §4.2, §4.4, §4.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TerminationCause {
+    /// The interval reached its maximum instruction count.
+    IntervalFull,
+    /// An asynchronous interrupt (timer, I/O) transferred control to the kernel.
+    Interrupt,
+    /// The scheduler moved the thread off the core.
+    ContextSwitch,
+    /// The thread performed a system call serviced by the kernel.
+    Syscall,
+    /// The thread executed a faulting instruction; the logs are about to be dumped.
+    Fault,
+    /// The thread exited normally.
+    ProgramExit,
+}
+
+impl fmt::Display for TerminationCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TerminationCause::IntervalFull => "interval full",
+            TerminationCause::Interrupt => "interrupt",
+            TerminationCause::ContextSwitch => "context switch",
+            TerminationCause::Syscall => "syscall",
+            TerminationCause::Fault => "fault",
+            TerminationCause::ProgramExit => "program exit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// FLL header: identifies the interval and snapshots the architectural state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FllHeader {
+    /// Traced process.
+    pub process: ProcessId,
+    /// Traced thread.
+    pub thread: ThreadId,
+    /// Checkpoint interval identifier (C-ID).
+    pub checkpoint: CheckpointId,
+    /// System clock when the checkpoint was created.
+    pub timestamp: Timestamp,
+    /// Program counter and register file at the start of the interval.
+    pub arch: ArchState,
+}
+
+impl FllHeader {
+    /// Encoded size of a header in bits for a given C-ID width.
+    pub fn encoded_bits(checkpoint_id_bits: u32) -> u64 {
+        // PID + TID + C-ID + timestamp + PC + 32 registers.
+        32 + 32 + checkpoint_id_bits as u64 + 64 + ArchState::encoded_bits()
+    }
+}
+
+/// Fault information appended by the OS when the interval ends with a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Program counter of the faulting instruction.
+    pub pc: Addr,
+    /// Committed instructions in the interval before the fault.
+    pub icount_in_interval: InstrCount,
+}
+
+impl FaultRecord {
+    /// Encoded size of the fault trailer in bits (PC + instruction count).
+    pub const fn encoded_bits() -> u64 {
+        32 + 64
+    }
+}
+
+/// Derived field widths used to encode and decode FLL records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FllCodec {
+    /// Width of the reduced (common-case) L-Count field.
+    pub reduced_lcount_bits: u32,
+    /// Width of the full L-Count field (`log2(checkpoint interval)`).
+    pub full_lcount_bits: u32,
+    /// Width of a dictionary rank (`log2(dictionary entries)`).
+    pub dict_index_bits: u32,
+    /// Width of the C-ID field in the header.
+    pub checkpoint_id_bits: u32,
+    /// Number of dictionary entries (needed to re-simulate the dictionary
+    /// during replay).
+    pub dictionary_entries: usize,
+    /// Width of the dictionary's saturating counters.
+    pub dictionary_counter_bits: u32,
+}
+
+impl FllCodec {
+    /// Derives the codec widths from a recorder configuration.
+    pub fn from_config(cfg: &BugNetConfig) -> Self {
+        FllCodec {
+            reduced_lcount_bits: cfg.reduced_lcount_bits,
+            full_lcount_bits: cfg.full_lcount_bits(),
+            dict_index_bits: cfg.dictionary_index_bits(),
+            checkpoint_id_bits: cfg.checkpoint_id_bits,
+            dictionary_entries: cfg.dictionary_entries,
+            dictionary_counter_bits: cfg.dictionary_counter_bits,
+        }
+    }
+
+    /// Largest L-Count representable in the reduced field.
+    pub fn reduced_lcount_max(&self) -> u64 {
+        (1u64 << self.reduced_lcount_bits) - 1
+    }
+
+    /// Bits used by one record with the given skip count and value encoding.
+    pub fn record_bits(&self, skipped: u64, dictionary_hit: bool) -> u64 {
+        let lcount = 1 + if skipped <= self.reduced_lcount_max() {
+            self.reduced_lcount_bits as u64
+        } else {
+            self.full_lcount_bits as u64
+        };
+        let value = 1 + if dictionary_hit {
+            self.dict_index_bits as u64
+        } else {
+            32
+        };
+        lcount + value
+    }
+}
+
+/// The value part of a log record, as written by the recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodedValue {
+    /// The value was found in the dictionary at this rank.
+    DictRank(usize),
+    /// The value was not in the dictionary and is stored verbatim.
+    Full(Word),
+}
+
+/// One decoded FLL record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadRecord {
+    /// Loads skipped (not logged) since the previous logged load.
+    pub skipped: u64,
+    /// The encoded value.
+    pub value: EncodedValue,
+}
+
+/// Error produced when decoding a corrupt or truncated FLL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FllDecodeError {
+    /// The record stream ended in the middle of a record.
+    Truncated,
+}
+
+impl fmt::Display for FllDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FllDecodeError::Truncated => f.write_str("first-load log record stream is truncated"),
+        }
+    }
+}
+
+impl Error for FllDecodeError {}
+
+/// Incremental encoder used by the recorder while an interval is open.
+#[derive(Debug, Clone)]
+pub struct FllEncoder {
+    codec: FllCodec,
+    writer: BitWriter,
+    records: u64,
+    dictionary_hits: u64,
+    uncompressed_bits: u64,
+}
+
+impl FllEncoder {
+    /// Creates an empty encoder.
+    pub fn new(codec: FllCodec) -> Self {
+        FllEncoder {
+            codec,
+            writer: BitWriter::new(),
+            records: 0,
+            dictionary_hits: 0,
+            uncompressed_bits: 0,
+        }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, skipped: u64, value: EncodedValue) {
+        // LC-Type + L-Count.
+        if skipped <= self.codec.reduced_lcount_max() {
+            self.writer.write_bit(false);
+            self.writer.write_bits(skipped, self.codec.reduced_lcount_bits);
+        } else {
+            self.writer.write_bit(true);
+            self.writer.write_bits(skipped, self.codec.full_lcount_bits);
+        }
+        // LV-Type + value.
+        match value {
+            EncodedValue::DictRank(rank) => {
+                self.writer.write_bit(false);
+                self.writer.write_bits(rank as u64, self.codec.dict_index_bits);
+                self.dictionary_hits += 1;
+            }
+            EncodedValue::Full(word) => {
+                self.writer.write_bit(true);
+                self.writer.write_bits(word.get() as u64, 32);
+            }
+        }
+        self.records += 1;
+        // The "uncompressed" reference keeps the L-Count encoding but always
+        // stores the full 32-bit value; this is what the paper's compression
+        // ratio (Figure 6) measures the dictionary against.
+        self.uncompressed_bits += self.codec.record_bits(skipped, false);
+    }
+
+    /// Number of records pushed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bits written so far.
+    pub fn bits(&self) -> u64 {
+        self.writer.bit_len()
+    }
+
+    /// Finalizes the record stream.
+    pub fn finish(self) -> (BitStream, FllPayloadStats) {
+        let stats = FllPayloadStats {
+            records: self.records,
+            dictionary_hits: self.dictionary_hits,
+            uncompressed_bits: self.uncompressed_bits,
+        };
+        (self.writer.finish(), stats)
+    }
+}
+
+/// Statistics about an encoded record stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FllPayloadStats {
+    /// Number of records (logged first loads).
+    pub records: u64,
+    /// Records whose value was encoded as a dictionary rank.
+    pub dictionary_hits: u64,
+    /// Size the stream would have without the dictionary (full 32-bit values).
+    pub uncompressed_bits: u64,
+}
+
+/// A complete First-Load Log for one checkpoint interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirstLoadLog {
+    /// Interval identification and initial architectural state.
+    pub header: FllHeader,
+    /// Committed instructions in the interval.
+    pub instructions: u64,
+    /// Load instructions executed in the interval (logged or not).
+    pub loads_executed: u64,
+    /// Why the interval ended.
+    pub termination: TerminationCause,
+    /// Fault trailer, present when `termination == Fault`.
+    pub fault: Option<FaultRecord>,
+    codec: FllCodec,
+    stream: BitStream,
+    payload: FllPayloadStats,
+}
+
+impl FirstLoadLog {
+    /// Assembles a log from its parts (used by the recorder).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        header: FllHeader,
+        codec: FllCodec,
+        stream: BitStream,
+        payload: FllPayloadStats,
+        instructions: u64,
+        loads_executed: u64,
+        termination: TerminationCause,
+        fault: Option<FaultRecord>,
+    ) -> Self {
+        FirstLoadLog {
+            header,
+            instructions,
+            loads_executed,
+            termination,
+            fault,
+            codec,
+            stream,
+            payload,
+        }
+    }
+
+    /// The codec widths this log was encoded with.
+    pub fn codec(&self) -> FllCodec {
+        self.codec
+    }
+
+    /// Number of logged first-load records.
+    pub fn records(&self) -> u64 {
+        self.payload.records
+    }
+
+    /// Number of records encoded as dictionary ranks.
+    pub fn dictionary_hits(&self) -> u64 {
+        self.payload.dictionary_hits
+    }
+
+    /// Total size of the log (header + records + fault trailer).
+    pub fn size(&self) -> ByteSize {
+        let mut bits = FllHeader::encoded_bits(self.codec.checkpoint_id_bits) + self.stream.bit_len();
+        if self.fault.is_some() {
+            bits += FaultRecord::encoded_bits();
+        }
+        ByteSize::from_bits(bits)
+    }
+
+    /// Size of the record stream alone.
+    pub fn payload_size(&self) -> ByteSize {
+        ByteSize::from_bits(self.stream.bit_len())
+    }
+
+    /// Size the record stream would have without dictionary compression.
+    pub fn uncompressed_payload_size(&self) -> ByteSize {
+        ByteSize::from_bits(self.payload.uncompressed_bits)
+    }
+
+    /// Dictionary compression ratio of the payload (uncompressed / actual).
+    pub fn compression_ratio(&self) -> f64 {
+        self.uncompressed_payload_size().ratio_to(self.payload_size())
+    }
+
+    /// Iterator-style reader over the records.
+    pub fn records_reader(&self) -> FllRecordReader<'_> {
+        FllRecordReader {
+            reader: BitReader::new(&self.stream),
+            codec: self.codec,
+            remaining: self.payload.records,
+        }
+    }
+
+    /// Decodes all records into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FllDecodeError::Truncated`] if the stream ends early.
+    pub fn decode_records(&self) -> Result<Vec<LoadRecord>, FllDecodeError> {
+        let mut reader = self.records_reader();
+        let mut out = Vec::with_capacity(self.payload.records as usize);
+        while let Some(record) = reader.next_record()? {
+            out.push(record);
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for FirstLoadLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FLL {} {} {}: {} instrs, {} loads, {} records, {} ({})",
+            self.header.thread,
+            self.header.checkpoint,
+            self.header.timestamp,
+            self.instructions,
+            self.loads_executed,
+            self.records(),
+            self.size(),
+            self.termination
+        )
+    }
+}
+
+/// Streaming decoder over the records of a [`FirstLoadLog`].
+#[derive(Debug, Clone)]
+pub struct FllRecordReader<'a> {
+    reader: BitReader<'a>,
+    codec: FllCodec,
+    remaining: u64,
+}
+
+impl FllRecordReader<'_> {
+    /// Records not yet decoded.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Decodes the next record, `Ok(None)` at the end of the log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FllDecodeError::Truncated`] if the stream ends early.
+    pub fn next_record(&mut self) -> Result<Option<LoadRecord>, FllDecodeError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let lc_type = self.reader.read_bit().ok_or(FllDecodeError::Truncated)?;
+        let lcount_bits = if lc_type {
+            self.codec.full_lcount_bits
+        } else {
+            self.codec.reduced_lcount_bits
+        };
+        let skipped = self
+            .reader
+            .read_bits(lcount_bits)
+            .ok_or(FllDecodeError::Truncated)?;
+        let lv_type = self.reader.read_bit().ok_or(FllDecodeError::Truncated)?;
+        let value = if lv_type {
+            let raw = self.reader.read_bits(32).ok_or(FllDecodeError::Truncated)?;
+            EncodedValue::Full(Word::new(raw as u32))
+        } else {
+            let rank = self
+                .reader
+                .read_bits(self.codec.dict_index_bits)
+                .ok_or(FllDecodeError::Truncated)?;
+            EncodedValue::DictRank(rank as usize)
+        };
+        self.remaining -= 1;
+        Ok(Some(LoadRecord { skipped, value }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> FllCodec {
+        FllCodec::from_config(&BugNetConfig::default())
+    }
+
+    fn header() -> FllHeader {
+        FllHeader {
+            process: ProcessId(1),
+            thread: ThreadId(0),
+            checkpoint: CheckpointId(3),
+            timestamp: Timestamp(77),
+            arch: ArchState::default(),
+        }
+    }
+
+    fn make_log(records: &[(u64, EncodedValue)]) -> FirstLoadLog {
+        let mut enc = FllEncoder::new(codec());
+        for (skipped, value) in records {
+            enc.push(*skipped, *value);
+        }
+        let (stream, payload) = enc.finish();
+        FirstLoadLog::new(
+            header(),
+            codec(),
+            stream,
+            payload,
+            1000,
+            records.len() as u64 * 3,
+            TerminationCause::IntervalFull,
+            None,
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let records = vec![
+            (0, EncodedValue::Full(Word::new(0xdead_beef))),
+            (3, EncodedValue::DictRank(5)),
+            (31, EncodedValue::DictRank(63)),
+            (32, EncodedValue::Full(Word::new(7))),
+            (1_000_000, EncodedValue::DictRank(0)),
+        ];
+        let log = make_log(&records);
+        let decoded = log.decode_records().unwrap();
+        assert_eq!(decoded.len(), records.len());
+        for (rec, (skipped, value)) in decoded.iter().zip(&records) {
+            assert_eq!(rec.skipped, *skipped);
+            assert_eq!(rec.value, *value);
+        }
+    }
+
+    #[test]
+    fn record_sizes_follow_the_paper_format() {
+        let c = codec();
+        // Reduced L-Count (5 bits) + dictionary rank (6 bits) + 2 type bits.
+        assert_eq!(c.record_bits(3, true), 1 + 5 + 1 + 6);
+        // Full L-Count (24 bits for a 10M interval) + full value.
+        assert_eq!(c.record_bits(100, false), 1 + 24 + 1 + 32);
+        assert_eq!(c.reduced_lcount_max(), 31);
+    }
+
+    #[test]
+    fn size_includes_header_and_fault_trailer() {
+        let log = make_log(&[(0, EncodedValue::DictRank(1))]);
+        let no_fault = log.size().bits();
+        let mut enc = FllEncoder::new(codec());
+        enc.push(0, EncodedValue::DictRank(1));
+        let (stream, payload) = enc.finish();
+        let with_fault = FirstLoadLog::new(
+            header(),
+            codec(),
+            stream,
+            payload,
+            10,
+            1,
+            TerminationCause::Fault,
+            Some(FaultRecord {
+                pc: Addr::new(0x400010),
+                icount_in_interval: InstrCount(9),
+            }),
+        );
+        assert_eq!(with_fault.size().bits(), no_fault + FaultRecord::encoded_bits());
+        assert_eq!(
+            FllHeader::encoded_bits(8),
+            32 + 32 + 8 + 64 + (33 * 32)
+        );
+    }
+
+    #[test]
+    fn compression_ratio_reflects_dictionary_hits() {
+        let all_hits = make_log(&[(0, EncodedValue::DictRank(1)), (0, EncodedValue::DictRank(2))]);
+        let no_hits = make_log(&[
+            (0, EncodedValue::Full(Word::new(1))),
+            (0, EncodedValue::Full(Word::new(2))),
+        ]);
+        assert!(all_hits.compression_ratio() > 2.0);
+        assert!((no_hits.compression_ratio() - 1.0).abs() < 1e-9);
+        assert_eq!(all_hits.dictionary_hits(), 2);
+        assert_eq!(no_hits.dictionary_hits(), 0);
+    }
+
+    #[test]
+    fn reader_reports_remaining() {
+        let log = make_log(&[(0, EncodedValue::DictRank(1)), (1, EncodedValue::DictRank(2))]);
+        let mut reader = log.records_reader();
+        assert_eq!(reader.remaining(), 2);
+        reader.next_record().unwrap();
+        assert_eq!(reader.remaining(), 1);
+        reader.next_record().unwrap();
+        assert_eq!(reader.next_record().unwrap(), None);
+    }
+
+    #[test]
+    fn display_mentions_termination() {
+        let log = make_log(&[]);
+        assert!(log.to_string().contains("interval full"));
+        assert_eq!(TerminationCause::Fault.to_string(), "fault");
+    }
+}

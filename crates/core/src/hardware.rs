@@ -1,0 +1,99 @@
+//! BugNet on-chip hardware area model (paper Table 3).
+//!
+//! The paper reports the on-chip state BugNet adds: the Checkpoint Buffer,
+//! the Memory Race Buffer and the fully-associative dictionary CAM. The
+//! buffers only need to absorb logging bursts because entries are compressed
+//! incrementally and drained lazily to memory, so their size is independent
+//! of the replay-window length.
+
+use bugnet_types::{BugNetConfig, ByteSize};
+
+/// One row of the hardware-complexity comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HardwareItem {
+    /// Component name as it appears in the paper's Table 3.
+    pub name: String,
+    /// Description of the sizing.
+    pub detail: String,
+    /// On-chip area attributed to the component.
+    pub area: ByteSize,
+}
+
+/// BugNet's hardware budget for a given configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BugNetHardware {
+    items: Vec<HardwareItem>,
+}
+
+impl BugNetHardware {
+    /// Builds the budget from a recorder configuration.
+    pub fn from_config(cfg: &BugNetConfig) -> Self {
+        let dict_bits =
+            cfg.dictionary_entries as u64 * (32 + cfg.dictionary_counter_bits as u64);
+        let items = vec![
+            HardwareItem {
+                name: "Checkpoint Buffer (CB)".to_string(),
+                detail: "absorbs FLL bursts before lazy write-back".to_string(),
+                area: cfg.checkpoint_buffer,
+            },
+            HardwareItem {
+                name: "Memory Race Buffer (MRB)".to_string(),
+                detail: "absorbs MRL bursts before lazy write-back".to_string(),
+                area: cfg.memory_race_buffer,
+            },
+            HardwareItem {
+                name: "Dictionary CAM".to_string(),
+                detail: format!(
+                    "{}-entry fully associative, {}-bit counters",
+                    cfg.dictionary_entries, cfg.dictionary_counter_bits
+                ),
+                area: ByteSize::from_bits(dict_bits),
+            },
+        ];
+        BugNetHardware { items }
+    }
+
+    /// The individual components.
+    pub fn items(&self) -> &[HardwareItem] {
+        &self.items
+    }
+
+    /// Total on-chip area.
+    pub fn total_area(&self) -> ByteSize {
+        self.items.iter().map(|i| i.area).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_papers_48kb() {
+        let hw = BugNetHardware::from_config(&BugNetConfig::default());
+        // CB (16 KB) + MRB (32 KB) dominate; the 64-entry CAM adds ~280 bytes.
+        let total = hw.total_area();
+        assert!(total >= ByteSize::from_kib(48));
+        assert!(total < ByteSize::from_kib(49));
+        assert_eq!(hw.items().len(), 3);
+    }
+
+    #[test]
+    fn area_is_independent_of_replay_window() {
+        let short = BugNetHardware::from_config(
+            &BugNetConfig::default().with_target_replay_window(10_000_000),
+        );
+        let long = BugNetHardware::from_config(
+            &BugNetConfig::default().with_target_replay_window(1_000_000_000),
+        );
+        assert_eq!(short.total_area(), long.total_area());
+    }
+
+    #[test]
+    fn dictionary_size_scales_cam_area() {
+        let small = BugNetHardware::from_config(&BugNetConfig::default().with_dictionary_entries(8));
+        let large =
+            BugNetHardware::from_config(&BugNetConfig::default().with_dictionary_entries(1024));
+        assert!(large.total_area() > small.total_area());
+    }
+}

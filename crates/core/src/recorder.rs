@@ -1,0 +1,580 @@
+//! The per-thread BugNet recorder and the memory-backed log store.
+//!
+//! One [`ThreadRecorder`] exists per traced hardware thread context. The
+//! simulated machine drives it:
+//!
+//! 1. [`ThreadRecorder::begin_interval`] at the start of every checkpoint
+//!    interval (thread start, after an interrupt/syscall/context switch, or
+//!    when the previous interval filled up), capturing the architectural
+//!    state into the new FLL header. The caller must also clear the cache's
+//!    first-load bits and the dictionary is cleared here.
+//! 2. [`ThreadRecorder::record_load`] for every committed load with the
+//!    cache's first-load verdict; first loads are appended to the FLL through
+//!    the dictionary compressor, others only advance the skip counter.
+//! 3. [`ThreadRecorder::record_coherence_reply`] for every coherence reply,
+//!    appending to the interval's Memory Race Log.
+//! 4. [`ThreadRecorder::record_committed_instruction`] per committed
+//!    instruction; it reports when the interval reached its configured
+//!    maximum length.
+//! 5. [`ThreadRecorder::end_interval`] with the termination cause, yielding
+//!    the finished FLL + MRL pair, which the machine pushes into the
+//!    [`LogStore`] (the memory-backed circular region of §4.7).
+
+use std::collections::BTreeMap;
+
+use bugnet_cpu::ArchState;
+use bugnet_types::{
+    Addr, BugNetConfig, ByteSize, CheckpointId, InstrCount, ProcessId, ThreadId, Timestamp, Word,
+};
+
+use crate::dictionary::ValueDictionary;
+use crate::digest::ExecutionDigest;
+use crate::fll::{
+    EncodedValue, FaultRecord, FirstLoadLog, FllCodec, FllEncoder, FllHeader, TerminationCause,
+};
+use crate::mrl::{MemoryRaceLog, MrlBuilder, MrlHeader, RemoteExecState};
+
+/// The FLL + MRL pair produced for one checkpoint interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointLogs {
+    /// First-Load Log of the interval.
+    pub fll: FirstLoadLog,
+    /// Memory Race Log of the interval.
+    pub mrl: MemoryRaceLog,
+    /// Execution digest of the interval captured during recording, used by
+    /// the replay verifier. This is *not* part of the hardware's logs; it is
+    /// test instrumentation.
+    pub digest: ExecutionDigest,
+}
+
+impl CheckpointLogs {
+    /// Combined size of the FLL and MRL.
+    pub fn size(&self) -> ByteSize {
+        self.fll.size() + self.mrl.size()
+    }
+}
+
+#[derive(Debug)]
+struct IntervalState {
+    header: FllHeader,
+    encoder: FllEncoder,
+    dictionary: ValueDictionary,
+    mrl: MrlBuilder,
+    skipped_since_log: u64,
+    loads_executed: u64,
+    instructions: u64,
+    fault: Option<FaultRecord>,
+    digest: ExecutionDigest,
+}
+
+/// Per-thread recording state machine.
+#[derive(Debug)]
+pub struct ThreadRecorder {
+    cfg: BugNetConfig,
+    codec: FllCodec,
+    process: ProcessId,
+    thread: ThreadId,
+    next_checkpoint: CheckpointId,
+    current: Option<IntervalState>,
+    intervals_completed: u64,
+}
+
+impl ThreadRecorder {
+    /// Creates a recorder for one thread.
+    pub fn new(cfg: BugNetConfig, process: ProcessId, thread: ThreadId) -> Self {
+        let codec = FllCodec::from_config(&cfg);
+        ThreadRecorder {
+            cfg,
+            codec,
+            process,
+            thread,
+            next_checkpoint: CheckpointId(0),
+            current: None,
+            intervals_completed: 0,
+        }
+    }
+
+    /// The thread this recorder belongs to.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Whether an interval is currently open.
+    pub fn is_recording(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// The C-ID of the open interval, if any.
+    pub fn current_checkpoint(&self) -> Option<CheckpointId> {
+        self.current.as_ref().map(|s| s.header.checkpoint)
+    }
+
+    /// Committed instructions in the open interval (the "local IC" attached
+    /// to outgoing coherence replies), zero when no interval is open.
+    pub fn interval_instructions(&self) -> InstrCount {
+        InstrCount(self.current.as_ref().map(|s| s.instructions).unwrap_or(0))
+    }
+
+    /// The execution state this thread advertises on coherence replies it
+    /// sends to other cores.
+    pub fn remote_exec_state(&self) -> RemoteExecState {
+        RemoteExecState {
+            thread: self.thread,
+            checkpoint: self.current_checkpoint().unwrap_or(CheckpointId(0)),
+            instructions: self.interval_instructions(),
+        }
+    }
+
+    /// Number of intervals already closed.
+    pub fn intervals_completed(&self) -> u64 {
+        self.intervals_completed
+    }
+
+    /// Opens a new checkpoint interval, capturing the architectural state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an interval is already open; callers must end it first.
+    pub fn begin_interval(&mut self, arch: ArchState, timestamp: Timestamp) -> CheckpointId {
+        assert!(
+            self.current.is_none(),
+            "begin_interval called while an interval is open"
+        );
+        let checkpoint = self.next_checkpoint;
+        self.next_checkpoint = checkpoint.next_wrapping(self.cfg.checkpoint_id_bits);
+        let header = FllHeader {
+            process: self.process,
+            thread: self.thread,
+            checkpoint,
+            timestamp,
+            arch,
+        };
+        let mrl_header = MrlHeader {
+            process: self.process,
+            thread: self.thread,
+            checkpoint,
+            timestamp,
+        };
+        self.current = Some(IntervalState {
+            header,
+            encoder: FllEncoder::new(self.codec),
+            dictionary: ValueDictionary::new(
+                self.cfg.dictionary_entries,
+                self.cfg.dictionary_counter_bits,
+            ),
+            mrl: MrlBuilder::new(mrl_header, &self.cfg),
+            skipped_since_log: 0,
+            loads_executed: 0,
+            instructions: 0,
+            fault: None,
+            digest: ExecutionDigest::new(),
+        });
+        checkpoint
+    }
+
+    fn state_mut(&mut self) -> &mut IntervalState {
+        self.current
+            .as_mut()
+            .expect("recorder method called with no open interval")
+    }
+
+    /// Records one committed load.
+    ///
+    /// `first_load` is the cache's verdict ([`bugnet_memsys::FirstAccess`]):
+    /// when `true` the value is appended to the FLL (through the dictionary),
+    /// otherwise only the skip counter advances. Every executed load updates
+    /// the dictionary so the replayer can mirror its state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no interval is open.
+    pub fn record_load(&mut self, addr: Addr, value: Word, first_load: bool) {
+        let state = self.state_mut();
+        state.loads_executed += 1;
+        state.digest.record_load(addr, value);
+        if first_load {
+            let encoded = match state.dictionary.encode(value) {
+                Some(rank) => EncodedValue::DictRank(rank),
+                None => EncodedValue::Full(value),
+            };
+            let skipped = state.skipped_since_log;
+            state.encoder.push(skipped, encoded);
+            state.skipped_since_log = 0;
+        } else {
+            state.dictionary.observe(value);
+            state.skipped_since_log += 1;
+        }
+    }
+
+    /// Records one committed store (digest instrumentation only: BugNet never
+    /// logs store values, replay regenerates them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no interval is open.
+    pub fn record_store(&mut self, addr: Addr, value: Word) {
+        self.state_mut().digest.record_store(addr, value);
+    }
+
+    /// Counts one committed instruction; returns `true` when the interval has
+    /// reached its configured maximum length and should be terminated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no interval is open.
+    pub fn record_committed_instruction(&mut self) -> bool {
+        let limit = self.cfg.checkpoint_interval;
+        let state = self.state_mut();
+        state.instructions += 1;
+        state.digest.record_instruction();
+        state.instructions >= limit
+    }
+
+    /// Records a coherence reply received by this thread's core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no interval is open.
+    pub fn record_coherence_reply(&mut self, remote: RemoteExecState) {
+        let local_ic = InstrCount(self.state_mut().instructions);
+        self.state_mut().mrl.record(local_ic, remote);
+    }
+
+    /// Records the fault that is terminating the interval (OS behaviour of
+    /// §4.8: the faulting PC and instruction count go into the current FLL).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no interval is open.
+    pub fn record_fault(&mut self, pc: Addr) {
+        let state = self.state_mut();
+        state.fault = Some(FaultRecord {
+            pc,
+            icount_in_interval: InstrCount(state.instructions),
+        });
+    }
+
+    /// Closes the open interval and returns its logs together with the final
+    /// architectural state digest.
+    ///
+    /// Returns `None` if no interval is open (e.g. a double termination on
+    /// fault + exit), which callers may ignore.
+    pub fn end_interval(
+        &mut self,
+        cause: TerminationCause,
+        final_state: &ArchState,
+    ) -> Option<CheckpointLogs> {
+        let mut state = self.current.take()?;
+        state.digest.record_final_state(final_state);
+        let (stream, payload) = state.encoder.finish();
+        let fll = FirstLoadLog::new(
+            state.header,
+            self.codec,
+            stream,
+            payload,
+            state.instructions,
+            state.loads_executed,
+            cause,
+            state.fault,
+        );
+        let mrl = state.mrl.finish();
+        self.intervals_completed += 1;
+        Some(CheckpointLogs {
+            fll,
+            mrl,
+            digest: state.digest,
+        })
+    }
+}
+
+/// The memory-backed circular log region (paper §4.7).
+///
+/// Completed FLL/MRL pairs are appended here; when the configured capacity is
+/// exceeded, the logs of the globally oldest checkpoint (by timestamp) are
+/// discarded, exactly like the hardware overwriting the oldest logs in
+/// memory. The retained logs determine the replay window of each thread.
+#[derive(Debug)]
+pub struct LogStore {
+    fll_capacity: ByteSize,
+    mrl_capacity: ByteSize,
+    per_thread: BTreeMap<ThreadId, Vec<CheckpointLogs>>,
+    evicted_checkpoints: u64,
+}
+
+impl LogStore {
+    /// Creates a store with the capacities from `cfg`.
+    pub fn new(cfg: &BugNetConfig) -> Self {
+        LogStore {
+            fll_capacity: cfg.fll_region,
+            mrl_capacity: cfg.mrl_region,
+            per_thread: BTreeMap::new(),
+            evicted_checkpoints: 0,
+        }
+    }
+
+    /// Appends the logs of a completed interval and applies the eviction
+    /// policy.
+    pub fn push(&mut self, logs: CheckpointLogs) {
+        self.per_thread
+            .entry(logs.fll.header.thread)
+            .or_default()
+            .push(logs);
+        self.evict_to_capacity();
+    }
+
+    fn evict_to_capacity(&mut self) {
+        loop {
+            let over_fll = self.total_fll_size() > self.fll_capacity;
+            let over_mrl = self.total_mrl_size() > self.mrl_capacity;
+            if !over_fll && !over_mrl {
+                return;
+            }
+            // Discard the globally oldest checkpoint, but never the only
+            // checkpoint a thread has (keep at least one per thread so a
+            // crash is always replayable).
+            let victim = self
+                .per_thread
+                .iter()
+                .filter(|(_, q)| q.len() > 1)
+                .min_by_key(|(_, q)| q.first().map(|l| l.fll.header.timestamp))
+                .map(|(t, _)| *t);
+            match victim {
+                Some(thread) => {
+                    self.per_thread.get_mut(&thread).expect("victim exists").remove(0);
+                    self.evicted_checkpoints += 1;
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Logs currently retained for `thread`, oldest first.
+    pub fn thread_logs(&self, thread: ThreadId) -> &[CheckpointLogs] {
+        self.per_thread
+            .get(&thread)
+            .map(|q| q.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All retained logs of a thread as an owned, contiguous vector (oldest
+    /// first). Used when dumping logs after a fault.
+    pub fn dump_thread(&self, thread: ThreadId) -> Vec<CheckpointLogs> {
+        self.per_thread
+            .get(&thread)
+            .map(|q| q.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Threads that have at least one retained checkpoint.
+    pub fn threads(&self) -> Vec<ThreadId> {
+        self.per_thread.keys().copied().collect()
+    }
+
+    /// Number of checkpoints discarded to stay within capacity.
+    pub fn evicted_checkpoints(&self) -> u64 {
+        self.evicted_checkpoints
+    }
+
+    /// Total size of retained FLLs.
+    pub fn total_fll_size(&self) -> ByteSize {
+        self.per_thread
+            .values()
+            .flatten()
+            .map(|l| l.fll.size())
+            .sum()
+    }
+
+    /// Total size of retained MRLs.
+    pub fn total_mrl_size(&self) -> ByteSize {
+        self.per_thread
+            .values()
+            .flatten()
+            .map(|l| l.mrl.size())
+            .sum()
+    }
+
+    /// Replay window (retained committed instructions) of a thread.
+    pub fn replay_window(&self, thread: ThreadId) -> u64 {
+        self.per_thread
+            .get(&thread)
+            .map(|q| q.iter().map(|l| l.fll.instructions).sum())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugnet_types::Word;
+
+    fn recorder(interval: u64) -> ThreadRecorder {
+        ThreadRecorder::new(
+            BugNetConfig::default().with_checkpoint_interval(interval),
+            ProcessId(1),
+            ThreadId(0),
+        )
+    }
+
+    fn arch() -> ArchState {
+        ArchState::default()
+    }
+
+    #[test]
+    fn interval_lifecycle() {
+        let mut r = recorder(100);
+        assert!(!r.is_recording());
+        let cid = r.begin_interval(arch(), Timestamp(1));
+        assert_eq!(cid, CheckpointId(0));
+        assert!(r.is_recording());
+        assert!(!r.record_committed_instruction());
+        r.record_load(Addr::new(0x1000), Word::new(5), true);
+        r.record_load(Addr::new(0x1000), Word::new(5), false);
+        let logs = r.end_interval(TerminationCause::Interrupt, &arch()).unwrap();
+        assert!(!r.is_recording());
+        assert_eq!(logs.fll.records(), 1);
+        assert_eq!(logs.fll.loads_executed, 2);
+        assert_eq!(logs.fll.instructions, 1);
+        assert_eq!(logs.fll.termination, TerminationCause::Interrupt);
+        // Next interval gets the next C-ID.
+        assert_eq!(r.begin_interval(arch(), Timestamp(2)), CheckpointId(1));
+    }
+
+    #[test]
+    fn interval_full_is_reported_at_limit() {
+        let mut r = recorder(3);
+        r.begin_interval(arch(), Timestamp(0));
+        assert!(!r.record_committed_instruction());
+        assert!(!r.record_committed_instruction());
+        assert!(r.record_committed_instruction());
+    }
+
+    #[test]
+    fn skip_counts_are_encoded() {
+        let mut r = recorder(1000);
+        r.begin_interval(arch(), Timestamp(0));
+        r.record_load(Addr::new(0x1000), Word::new(1), true);
+        for i in 0..5 {
+            r.record_load(Addr::new(0x1000), Word::new(1), false);
+            let _ = i;
+        }
+        r.record_load(Addr::new(0x2000), Word::new(2), true);
+        let logs = r.end_interval(TerminationCause::IntervalFull, &arch()).unwrap();
+        let records = logs.fll.decode_records().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].skipped, 0);
+        assert_eq!(records[1].skipped, 5);
+    }
+
+    #[test]
+    fn fault_is_recorded_in_fll() {
+        let mut r = recorder(1000);
+        r.begin_interval(arch(), Timestamp(0));
+        r.record_committed_instruction();
+        r.record_committed_instruction();
+        r.record_fault(Addr::new(0x400404));
+        let logs = r.end_interval(TerminationCause::Fault, &arch()).unwrap();
+        let fault = logs.fll.fault.expect("fault trailer");
+        assert_eq!(fault.pc, Addr::new(0x400404));
+        assert_eq!(fault.icount_in_interval, InstrCount(2));
+    }
+
+    #[test]
+    fn coherence_replies_build_the_mrl() {
+        let mut r = recorder(1000);
+        r.begin_interval(arch(), Timestamp(0));
+        r.record_committed_instruction();
+        r.record_coherence_reply(RemoteExecState {
+            thread: ThreadId(1),
+            checkpoint: CheckpointId(4),
+            instructions: InstrCount(55),
+        });
+        let logs = r.end_interval(TerminationCause::IntervalFull, &arch()).unwrap();
+        assert_eq!(logs.mrl.entries().len(), 1);
+        assert_eq!(logs.mrl.entries()[0].local_ic, InstrCount(1));
+        assert_eq!(logs.mrl.entries()[0].remote.thread, ThreadId(1));
+        assert_eq!(logs.mrl.header.checkpoint, logs.fll.header.checkpoint);
+    }
+
+    #[test]
+    fn end_without_begin_is_none() {
+        let mut r = recorder(10);
+        assert!(r.end_interval(TerminationCause::ProgramExit, &arch()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval is open")]
+    fn double_begin_panics() {
+        let mut r = recorder(10);
+        r.begin_interval(arch(), Timestamp(0));
+        r.begin_interval(arch(), Timestamp(1));
+    }
+
+    #[test]
+    fn remote_exec_state_reflects_progress() {
+        let mut r = recorder(100);
+        r.begin_interval(arch(), Timestamp(0));
+        r.record_committed_instruction();
+        r.record_committed_instruction();
+        let s = r.remote_exec_state();
+        assert_eq!(s.thread, ThreadId(0));
+        assert_eq!(s.checkpoint, CheckpointId(0));
+        assert_eq!(s.instructions, InstrCount(2));
+    }
+
+    fn small_logs(thread: u32, timestamp: u64, loads: usize) -> CheckpointLogs {
+        let mut r = ThreadRecorder::new(
+            BugNetConfig::default().with_checkpoint_interval(1000),
+            ProcessId(1),
+            ThreadId(thread),
+        );
+        r.begin_interval(arch(), Timestamp(timestamp));
+        for i in 0..loads {
+            r.record_load(Addr::new(0x1000 + i as u64 * 4), Word::new(i as u32), true);
+            r.record_committed_instruction();
+        }
+        r.end_interval(TerminationCause::IntervalFull, &arch()).unwrap()
+    }
+
+    #[test]
+    fn log_store_tracks_replay_window() {
+        let cfg = BugNetConfig::default();
+        let mut store = LogStore::new(&cfg);
+        store.push(small_logs(0, 1, 10));
+        store.push(small_logs(0, 2, 20));
+        assert_eq!(store.replay_window(ThreadId(0)), 30);
+        assert_eq!(store.thread_logs(ThreadId(0)).len(), 2);
+        assert_eq!(store.threads(), vec![ThreadId(0)]);
+        assert_eq!(store.replay_window(ThreadId(9)), 0);
+    }
+
+    #[test]
+    fn log_store_evicts_oldest_when_full() {
+        // Capacity chosen so only a couple of small logs fit.
+        let cfg = BugNetConfig {
+            fll_region: ByteSize::from_bytes(600),
+            ..BugNetConfig::default()
+        };
+        let mut store = LogStore::new(&cfg);
+        for t in 0..6u64 {
+            store.push(small_logs(0, t, 50));
+        }
+        assert!(store.evicted_checkpoints() > 0);
+        assert!(store.total_fll_size() <= ByteSize::from_bytes(600) || store.thread_logs(ThreadId(0)).len() == 1);
+        // The newest checkpoint is always retained.
+        let retained = store.thread_logs(ThreadId(0));
+        assert_eq!(retained.last().unwrap().fll.header.timestamp, Timestamp(5));
+    }
+
+    #[test]
+    fn log_store_never_drops_a_threads_only_checkpoint() {
+        let cfg = BugNetConfig {
+            fll_region: ByteSize::from_bytes(100),
+            ..BugNetConfig::default()
+        };
+        let mut store = LogStore::new(&cfg);
+        store.push(small_logs(0, 1, 50));
+        store.push(small_logs(1, 2, 50));
+        assert_eq!(store.thread_logs(ThreadId(0)).len(), 1);
+        assert_eq!(store.thread_logs(ThreadId(1)).len(), 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Architectural state snapshots.
+
+use bugnet_isa::NUM_REGS;
+use bugnet_types::{Addr, Word};
+
+use crate::regfile::RegisterFile;
+
+/// The architectural state captured in an FLL header: the program counter and
+/// the full register file at the start of a checkpoint interval.
+///
+/// # Examples
+///
+/// ```
+/// use bugnet_cpu::ArchState;
+/// use bugnet_types::{Addr, Word};
+///
+/// let state = ArchState::new(Addr::new(0x40_0000), [Word::ZERO; 32]);
+/// assert_eq!(state.pc, Addr::new(0x40_0000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchState {
+    /// Program counter (byte address of the next instruction to execute).
+    pub pc: Addr,
+    /// All 32 general-purpose register values.
+    pub regs: [Word; NUM_REGS],
+}
+
+impl ArchState {
+    /// Creates a snapshot from raw parts.
+    pub fn new(pc: Addr, regs: [Word; NUM_REGS]) -> Self {
+        ArchState { pc, regs }
+    }
+
+    /// Captures the state of a register file at a given program counter.
+    pub fn capture(pc: Addr, regs: &RegisterFile) -> Self {
+        ArchState {
+            pc,
+            regs: regs.snapshot(),
+        }
+    }
+
+    /// Size of the snapshot as stored in an FLL header, in bits
+    /// (PC + 32 registers, 32 bits each).
+    pub const fn encoded_bits() -> u64 {
+        32 + NUM_REGS as u64 * 32
+    }
+}
+
+impl Default for ArchState {
+    fn default() -> Self {
+        ArchState {
+            pc: Addr::new(0),
+            regs: [Word::ZERO; NUM_REGS],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugnet_isa::Reg;
+
+    #[test]
+    fn capture_matches_register_file() {
+        let mut rf = RegisterFile::new();
+        rf.write(Reg::R9, Word::new(99));
+        let st = ArchState::capture(Addr::new(0x400010), &rf);
+        assert_eq!(st.pc, Addr::new(0x400010));
+        assert_eq!(st.regs[9], Word::new(99));
+    }
+
+    #[test]
+    fn encoded_size_is_33_words() {
+        assert_eq!(ArchState::encoded_bits(), 33 * 32);
+    }
+}

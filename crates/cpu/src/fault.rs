@@ -1,0 +1,84 @@
+//! Faults that terminate a thread.
+//!
+//! The paper's trigger for dumping the logs is the operating system detecting
+//! that the application executed a faulting instruction (§4.8); these are the
+//! fault classes the simulated machine can raise. They deliberately mirror
+//! the bug classes of the paper's Table 1 (invalid memory accesses from
+//! corrupted pointers, arithmetic exceptions, wild jumps through corrupted
+//! return addresses or function pointers).
+
+use std::error::Error;
+use std::fmt;
+
+use bugnet_types::Addr;
+
+/// Lowest data address considered valid; accesses below it model null-pointer
+/// dereferences and fault.
+pub const NULL_GUARD_BYTES: u64 = 0x1000;
+
+/// A fault raised by the executing thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Integer division (or remainder) by zero.
+    DivideByZero,
+    /// Load or store to an invalid address (e.g. inside the null guard page).
+    InvalidAddress(Addr),
+    /// Control transferred to an address outside the code segment.
+    InvalidPc(Addr),
+    /// Load or store to an address that is not word aligned.
+    Misaligned(Addr),
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::DivideByZero => f.write_str("integer divide by zero"),
+            Fault::InvalidAddress(a) => write!(f, "invalid memory access at {a}"),
+            Fault::InvalidPc(a) => write!(f, "jump to invalid code address {a}"),
+            Fault::Misaligned(a) => write!(f, "misaligned memory access at {a}"),
+        }
+    }
+}
+
+impl Error for Fault {}
+
+impl Fault {
+    /// Whether a data access to `addr` is legal; returns the fault otherwise.
+    pub fn check_data_access(addr: Addr) -> Result<(), Fault> {
+        if addr.raw() < NULL_GUARD_BYTES {
+            Err(Fault::InvalidAddress(addr))
+        } else if !addr.is_word_aligned() {
+            Err(Fault::Misaligned(addr))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_guard_faults() {
+        assert_eq!(
+            Fault::check_data_access(Addr::new(0x10)),
+            Err(Fault::InvalidAddress(Addr::new(0x10)))
+        );
+        assert_eq!(Fault::check_data_access(Addr::new(0x1000)), Ok(()));
+    }
+
+    #[test]
+    fn misalignment_faults() {
+        assert_eq!(
+            Fault::check_data_access(Addr::new(0x1002)),
+            Err(Fault::Misaligned(Addr::new(0x1002)))
+        );
+    }
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(Fault::DivideByZero.to_string(), "integer divide by zero");
+        assert!(Fault::InvalidPc(Addr::new(4)).to_string().contains("invalid code"));
+    }
+}

@@ -1,0 +1,90 @@
+//! The architectural register file.
+
+use bugnet_isa::{Reg, NUM_REGS};
+use bugnet_types::Word;
+
+/// The 32 general-purpose registers of one thread.
+///
+/// Register `r0` is hard-wired to zero: reads always return zero and writes
+/// are discarded.
+///
+/// # Examples
+///
+/// ```
+/// use bugnet_cpu::RegisterFile;
+/// use bugnet_isa::Reg;
+/// use bugnet_types::Word;
+///
+/// let mut regs = RegisterFile::new();
+/// regs.write(Reg::R5, Word::new(99));
+/// regs.write(Reg::R0, Word::new(1)); // discarded
+/// assert_eq!(regs.read(Reg::R5), Word::new(99));
+/// assert_eq!(regs.read(Reg::R0), Word::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegisterFile {
+    regs: [Word; NUM_REGS],
+}
+
+impl RegisterFile {
+    /// Creates a register file with every register zeroed.
+    pub fn new() -> Self {
+        RegisterFile::default()
+    }
+
+    /// Reads a register.
+    pub fn read(&self, reg: Reg) -> Word {
+        self.regs[reg.index()]
+    }
+
+    /// Writes a register; writes to `r0` are discarded.
+    pub fn write(&mut self, reg: Reg, value: Word) {
+        if reg != Reg::ZERO {
+            self.regs[reg.index()] = value;
+        }
+    }
+
+    /// A copy of all register values (the FLL header snapshot).
+    pub fn snapshot(&self) -> [Word; NUM_REGS] {
+        self.regs
+    }
+
+    /// Restores all register values from a snapshot; `r0` is forced to zero.
+    pub fn restore(&mut self, snapshot: &[Word; NUM_REGS]) {
+        self.regs = *snapshot;
+        self.regs[0] = Word::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let mut regs = RegisterFile::new();
+        regs.write(Reg::R0, Word::new(5));
+        assert_eq!(regs.read(Reg::R0), Word::ZERO);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut regs = RegisterFile::new();
+        regs.write(Reg::R7, Word::new(7));
+        regs.write(Reg::R31, Word::new(31));
+        let snap = regs.snapshot();
+        let mut other = RegisterFile::new();
+        other.restore(&snap);
+        assert_eq!(other, regs);
+    }
+
+    #[test]
+    fn restore_forces_r0_to_zero() {
+        let mut snap = [Word::new(9); NUM_REGS];
+        snap[0] = Word::new(9);
+        let mut regs = RegisterFile::new();
+        regs.restore(&snap);
+        assert_eq!(regs.read(Reg::R0), Word::ZERO);
+        assert_eq!(regs.read(Reg::R1), Word::new(9));
+    }
+}

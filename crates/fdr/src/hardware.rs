@@ -1,0 +1,93 @@
+//! FDR on-chip hardware budget (paper Table 3, FDR column).
+
+use bugnet_types::ByteSize;
+
+/// One hardware component of the FDR design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdrHardwareItem {
+    /// Component name as in the paper's Table 3.
+    pub name: &'static str,
+    /// What the component is for.
+    pub detail: &'static str,
+    /// On-chip area.
+    pub area: ByteSize,
+}
+
+/// The FDR hardware budget as reported by the paper (1416 KB total).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdrHardware {
+    items: Vec<FdrHardwareItem>,
+}
+
+impl Default for FdrHardware {
+    fn default() -> Self {
+        FdrHardware::paper_configuration()
+    }
+}
+
+impl FdrHardware {
+    /// The configuration evaluated by the FDR paper and cited in Table 3.
+    pub fn paper_configuration() -> Self {
+        FdrHardware {
+            items: vec![
+                FdrHardwareItem {
+                    name: "Memory Race Buffer (MRB)",
+                    detail: "buffers race-log entries before write-back",
+                    area: ByteSize::from_kib(32),
+                },
+                FdrHardwareItem {
+                    name: "Cache checkpoint buffer",
+                    detail: "SafetyNet old-value logging for cached blocks",
+                    area: ByteSize::from_kib(1024),
+                },
+                FdrHardwareItem {
+                    name: "Memory checkpoint buffer",
+                    detail: "SafetyNet old-value logging for uncached blocks",
+                    area: ByteSize::from_kib(256),
+                },
+                FdrHardwareItem {
+                    name: "Interrupt buffer",
+                    detail: "records delivered interrupts",
+                    area: ByteSize::from_kib(64),
+                },
+                FdrHardwareItem {
+                    name: "Input buffer",
+                    detail: "records program I/O",
+                    area: ByteSize::from_kib(8),
+                },
+                FdrHardwareItem {
+                    name: "DMA buffer",
+                    detail: "records DMA writes",
+                    area: ByteSize::from_kib(32),
+                },
+            ],
+        }
+    }
+
+    /// The individual components.
+    pub fn items(&self) -> &[FdrHardwareItem] {
+        &self.items
+    }
+
+    /// Total on-chip area (the paper's 1416 KB).
+    pub fn total_area(&self) -> ByteSize {
+        self.items.iter().map(|i| i.area).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_the_paper() {
+        let hw = FdrHardware::paper_configuration();
+        assert_eq!(hw.total_area(), ByteSize::from_kib(1416));
+        assert_eq!(hw.items().len(), 6);
+    }
+
+    #[test]
+    fn default_is_the_paper_configuration() {
+        assert_eq!(FdrHardware::default(), FdrHardware::paper_configuration());
+    }
+}

@@ -1,0 +1,19 @@
+//! Flight Data Recorder (FDR) baseline model.
+//!
+//! FDR (Xu, Bodik & Hill, ISCA 2003) is the comparison point of the paper's
+//! Tables 2 and 3. It targets *full-system* replay of the last ~1 second of
+//! execution: it keeps SafetyNet-style checkpoints (logging the old value of
+//! the first store to each block per interval so memory can be rolled back),
+//! records every external input (interrupts, program I/O, DMA), logs memory
+//! races, and ships a final core dump of physical memory. BugNet replays only
+//! the application, so it needs none of that except the race log.
+//!
+//! This crate models FDR at the granularity the paper reports: per-category
+//! log sizes accumulated from the same simulated execution BugNet records
+//! ([`FdrRecorder`]), and the fixed on-chip hardware budget ([`FdrHardware`]).
+
+pub mod hardware;
+pub mod recorder;
+
+pub use hardware::FdrHardware;
+pub use recorder::{FdrConfig, FdrLogReport, FdrRecorder};

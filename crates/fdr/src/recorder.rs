@@ -1,0 +1,241 @@
+//! FDR log-size model.
+
+use std::collections::HashSet;
+
+use bugnet_types::{Addr, ByteSize};
+
+/// Configuration of the FDR baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdrConfig {
+    /// SafetyNet checkpoint interval in committed instructions. The paper
+    /// uses 1/3 second of execution; at the nominal 1 IPC / 1 GHz machine
+    /// that is roughly 333 million instructions.
+    pub checkpoint_interval: u64,
+    /// Cache block size in bytes (old block values are logged at this grain).
+    pub block_bytes: u64,
+    /// Bytes logged per interrupt event (vector, priority, timestamp).
+    pub interrupt_entry_bytes: u64,
+    /// Bytes logged per program-I/O (input) word.
+    pub input_entry_bytes: u64,
+    /// Bytes logged per memory-race entry.
+    pub race_entry_bytes: u64,
+}
+
+impl Default for FdrConfig {
+    fn default() -> Self {
+        FdrConfig {
+            checkpoint_interval: 333_000_000,
+            block_bytes: 64,
+            interrupt_entry_bytes: 16,
+            input_entry_bytes: 8,
+            race_entry_bytes: 8,
+        }
+    }
+}
+
+impl FdrConfig {
+    /// A configuration with a scaled-down checkpoint interval (used when the
+    /// simulated executions are themselves scaled down).
+    pub fn with_checkpoint_interval(mut self, instructions: u64) -> Self {
+        self.checkpoint_interval = instructions.max(1);
+        self
+    }
+}
+
+/// Per-category FDR log sizes for one recorded execution (Table 2's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FdrLogReport {
+    /// Committed instructions covered.
+    pub instructions: u64,
+    /// SafetyNet cache checkpoint log (old values of first stores to blocks
+    /// that were cache-resident).
+    pub cache_checkpoint_log: ByteSize,
+    /// SafetyNet memory checkpoint log (old values of first stores to blocks
+    /// that were not cache-resident).
+    pub memory_checkpoint_log: ByteSize,
+    /// Interrupt log.
+    pub interrupt_log: ByteSize,
+    /// Program I/O (external input) log.
+    pub input_log: ByteSize,
+    /// DMA log (payload bytes, as FDR logs the transferred data).
+    pub dma_log: ByteSize,
+    /// Memory race log.
+    pub race_log: ByteSize,
+    /// Final core dump (the application's resident memory image).
+    pub core_dump: ByteSize,
+}
+
+impl FdrLogReport {
+    /// Everything FDR must ship to the developer.
+    pub fn total(&self) -> ByteSize {
+        self.cache_checkpoint_log
+            + self.memory_checkpoint_log
+            + self.interrupt_log
+            + self.input_log
+            + self.dma_log
+            + self.race_log
+            + self.core_dump
+    }
+
+    /// The checkpoint-related logs only (what replaying needs besides inputs).
+    pub fn checkpoint_logs(&self) -> ByteSize {
+        self.cache_checkpoint_log + self.memory_checkpoint_log
+    }
+}
+
+/// Accumulates FDR's logs while the machine runs.
+///
+/// The simulated machine drives it alongside the BugNet recorder so both
+/// systems observe the identical execution.
+#[derive(Debug, Clone)]
+pub struct FdrRecorder {
+    cfg: FdrConfig,
+    instructions: u64,
+    interval_instructions: u64,
+    stored_blocks_this_interval: HashSet<u64>,
+    cache_checkpoint_entries: u64,
+    memory_checkpoint_entries: u64,
+    interrupts: u64,
+    input_words: u64,
+    dma_bytes: u64,
+    race_entries: u64,
+}
+
+impl FdrRecorder {
+    /// Creates an idle recorder.
+    pub fn new(cfg: FdrConfig) -> Self {
+        FdrRecorder {
+            cfg,
+            instructions: 0,
+            interval_instructions: 0,
+            stored_blocks_this_interval: HashSet::new(),
+            cache_checkpoint_entries: 0,
+            memory_checkpoint_entries: 0,
+            interrupts: 0,
+            input_words: 0,
+            dma_bytes: 0,
+            race_entries: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FdrConfig {
+        &self.cfg
+    }
+
+    /// Counts one committed instruction (of any thread) and rolls the
+    /// SafetyNet checkpoint interval when it fills.
+    pub fn on_instruction(&mut self) {
+        self.instructions += 1;
+        self.interval_instructions += 1;
+        if self.interval_instructions >= self.cfg.checkpoint_interval {
+            self.interval_instructions = 0;
+            self.stored_blocks_this_interval.clear();
+        }
+    }
+
+    /// Records a committed store. `was_cached` is whether the block was
+    /// resident in the storing core's cache (SafetyNet logs cache-resident
+    /// blocks in the cache checkpoint log and the rest in the memory
+    /// checkpoint log).
+    pub fn on_store(&mut self, addr: Addr, was_cached: bool) {
+        let block = addr.block_aligned(self.cfg.block_bytes).raw();
+        if self.stored_blocks_this_interval.insert(block) {
+            if was_cached {
+                self.cache_checkpoint_entries += 1;
+            } else {
+                self.memory_checkpoint_entries += 1;
+            }
+        }
+    }
+
+    /// Records an interrupt delivered to the system.
+    pub fn on_interrupt(&mut self) {
+        self.interrupts += 1;
+    }
+
+    /// Records `words` of program input (memory-mapped I/O or syscall input).
+    pub fn on_input(&mut self, words: u64) {
+        self.input_words += words;
+    }
+
+    /// Records a DMA transfer of `bytes` into memory.
+    pub fn on_dma(&mut self, bytes: u64) {
+        self.dma_bytes += bytes;
+    }
+
+    /// Records a coherence reply (one memory-race log entry, pre-Netzer).
+    pub fn on_coherence_reply(&mut self) {
+        self.race_entries += 1;
+    }
+
+    /// Committed instructions observed.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Builds the per-category log-size report. `resident_memory` is the
+    /// application's memory footprint at the end of the run (the core dump).
+    pub fn report(&self, resident_memory: ByteSize) -> FdrLogReport {
+        // Each checkpoint-log entry stores the block address plus the old
+        // contents of the block.
+        let entry_bytes = 8 + self.cfg.block_bytes;
+        FdrLogReport {
+            instructions: self.instructions,
+            cache_checkpoint_log: ByteSize::from_bytes(self.cache_checkpoint_entries * entry_bytes),
+            memory_checkpoint_log: ByteSize::from_bytes(self.memory_checkpoint_entries * entry_bytes),
+            interrupt_log: ByteSize::from_bytes(self.interrupts * self.cfg.interrupt_entry_bytes),
+            input_log: ByteSize::from_bytes(self.input_words * self.cfg.input_entry_bytes),
+            dma_log: ByteSize::from_bytes(self.dma_bytes),
+            race_log: ByteSize::from_bytes(self.race_entries * self.cfg.race_entry_bytes),
+            core_dump: resident_memory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_store_per_block_per_interval_is_logged_once() {
+        let mut fdr = FdrRecorder::new(FdrConfig::default().with_checkpoint_interval(1000));
+        fdr.on_store(Addr::new(0x1000), true);
+        fdr.on_store(Addr::new(0x1004), true); // same block: not logged again
+        fdr.on_store(Addr::new(0x2000), false);
+        let report = fdr.report(ByteSize::ZERO);
+        assert_eq!(report.cache_checkpoint_log, ByteSize::from_bytes(72));
+        assert_eq!(report.memory_checkpoint_log, ByteSize::from_bytes(72));
+    }
+
+    #[test]
+    fn interval_roll_relogs_blocks() {
+        let mut fdr = FdrRecorder::new(FdrConfig::default().with_checkpoint_interval(10));
+        fdr.on_store(Addr::new(0x1000), true);
+        for _ in 0..10 {
+            fdr.on_instruction();
+        }
+        fdr.on_store(Addr::new(0x1000), true);
+        let report = fdr.report(ByteSize::ZERO);
+        assert_eq!(report.cache_checkpoint_log, ByteSize::from_bytes(144));
+        assert_eq!(report.instructions, 10);
+    }
+
+    #[test]
+    fn event_logs_accumulate() {
+        let mut fdr = FdrRecorder::new(FdrConfig::default());
+        fdr.on_interrupt();
+        fdr.on_interrupt();
+        fdr.on_input(4);
+        fdr.on_dma(256);
+        fdr.on_coherence_reply();
+        let report = fdr.report(ByteSize::from_mib(1));
+        assert_eq!(report.interrupt_log, ByteSize::from_bytes(32));
+        assert_eq!(report.input_log, ByteSize::from_bytes(32));
+        assert_eq!(report.dma_log, ByteSize::from_bytes(256));
+        assert_eq!(report.race_log, ByteSize::from_bytes(8));
+        assert_eq!(report.core_dump, ByteSize::from_mib(1));
+        assert!(report.total() > ByteSize::from_mib(1));
+        assert_eq!(report.checkpoint_logs(), ByteSize::ZERO);
+    }
+}

@@ -1,0 +1,343 @@
+//! A tiny assembler for constructing [`Program`]s in code.
+//!
+//! The synthetic workload generators emit programs through this builder; it
+//! supports forward-referenced labels for branch targets and a bump allocator
+//! for the data segment.
+
+use bugnet_types::{Addr, Word};
+
+use crate::instr::{AluOp, BranchCond, Instr, SyscallCode};
+use crate::program::{DataSegment, Program, DEFAULT_CODE_BASE, DEFAULT_DATA_BASE};
+use crate::reg::Reg;
+
+/// A label naming a position in the code being assembled.
+///
+/// Labels are created with [`ProgramBuilder::new_label`], bound to the current
+/// code position with [`ProgramBuilder::bind`], and may be referenced by
+/// branches and jumps before being bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental builder for [`Program`] images.
+///
+/// # Examples
+///
+/// ```
+/// use bugnet_isa::{ProgramBuilder, Reg, AluOp, BranchCond};
+///
+/// let mut b = ProgramBuilder::new("count-to-ten");
+/// b.li(Reg::R3, 0);
+/// b.li(Reg::R4, 10);
+/// let loop_top = b.here();
+/// b.alu_imm(AluOp::Add, Reg::R3, Reg::R3, 1);
+/// b.branch(BranchCond::Lt, Reg::R3, Reg::R4, loop_top);
+/// b.halt();
+/// let program = b.build();
+/// assert_eq!(program.code().len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    code: Vec<Instr>,
+    code_base: Addr,
+    data_base: Addr,
+    data: Vec<Word>,
+    labels: Vec<Option<u32>>,
+    // (code index, label) pairs needing patching at build time.
+    fixups: Vec<(usize, Label)>,
+    symbols: Vec<(String, Addr)>,
+    entry_index: u32,
+}
+
+impl ProgramBuilder {
+    /// Starts building a program with default segment addresses.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            code: Vec::new(),
+            code_base: Addr::new(DEFAULT_CODE_BASE),
+            data_base: Addr::new(DEFAULT_DATA_BASE),
+            data: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            symbols: Vec::new(),
+            entry_index: 0,
+        }
+    }
+
+    /// Overrides the code segment base address (must be word aligned).
+    pub fn code_base(&mut self, base: Addr) -> &mut Self {
+        assert!(base.is_word_aligned());
+        self.code_base = base;
+        self
+    }
+
+    /// Overrides the data segment base address (must be word aligned).
+    pub fn data_base(&mut self, base: Addr) -> &mut Self {
+        assert!(base.is_word_aligned());
+        assert!(self.data.is_empty(), "set the data base before allocating data");
+        self.data_base = base;
+        self
+    }
+
+    /// Current code position as an instruction-index label, already bound.
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current code position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.code.len() as u32);
+    }
+
+    /// Marks the current code position as the program entry point.
+    pub fn entry_here(&mut self) {
+        self.entry_index = self.code.len() as u32;
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    // ---- data segment -----------------------------------------------------
+
+    /// Allocates one initialized data word and returns its address.
+    pub fn alloc_data_word(&mut self, value: u32) -> Addr {
+        let addr = Addr::new(self.data_base.raw() + self.data.len() as u64 * 4);
+        self.data.push(Word::new(value));
+        addr
+    }
+
+    /// Allocates `count` words initialized from `init` and returns the base address.
+    pub fn alloc_data_array(&mut self, count: usize, mut init: impl FnMut(usize) -> u32) -> Addr {
+        let addr = Addr::new(self.data_base.raw() + self.data.len() as u64 * 4);
+        for i in 0..count {
+            self.data.push(Word::new(init(i)));
+        }
+        addr
+    }
+
+    /// Allocates `count` zeroed words and returns the base address.
+    pub fn alloc_zeroed(&mut self, count: usize) -> Addr {
+        self.alloc_data_array(count, |_| 0)
+    }
+
+    /// Records a named address in the program's symbol table.
+    pub fn symbol(&mut self, name: impl Into<String>, addr: Addr) {
+        self.symbols.push((name.into(), addr));
+    }
+
+    // ---- instruction emitters ----------------------------------------------
+
+    /// Emits a raw instruction and returns its index.
+    pub fn emit(&mut self, instr: Instr) -> u32 {
+        self.code.push(instr);
+        (self.code.len() - 1) as u32
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> u32 {
+        self.emit(Instr::Nop)
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> u32 {
+        self.emit(Instr::Halt)
+    }
+
+    /// Emits `li rd, imm`.
+    pub fn li(&mut self, rd: Reg, imm: u32) -> u32 {
+        self.emit(Instr::Li { rd, imm })
+    }
+
+    /// Emits `li rd, addr` for an address value.
+    pub fn li_addr(&mut self, rd: Reg, addr: Addr) -> u32 {
+        self.li(rd, addr.raw() as u32)
+    }
+
+    /// Emits a three-register ALU operation.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        self.emit(Instr::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// Emits a register-immediate ALU operation.
+    pub fn alu_imm(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i32) -> u32 {
+        self.emit(Instr::AluImm { op, rd, rs1, imm })
+    }
+
+    /// Emits `lw rd, offset(base)`.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i32) -> u32 {
+        self.emit(Instr::Load { rd, base, offset })
+    }
+
+    /// Emits `sw rs, offset(base)`.
+    pub fn store(&mut self, rs: Reg, base: Reg, offset: i32) -> u32 {
+        self.emit(Instr::Store { rs, base, offset })
+    }
+
+    /// Emits `amoswap rd, rs, (base)`.
+    pub fn atomic_swap(&mut self, rd: Reg, rs: Reg, base: Reg) -> u32 {
+        self.emit(Instr::AtomicSwap { rd, rs, base })
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: Label) -> u32 {
+        let idx = self.emit(Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: 0,
+        });
+        self.fixups.push((idx as usize, label));
+        idx
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> u32 {
+        let idx = self.emit(Instr::Jump { target: 0 });
+        self.fixups.push((idx as usize, label));
+        idx
+    }
+
+    /// Emits `jal rd, label`.
+    pub fn jump_and_link(&mut self, rd: Reg, label: Label) -> u32 {
+        let idx = self.emit(Instr::JumpAndLink { rd, target: 0 });
+        self.fixups.push((idx as usize, label));
+        idx
+    }
+
+    /// Emits `jr rs`.
+    pub fn jump_reg(&mut self, rs: Reg) -> u32 {
+        self.emit(Instr::JumpReg { rs })
+    }
+
+    /// Emits `syscall code`.
+    pub fn syscall(&mut self, code: SyscallCode) -> u32 {
+        self.emit(Instr::Syscall { code })
+    }
+
+    // ---- finishing ----------------------------------------------------------
+
+    /// Resolves all labels and produces the program image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound or the program is empty.
+    pub fn build(mut self) -> Program {
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label.0].unwrap_or_else(|| panic!("label {label:?} never bound"));
+            match &mut self.code[idx] {
+                Instr::Branch { target: t, .. }
+                | Instr::Jump { target: t }
+                | Instr::JumpAndLink { target: t, .. } => *t = target,
+                other => unreachable!("fixup on non-control instruction {other:?}"),
+            }
+        }
+        let data = if self.data.is_empty() {
+            vec![]
+        } else {
+            vec![DataSegment {
+                base: self.data_base,
+                words: self.data,
+            }]
+        };
+        let mut program = Program::new(self.name, self.code, self.code_base, self.entry_index, data);
+        for (name, addr) in self.symbols {
+            program.add_symbol(name, addr);
+        }
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_patch_forward_and_backward() {
+        let mut b = ProgramBuilder::new("labels");
+        let end = b.new_label();
+        let top = b.here();
+        b.alu_imm(AluOp::Add, Reg::R3, Reg::R3, 1);
+        b.branch(BranchCond::Ge, Reg::R3, Reg::R4, end);
+        b.jump(top);
+        b.bind(end);
+        b.halt();
+        let p = b.build();
+        match p.code()[1] {
+            Instr::Branch { target, .. } => assert_eq!(target, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.code()[2] {
+            Instr::Jump { target } => assert_eq!(target, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new("bad");
+        let l = b.new_label();
+        b.jump(l);
+        b.halt();
+        let _ = b.build();
+    }
+
+    #[test]
+    fn data_allocation_is_contiguous() {
+        let mut b = ProgramBuilder::new("data");
+        let a = b.alloc_data_word(1);
+        let arr = b.alloc_data_array(3, |i| i as u32);
+        let z = b.alloc_zeroed(2);
+        b.halt();
+        assert_eq!(arr.raw(), a.raw() + 4);
+        assert_eq!(z.raw(), arr.raw() + 12);
+        let p = b.build();
+        assert_eq!(p.data()[0].words.len(), 6);
+        assert_eq!(p.data()[0].words[2].get(), 1);
+    }
+
+    #[test]
+    fn entry_here_sets_entry() {
+        let mut b = ProgramBuilder::new("entry");
+        b.nop();
+        b.entry_here();
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.entry_index(), 1);
+    }
+
+    #[test]
+    fn symbols_are_exported() {
+        let mut b = ProgramBuilder::new("sym");
+        let a = b.alloc_data_word(0);
+        b.symbol("thing", a);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.symbol("thing"), Some(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("dup");
+        let l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+    }
+}

@@ -1,0 +1,291 @@
+//! Fixed-width binary encoding of instructions.
+//!
+//! Each instruction encodes to one 64-bit instruction word. The encoding
+//! exists so that programs have a concrete binary image (with stable
+//! per-instruction addresses), which is what the replayer conceptually maps
+//! into the address space before re-execution; round-tripping through it is
+//! also a convenient correctness check exercised by property tests.
+//!
+//! Layout of an instruction word (bit 0 = least significant):
+//!
+//! ```text
+//! [63:32] imm / target / syscall code (32 bits)
+//! [31:26] opcode                      (6 bits)
+//! [25:21] rd                          (5 bits)
+//! [20:16] rs1 / base                  (5 bits)
+//! [15:11] rs2 / rs                    (5 bits)
+//! [10:7]  funct (ALU op / branch cond)(4 bits)
+//! [6:0]   reserved, must be zero
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{AluOp, BranchCond, Instr, SyscallCode};
+use crate::reg::Reg;
+
+const OP_NOP: u64 = 0;
+const OP_HALT: u64 = 1;
+const OP_LI: u64 = 2;
+const OP_ALU: u64 = 3;
+const OP_ALU_IMM: u64 = 4;
+const OP_LOAD: u64 = 5;
+const OP_STORE: u64 = 6;
+const OP_AMOSWAP: u64 = 7;
+const OP_BRANCH: u64 = 8;
+const OP_JUMP: u64 = 9;
+const OP_JAL: u64 = 10;
+const OP_JR: u64 = 11;
+const OP_SYSCALL: u64 = 12;
+
+/// Error produced when decoding a malformed instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field does not name an instruction.
+    BadOpcode(u8),
+    /// The funct field does not name an ALU operation or branch condition.
+    BadFunct(u8),
+    /// Reserved bits were not zero.
+    ReservedBits,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            DecodeError::BadFunct(funct) => write!(f, "unknown funct {funct}"),
+            DecodeError::ReservedBits => f.write_str("reserved bits set in instruction word"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+fn alu_funct(op: AluOp) -> u64 {
+    AluOp::ALL.iter().position(|o| *o == op).expect("op in ALL") as u64
+}
+
+fn branch_funct(cond: BranchCond) -> u64 {
+    BranchCond::ALL
+        .iter()
+        .position(|c| *c == cond)
+        .expect("cond in ALL") as u64
+}
+
+fn pack(opcode: u64, rd: Reg, rs1: Reg, rs2: Reg, funct: u64, imm: u32) -> u64 {
+    ((imm as u64) << 32)
+        | (opcode << 26)
+        | ((rd.index() as u64) << 21)
+        | ((rs1.index() as u64) << 16)
+        | ((rs2.index() as u64) << 11)
+        | (funct << 7)
+}
+
+/// Encodes one instruction to its 64-bit instruction word.
+pub fn encode(instr: Instr) -> u64 {
+    let z = Reg::R0;
+    match instr {
+        Instr::Nop => pack(OP_NOP, z, z, z, 0, 0),
+        Instr::Halt => pack(OP_HALT, z, z, z, 0, 0),
+        Instr::Li { rd, imm } => pack(OP_LI, rd, z, z, 0, imm),
+        Instr::Alu { op, rd, rs1, rs2 } => pack(OP_ALU, rd, rs1, rs2, alu_funct(op), 0),
+        Instr::AluImm { op, rd, rs1, imm } => pack(OP_ALU_IMM, rd, rs1, z, alu_funct(op), imm as u32),
+        Instr::Load { rd, base, offset } => pack(OP_LOAD, rd, base, z, 0, offset as u32),
+        Instr::Store { rs, base, offset } => pack(OP_STORE, z, base, rs, 0, offset as u32),
+        Instr::AtomicSwap { rd, rs, base } => pack(OP_AMOSWAP, rd, base, rs, 0, 0),
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => pack(OP_BRANCH, z, rs1, rs2, branch_funct(cond), target),
+        Instr::Jump { target } => pack(OP_JUMP, z, z, z, 0, target),
+        Instr::JumpAndLink { rd, target } => pack(OP_JAL, rd, z, z, 0, target),
+        Instr::JumpReg { rs } => pack(OP_JR, z, rs, z, 0, 0),
+        Instr::Syscall { code } => pack(OP_SYSCALL, z, z, z, 0, code.code() as u32),
+    }
+}
+
+/// Decodes a 64-bit instruction word.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the opcode or funct field is unknown or
+/// reserved bits are set.
+pub fn decode(word: u64) -> Result<Instr, DecodeError> {
+    if word & 0x7f != 0 {
+        return Err(DecodeError::ReservedBits);
+    }
+    let imm = (word >> 32) as u32;
+    let opcode = (word >> 26) & 0x3f;
+    let rd = Reg::from_index(((word >> 21) & 0x1f) as usize).expect("5-bit register field");
+    let rs1 = Reg::from_index(((word >> 16) & 0x1f) as usize).expect("5-bit register field");
+    let rs2 = Reg::from_index(((word >> 11) & 0x1f) as usize).expect("5-bit register field");
+    let funct = ((word >> 7) & 0xf) as usize;
+
+    let alu_op = |funct: usize| {
+        AluOp::ALL
+            .get(funct)
+            .copied()
+            .ok_or(DecodeError::BadFunct(funct as u8))
+    };
+    let branch_cond = |funct: usize| {
+        BranchCond::ALL
+            .get(funct)
+            .copied()
+            .ok_or(DecodeError::BadFunct(funct as u8))
+    };
+
+    Ok(match opcode {
+        OP_NOP => Instr::Nop,
+        OP_HALT => Instr::Halt,
+        OP_LI => Instr::Li { rd, imm },
+        OP_ALU => Instr::Alu {
+            op: alu_op(funct)?,
+            rd,
+            rs1,
+            rs2,
+        },
+        OP_ALU_IMM => Instr::AluImm {
+            op: alu_op(funct)?,
+            rd,
+            rs1,
+            imm: imm as i32,
+        },
+        OP_LOAD => Instr::Load {
+            rd,
+            base: rs1,
+            offset: imm as i32,
+        },
+        OP_STORE => Instr::Store {
+            rs: rs2,
+            base: rs1,
+            offset: imm as i32,
+        },
+        OP_AMOSWAP => Instr::AtomicSwap {
+            rd,
+            rs: rs2,
+            base: rs1,
+        },
+        OP_BRANCH => Instr::Branch {
+            cond: branch_cond(funct)?,
+            rs1,
+            rs2,
+            target: imm,
+        },
+        OP_JUMP => Instr::Jump { target: imm },
+        OP_JAL => Instr::JumpAndLink { rd, target: imm },
+        OP_JR => Instr::JumpReg { rs: rs1 },
+        OP_SYSCALL => Instr::Syscall {
+            code: SyscallCode::from_code(imm as u16),
+        },
+        other => return Err(DecodeError::BadOpcode(other as u8)),
+    })
+}
+
+/// Encodes a whole code segment.
+pub fn encode_program(code: &[Instr]) -> Vec<u64> {
+    code.iter().copied().map(encode).collect()
+}
+
+/// Decodes a whole code segment.
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] encountered.
+pub fn decode_program(words: &[u64]) -> Result<Vec<Instr>, DecodeError> {
+    words.iter().copied().map(decode).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Instr> {
+        vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Li {
+                rd: Reg::R7,
+                imm: 0xdead_beef,
+            },
+            Instr::Alu {
+                op: AluOp::Xor,
+                rd: Reg::R3,
+                rs1: Reg::R4,
+                rs2: Reg::R5,
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::R3,
+                rs1: Reg::R3,
+                imm: -12,
+            },
+            Instr::Load {
+                rd: Reg::R9,
+                base: Reg::R10,
+                offset: -64,
+            },
+            Instr::Store {
+                rs: Reg::R11,
+                base: Reg::R12,
+                offset: 128,
+            },
+            Instr::AtomicSwap {
+                rd: Reg::R13,
+                rs: Reg::R14,
+                base: Reg::R15,
+            },
+            Instr::Branch {
+                cond: BranchCond::Geu,
+                rs1: Reg::R16,
+                rs2: Reg::R17,
+                target: 1234,
+            },
+            Instr::Jump { target: 9 },
+            Instr::JumpAndLink {
+                rd: Reg::R1,
+                target: 55,
+            },
+            Instr::JumpReg { rs: Reg::R1 },
+            Instr::Syscall {
+                code: SyscallCode::ReadInput,
+            },
+            Instr::Syscall {
+                code: SyscallCode::Other(512),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_form() {
+        for instr in samples() {
+            let word = encode(instr);
+            assert_eq!(decode(word), Ok(instr), "instr = {instr}");
+        }
+    }
+
+    #[test]
+    fn program_round_trip() {
+        let code = samples();
+        let words = encode_program(&code);
+        assert_eq!(decode_program(&words).unwrap(), code);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode(0x1), Err(DecodeError::ReservedBits));
+        // opcode 63 is unused
+        let word = 63u64 << 26;
+        assert_eq!(decode(word), Err(DecodeError::BadOpcode(63)));
+        // ALU with funct 15 is unused
+        let word = (OP_ALU << 26) | (15 << 7);
+        assert_eq!(decode(word), Err(DecodeError::BadFunct(15)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(DecodeError::BadOpcode(9).to_string(), "unknown opcode 9");
+        assert!(DecodeError::ReservedBits.to_string().contains("reserved"));
+    }
+}

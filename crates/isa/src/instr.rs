@@ -1,0 +1,403 @@
+//! Instruction definitions.
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// Arithmetic / logic operations for [`Instr::Alu`] and [`Instr::AluImm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division; dividing by zero raises an arithmetic fault.
+    Div,
+    /// Signed remainder; dividing by zero raises an arithmetic fault.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 32).
+    Shl,
+    /// Logical shift right (shift amount taken modulo 32).
+    Shr,
+    /// Arithmetic shift right (shift amount taken modulo 32).
+    Sra,
+    /// Set-if-less-than, signed (result is 0 or 1).
+    Slt,
+    /// Set-if-less-than, unsigned (result is 0 or 1).
+    Sltu,
+}
+
+impl AluOp {
+    /// All operations, used by the encoder and by property tests.
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+    ];
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch conditions for [`Instr::Branch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Taken if `rs1 == rs2`.
+    Eq,
+    /// Taken if `rs1 != rs2`.
+    Ne,
+    /// Taken if `rs1 < rs2` (signed).
+    Lt,
+    /// Taken if `rs1 >= rs2` (signed).
+    Ge,
+    /// Taken if `rs1 < rs2` (unsigned).
+    Ltu,
+    /// Taken if `rs1 >= rs2` (unsigned).
+    Geu,
+}
+
+impl BranchCond {
+    /// All conditions, used by the encoder and by property tests.
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+
+    /// Evaluates the condition on two register values.
+    pub fn eval(self, rs1: u32, rs2: u32) -> bool {
+        match self {
+            BranchCond::Eq => rs1 == rs2,
+            BranchCond::Ne => rs1 != rs2,
+            BranchCond::Lt => (rs1 as i32) < (rs2 as i32),
+            BranchCond::Ge => (rs1 as i32) >= (rs2 as i32),
+            BranchCond::Ltu => rs1 < rs2,
+            BranchCond::Geu => rs1 >= rs2,
+        }
+    }
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Well-known system call codes used by the OS-lite layer.
+///
+/// The recorder never interprets these; they matter only to the simulator's
+/// kernel, which services them outside the recorded application context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyscallCode {
+    /// Terminate the calling thread; `r3` carries the exit status.
+    Exit,
+    /// Read external input into memory: `r3` = buffer address, `r4` = word
+    /// count. The kernel (or a DMA transfer) fills the buffer.
+    ReadInput,
+    /// Write output from memory: `r3` = buffer address, `r4` = word count.
+    WriteOutput,
+    /// Voluntarily yield the core to another runnable thread.
+    Yield,
+    /// Any other code, passed through to the kernel uninterpreted.
+    Other(u16),
+}
+
+impl SyscallCode {
+    /// Numeric code used in the instruction encoding.
+    pub fn code(self) -> u16 {
+        match self {
+            SyscallCode::Exit => 0,
+            SyscallCode::ReadInput => 1,
+            SyscallCode::WriteOutput => 2,
+            SyscallCode::Yield => 3,
+            SyscallCode::Other(c) => c,
+        }
+    }
+
+    /// The syscall with the given numeric code.
+    pub fn from_code(code: u16) -> SyscallCode {
+        match code {
+            0 => SyscallCode::Exit,
+            1 => SyscallCode::ReadInput,
+            2 => SyscallCode::WriteOutput,
+            3 => SyscallCode::Yield,
+            c => SyscallCode::Other(c),
+        }
+    }
+}
+
+impl fmt::Display for SyscallCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyscallCode::Exit => f.write_str("exit"),
+            SyscallCode::ReadInput => f.write_str("read_input"),
+            SyscallCode::WriteOutput => f.write_str("write_output"),
+            SyscallCode::Yield => f.write_str("yield"),
+            SyscallCode::Other(c) => write!(f, "sys{c}"),
+        }
+    }
+}
+
+/// One instruction of the simulated ISA.
+///
+/// Branch and jump targets are absolute *instruction indices* into the
+/// program's code segment; the program counter exposed to the recorder and
+/// the logs is the corresponding byte address (`code_base + 4 * index`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Does nothing.
+    Nop,
+    /// Stops the thread normally.
+    Halt,
+    /// `rd = imm` (full 32-bit immediate).
+    Li {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: u32,
+    },
+    /// `rd = op(rs1, rs2)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
+    /// `rd = op(rs1, imm)`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Immediate operand (sign-extended).
+        imm: i32,
+    },
+    /// `rd = mem[rs(base) + offset]` (32-bit word load).
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base register.
+        offset: i32,
+    },
+    /// `mem[rs(base) + offset] = rs` (32-bit word store).
+    Store {
+        /// Source register holding the value to store.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base register.
+        offset: i32,
+    },
+    /// Atomically `rd = mem[base]; mem[base] = rs` (used to build locks).
+    AtomicSwap {
+        /// Destination register receiving the old memory value.
+        rd: Reg,
+        /// Source register with the new value.
+        rs: Reg,
+        /// Base address register (offset 0).
+        base: Reg,
+    },
+    /// Conditional branch to instruction index `target`.
+    Branch {
+        /// Condition evaluated on `rs1`, `rs2`.
+        cond: BranchCond,
+        /// First operand register.
+        rs1: Reg,
+        /// Second operand register.
+        rs2: Reg,
+        /// Absolute instruction index of the branch target.
+        target: u32,
+    },
+    /// Unconditional jump to instruction index `target`.
+    Jump {
+        /// Absolute instruction index of the jump target.
+        target: u32,
+    },
+    /// Jump to `target`, leaving the return byte address in `rd`.
+    JumpAndLink {
+        /// Register receiving the return address.
+        rd: Reg,
+        /// Absolute instruction index of the call target.
+        target: u32,
+    },
+    /// Indirect jump to the byte address held in `rs`.
+    JumpReg {
+        /// Register holding the target byte address.
+        rs: Reg,
+    },
+    /// Synchronous trap into the kernel.
+    Syscall {
+        /// Which service is requested.
+        code: SyscallCode,
+    },
+}
+
+impl Instr {
+    /// Whether this instruction reads data memory (loads and atomic swaps).
+    pub fn is_load(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::AtomicSwap { .. })
+    }
+
+    /// Whether this instruction writes data memory (stores and atomic swaps).
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instr::Store { .. } | Instr::AtomicSwap { .. })
+    }
+
+    /// Whether this instruction may redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. }
+                | Instr::Jump { .. }
+                | Instr::JumpAndLink { .. }
+                | Instr::JumpReg { .. }
+                | Instr::Halt
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Nop => f.write_str("nop"),
+            Instr::Halt => f.write_str("halt"),
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm:#x}"),
+            Instr::Alu { op, rd, rs1, rs2 } => write!(f, "{op} {rd}, {rs1}, {rs2}"),
+            Instr::AluImm { op, rd, rs1, imm } => write!(f, "{op}i {rd}, {rs1}, {imm}"),
+            Instr::Load { rd, base, offset } => write!(f, "lw {rd}, {offset}({base})"),
+            Instr::Store { rs, base, offset } => write!(f, "sw {rs}, {offset}({base})"),
+            Instr::AtomicSwap { rd, rs, base } => write!(f, "amoswap {rd}, {rs}, ({base})"),
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => write!(f, "{cond} {rs1}, {rs2}, @{target}"),
+            Instr::Jump { target } => write!(f, "j @{target}"),
+            Instr::JumpAndLink { rd, target } => write!(f, "jal {rd}, @{target}"),
+            Instr::JumpReg { rs } => write!(f, "jr {rs}"),
+            Instr::Syscall { code } => write!(f, "syscall {code}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_condition_semantics() {
+        assert!(BranchCond::Eq.eval(3, 3));
+        assert!(!BranchCond::Eq.eval(3, 4));
+        assert!(BranchCond::Ne.eval(3, 4));
+        assert!(BranchCond::Lt.eval((-1i32) as u32, 0));
+        assert!(!BranchCond::Ltu.eval((-1i32) as u32, 0));
+        assert!(BranchCond::Ge.eval(0, (-1i32) as u32));
+        assert!(BranchCond::Geu.eval((-1i32) as u32, 0));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Instr::Load {
+            rd: Reg::R3,
+            base: Reg::R4,
+            offset: 0
+        }
+        .is_load());
+        assert!(Instr::AtomicSwap {
+            rd: Reg::R3,
+            rs: Reg::R4,
+            base: Reg::R5
+        }
+        .is_load());
+        assert!(Instr::AtomicSwap {
+            rd: Reg::R3,
+            rs: Reg::R4,
+            base: Reg::R5
+        }
+        .is_store());
+        assert!(!Instr::Nop.is_load());
+        assert!(Instr::Halt.is_control());
+        assert!(Instr::Jump { target: 3 }.is_control());
+        assert!(!Instr::Li { rd: Reg::R3, imm: 0 }.is_control());
+    }
+
+    #[test]
+    fn syscall_codes_round_trip() {
+        for sc in [
+            SyscallCode::Exit,
+            SyscallCode::ReadInput,
+            SyscallCode::WriteOutput,
+            SyscallCode::Yield,
+            SyscallCode::Other(99),
+        ] {
+            assert_eq!(SyscallCode::from_code(sc.code()), sc);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Instr::Load {
+            rd: Reg::R5,
+            base: Reg::R6,
+            offset: -8,
+        };
+        assert_eq!(i.to_string(), "lw r5, -8(r6)");
+        assert_eq!(Instr::Syscall { code: SyscallCode::Exit }.to_string(), "syscall exit");
+    }
+}

@@ -1,0 +1,45 @@
+//! The simulated machine's instruction set.
+//!
+//! The paper evaluates BugNet on x86 binaries instrumented with Pin; the
+//! recording mechanism itself is ISA-agnostic (it only needs the committed
+//! instruction stream, the register file and the load/store values), so this
+//! reproduction defines a compact 32-bit RISC-like ISA that the rest of the
+//! workspace simulates, records and replays.
+//!
+//! * [`Instr`] — the instruction set (ALU, loads/stores, branches, jumps,
+//!   syscalls, an atomic swap for locks).
+//! * [`Reg`] — one of 32 general-purpose registers; `r0` is hard-wired to zero.
+//! * [`Program`] — code, data segments and an entry point, positioned at
+//!   explicit virtual addresses (the replayer must map code at the original
+//!   addresses, §5.3 of the paper).
+//! * [`ProgramBuilder`] — a tiny assembler with labels used by the synthetic
+//!   workload generators.
+//! * [`encode`] — a fixed-width binary encoding used to give programs a
+//!   faithful "binary image" with per-instruction addresses.
+//!
+//! # Examples
+//!
+//! ```
+//! use bugnet_isa::{ProgramBuilder, Reg, AluOp};
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! let counter = b.alloc_data_word(0);
+//! b.li(Reg::R3, counter.raw() as u32);
+//! b.load(Reg::R4, Reg::R3, 0);
+//! b.alu_imm(AluOp::Add, Reg::R4, Reg::R4, 1);
+//! b.store(Reg::R4, Reg::R3, 0);
+//! b.halt();
+//! let program = b.build();
+//! assert_eq!(program.code().len(), 5);
+//! ```
+
+pub mod builder;
+pub mod encode;
+pub mod instr;
+pub mod program;
+pub mod reg;
+
+pub use builder::{Label, ProgramBuilder};
+pub use instr::{AluOp, BranchCond, Instr, SyscallCode};
+pub use program::{DataSegment, Program};
+pub use reg::{Reg, NUM_REGS};

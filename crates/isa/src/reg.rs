@@ -1,0 +1,156 @@
+//! General-purpose register names.
+
+use std::fmt;
+
+/// Number of architectural general-purpose registers.
+pub const NUM_REGS: usize = 32;
+
+/// One of the 32 general-purpose registers.
+///
+/// `R0` is hard-wired to zero (writes are discarded), `R1` is the link
+/// register used by [`crate::Instr::JumpAndLink`] by convention and `R2` is
+/// the conventional stack pointer. The remaining registers are general.
+///
+/// # Examples
+///
+/// ```
+/// use bugnet_isa::Reg;
+/// assert_eq!(Reg::R5.index(), 5);
+/// assert_eq!(Reg::from_index(5), Some(Reg::R5));
+/// assert_eq!(Reg::from_index(99), None);
+/// assert_eq!(Reg::R0.to_string(), "r0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0 = 0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    R16,
+    R17,
+    R18,
+    R19,
+    R20,
+    R21,
+    R22,
+    R23,
+    R24,
+    R25,
+    R26,
+    R27,
+    R28,
+    R29,
+    R30,
+    R31,
+}
+
+impl Reg {
+    /// The hard-wired zero register.
+    pub const ZERO: Reg = Reg::R0;
+    /// Conventional link register.
+    pub const LINK: Reg = Reg::R1;
+    /// Conventional stack pointer.
+    pub const SP: Reg = Reg::R2;
+
+    /// Register number in `0..32`.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The register with the given number, if it exists.
+    pub const fn from_index(index: usize) -> Option<Reg> {
+        if index < NUM_REGS {
+            // SAFETY-free table lookup via match-on-constant is verbose; use a
+            // small lookup array instead.
+            Some(ALL_REGS[index])
+        } else {
+            None
+        }
+    }
+
+    /// All registers in ascending order.
+    pub const fn all() -> &'static [Reg; NUM_REGS] {
+        &ALL_REGS
+    }
+}
+
+const ALL_REGS: [Reg; NUM_REGS] = [
+    Reg::R0,
+    Reg::R1,
+    Reg::R2,
+    Reg::R3,
+    Reg::R4,
+    Reg::R5,
+    Reg::R6,
+    Reg::R7,
+    Reg::R8,
+    Reg::R9,
+    Reg::R10,
+    Reg::R11,
+    Reg::R12,
+    Reg::R13,
+    Reg::R14,
+    Reg::R15,
+    Reg::R16,
+    Reg::R17,
+    Reg::R18,
+    Reg::R19,
+    Reg::R20,
+    Reg::R21,
+    Reg::R22,
+    Reg::R23,
+    Reg::R24,
+    Reg::R25,
+    Reg::R26,
+    Reg::R27,
+    Reg::R28,
+    Reg::R29,
+    Reg::R30,
+    Reg::R31,
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for (i, r) in Reg::all().iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), Some(*r));
+        }
+        assert_eq!(Reg::from_index(NUM_REGS), None);
+    }
+
+    #[test]
+    fn conventions() {
+        assert_eq!(Reg::ZERO, Reg::R0);
+        assert_eq!(Reg::LINK, Reg::R1);
+        assert_eq!(Reg::SP, Reg::R2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::R17.to_string(), "r17");
+    }
+}

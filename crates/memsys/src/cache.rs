@@ -1,0 +1,442 @@
+//! Private L1/L2 caches with per-word first-load bits.
+//!
+//! The caches are *metadata-only*: they track which blocks are resident and
+//! the first-load bit of every cached word, which is all BugNet's recording
+//! hardware consults. Data values are always read from the functional
+//! [`crate::SparseMemory`], so the cache never needs to model data movement to
+//! be correct; it only has to model *when bits are lost* (evictions and
+//! invalidations), because lost bits cause re-logging, which is exactly the
+//! effect the paper's log-size results capture.
+
+use bugnet_types::{Addr, CacheConfig, CacheLevelConfig};
+
+/// Whether a memory access reads or writes the word.
+///
+/// An atomic read-modify-write is treated as a [`AccessKind::Load`] by the
+/// recorder (the old value must be logged if it is the first access) and the
+/// bit is set either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// The access reads the word (loads, and the read half of atomics).
+    Load,
+    /// The access writes the word without reading it.
+    Store,
+}
+
+/// Outcome of consulting the first-load bit for an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FirstAccess {
+    /// The access is the first load to this word in the current checkpoint
+    /// interval: its value must be appended to the First-Load Log.
+    MustLog,
+    /// The word was already covered (previously loaded and logged, or first
+    /// touched by a store whose value replay regenerates): nothing to log.
+    AlreadyCovered,
+}
+
+/// Aggregate cache statistics, used by reports and the overhead model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit in the L1.
+    pub l1_hits: u64,
+    /// Accesses that missed in the L1.
+    pub l1_misses: u64,
+    /// L1 misses that hit in the L2.
+    pub l2_hits: u64,
+    /// Accesses that missed in both levels (main-memory accesses).
+    pub l2_misses: u64,
+    /// Blocks evicted from the L2 (their first-load bits are lost).
+    pub l2_evictions: u64,
+    /// Blocks invalidated by coherence or DMA activity.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.l1_hits + self.l1_misses
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BlockEntry {
+    valid: bool,
+    tag: u64,
+    first_load: Vec<bool>,
+    lru: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheLevel {
+    cfg: CacheLevelConfig,
+    sets: Vec<Vec<BlockEntry>>,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Evicted {
+    block_addr: Addr,
+    first_load: Vec<bool>,
+}
+
+impl CacheLevel {
+    fn new(cfg: CacheLevelConfig) -> Self {
+        let words = cfg.words_per_block();
+        let sets = (0..cfg.num_sets())
+            .map(|_| {
+                (0..cfg.associativity)
+                    .map(|_| BlockEntry {
+                        valid: false,
+                        tag: 0,
+                        first_load: vec![false; words],
+                        lru: 0,
+                    })
+                    .collect()
+            })
+            .collect();
+        CacheLevel { cfg, sets, tick: 0 }
+    }
+
+    fn set_index(&self, block_addr: Addr) -> usize {
+        ((block_addr.raw() / self.cfg.block_bytes) % self.cfg.num_sets()) as usize
+    }
+
+    fn tag(&self, block_addr: Addr) -> u64 {
+        block_addr.raw() / self.cfg.block_bytes / self.cfg.num_sets()
+    }
+
+    fn lookup_mut(&mut self, block_addr: Addr) -> Option<&mut BlockEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(block_addr);
+        let tag = self.tag(block_addr);
+        self.sets[set]
+            .iter_mut()
+            .find(|e| e.valid && e.tag == tag)
+            .map(|e| {
+                e.lru = tick;
+                e
+            })
+    }
+
+    fn contains(&self, block_addr: Addr) -> bool {
+        let set = self.set_index(block_addr);
+        let tag = self.tag(block_addr);
+        self.sets[set].iter().any(|e| e.valid && e.tag == tag)
+    }
+
+    /// Inserts a block (with the given bits), evicting the LRU way if needed.
+    fn insert(&mut self, block_addr: Addr, first_load: Vec<bool>) -> Option<Evicted> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_index(block_addr);
+        let tag = self.tag(block_addr);
+        let block_bytes = self.cfg.block_bytes;
+        let num_sets = self.cfg.num_sets();
+        let set = &mut self.sets[set_idx];
+
+        // Reuse an invalid way if one exists.
+        if let Some(way) = set.iter_mut().find(|e| !e.valid) {
+            way.valid = true;
+            way.tag = tag;
+            way.first_load = first_load;
+            way.lru = tick;
+            return None;
+        }
+        // Otherwise evict the least recently used way.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| e.lru)
+            .expect("associativity > 0");
+        let victim_addr = Addr::new((victim.tag * num_sets + set_idx as u64) * block_bytes);
+        let evicted = Evicted {
+            block_addr: victim_addr,
+            first_load: std::mem::replace(&mut victim.first_load, first_load),
+        };
+        victim.tag = tag;
+        victim.lru = tick;
+        victim.valid = true;
+        Some(evicted)
+    }
+
+    /// Removes a block, returning its first-load bits if it was present.
+    fn invalidate(&mut self, block_addr: Addr) -> Option<Vec<bool>> {
+        let set = self.set_index(block_addr);
+        let tag = self.tag(block_addr);
+        let words = self.cfg.words_per_block();
+        self.sets[set]
+            .iter_mut()
+            .find(|e| e.valid && e.tag == tag)
+            .map(|e| {
+                e.valid = false;
+                std::mem::replace(&mut e.first_load, vec![false; words])
+            })
+    }
+
+    fn clear_first_load_bits(&mut self) {
+        for set in &mut self.sets {
+            for entry in set {
+                entry.first_load.iter_mut().for_each(|b| *b = false);
+            }
+        }
+    }
+
+    fn resident_blocks(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|e| e.valid).count())
+            .sum()
+    }
+}
+
+/// A private two-level cache hierarchy (L1 backed by an inclusive L2) with
+/// per-word first-load bits.
+///
+/// The bit lifecycle follows the paper (§4.3):
+///
+/// * cleared for every cached word at the start of a checkpoint interval;
+/// * set by the first access (load **or** store) to a word;
+/// * copied from the L2 into the L1 when a block is filled, and written back
+///   from the L1 into the L2 when an L1 block is evicted;
+/// * lost when a block is evicted from the L2 or invalidated (coherence, DMA),
+///   which forces the next load to that word to be logged again.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: CacheLevel,
+    l2: CacheLevel,
+    stats: CacheStats,
+}
+
+impl CacheHierarchy {
+    /// Creates an empty hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two levels have different block sizes (the bit
+    /// propagation between levels assumes a common block geometry).
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert_eq!(
+            cfg.l1.block_bytes, cfg.l2.block_bytes,
+            "L1 and L2 must share a block size"
+        );
+        CacheHierarchy {
+            l1: CacheLevel::new(cfg.l1),
+            l2: CacheLevel::new(cfg.l2),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn block_bytes(&self) -> u64 {
+        self.l1.cfg.block_bytes
+    }
+
+    fn word_in_block(&self, addr: Addr) -> usize {
+        ((addr.word_aligned().raw() - addr.block_aligned(self.block_bytes()).raw()) / 4) as usize
+    }
+
+    /// Consults (and sets) the first-load bit for an access to `addr`.
+    ///
+    /// Returns [`FirstAccess::MustLog`] exactly when the access is a load and
+    /// the word's bit was not yet set.
+    pub fn touch(&mut self, addr: Addr, kind: AccessKind) -> FirstAccess {
+        let block = addr.block_aligned(self.block_bytes());
+        let word = self.word_in_block(addr);
+
+        let was_set = if let Some(entry) = self.l1.lookup_mut(block) {
+            self.stats.l1_hits += 1;
+            let was = entry.first_load[word];
+            entry.first_load[word] = true;
+            was
+        } else {
+            self.stats.l1_misses += 1;
+            // Fill from the L2 (taking over its bits) or from memory.
+            let mut bits = if let Some(entry) = self.l2.lookup_mut(block) {
+                self.stats.l2_hits += 1;
+                entry.first_load.clone()
+            } else {
+                self.stats.l2_misses += 1;
+                // Allocate in the L2 as well (inclusive hierarchy).
+                if let Some(evicted) = self.l2.insert(block, vec![false; self.l2.cfg.words_per_block()]) {
+                    self.stats.l2_evictions += 1;
+                    // Back-invalidate the L1 copy: its bits are lost with the
+                    // L2 block, per the paper.
+                    self.l1.invalidate(evicted.block_addr);
+                }
+                vec![false; self.l2.cfg.words_per_block()]
+            };
+            let was = bits[word];
+            bits[word] = true;
+            if let Some(evicted) = self.l1.insert(block, bits) {
+                // An evicted L1 block deposits its bits into the L2 copy.
+                if let Some(l2_entry) = self.l2.lookup_mut(evicted.block_addr) {
+                    l2_entry.first_load = evicted.first_load;
+                }
+            }
+            was
+        };
+
+        match (kind, was_set) {
+            (AccessKind::Load, false) => FirstAccess::MustLog,
+            _ => FirstAccess::AlreadyCovered,
+        }
+    }
+
+    /// Clears every first-load bit (start of a new checkpoint interval).
+    pub fn clear_first_load_bits(&mut self) {
+        self.l1.clear_first_load_bits();
+        self.l2.clear_first_load_bits();
+    }
+
+    /// Invalidates the block containing `addr` in both levels (coherence
+    /// invalidation or DMA write), clearing its first-load bits.
+    ///
+    /// Returns `true` if a block was actually present.
+    pub fn invalidate_block(&mut self, addr: Addr) -> bool {
+        let block = addr.block_aligned(self.block_bytes());
+        let in_l1 = self.l1.invalidate(block).is_some();
+        let in_l2 = self.l2.invalidate(block).is_some();
+        if in_l1 || in_l2 {
+            self.stats.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the block containing `addr` is resident in either level.
+    pub fn contains_block(&self, addr: Addr) -> bool {
+        let block = addr.block_aligned(self.block_bytes());
+        self.l1.contains(block) || self.l2.contains(block)
+    }
+
+    /// Whether the first-load bit for the word containing `addr` is currently
+    /// set in the level closest to the processor that holds the block.
+    pub fn first_load_bit(&self, addr: Addr) -> bool {
+        let block = addr.block_aligned(self.block_bytes());
+        let word = self.word_in_block(addr);
+        let probe = |level: &CacheLevel| {
+            let set = level.set_index(block);
+            let tag = level.tag(block);
+            level.sets[set]
+                .iter()
+                .find(|e| e.valid && e.tag == tag)
+                .map(|e| e.first_load[word])
+        };
+        probe(&self.l1).or_else(|| probe(&self.l2)).unwrap_or(false)
+    }
+
+    /// Cache statistics accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of valid blocks in (L1, L2).
+    pub fn resident_blocks(&self) -> (usize, usize) {
+        (self.l1.resident_blocks(), self.l2.resident_blocks())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugnet_types::CacheLevelConfig;
+
+    fn tiny_config() -> CacheConfig {
+        // 2 sets x 2 ways x 64B blocks L1; 4 sets x 2 ways L2.
+        CacheConfig {
+            l1: CacheLevelConfig::new(256, 2, 64),
+            l2: CacheLevelConfig::new(512, 2, 64),
+        }
+    }
+
+    #[test]
+    fn first_load_then_covered() {
+        let mut c = CacheHierarchy::new(CacheConfig::default());
+        let a = Addr::new(0x1000);
+        assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::MustLog);
+        assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::AlreadyCovered);
+        // A different word in the same block is still a first load.
+        assert_eq!(c.touch(Addr::new(0x1004), AccessKind::Load), FirstAccess::MustLog);
+    }
+
+    #[test]
+    fn store_first_suppresses_logging() {
+        let mut c = CacheHierarchy::new(CacheConfig::default());
+        let a = Addr::new(0x2000);
+        assert_eq!(c.touch(a, AccessKind::Store), FirstAccess::AlreadyCovered);
+        // The later load is regenerated by replaying the store: no log needed.
+        assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::AlreadyCovered);
+    }
+
+    #[test]
+    fn interval_reset_clears_bits() {
+        let mut c = CacheHierarchy::new(CacheConfig::default());
+        let a = Addr::new(0x3000);
+        assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::MustLog);
+        c.clear_first_load_bits();
+        assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::MustLog);
+    }
+
+    #[test]
+    fn invalidation_forces_relog() {
+        let mut c = CacheHierarchy::new(CacheConfig::default());
+        let a = Addr::new(0x4000);
+        assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::MustLog);
+        assert!(c.invalidate_block(a));
+        assert!(!c.invalidate_block(a), "second invalidation finds nothing");
+        assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::MustLog);
+    }
+
+    #[test]
+    fn l2_eviction_loses_bits() {
+        let mut c = CacheHierarchy::new(tiny_config());
+        // The tiny L2 has 4 sets x 2 ways = 8 blocks; touching many distinct
+        // blocks mapping to the same set forces evictions.
+        let a = Addr::new(0);
+        assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::MustLog);
+        // Touch enough other blocks in the same L2 set to evict block 0.
+        // L2 set index = (addr/64) % 4, so addresses 0, 1024, 2048, ... share set 0.
+        for i in 1..8u64 {
+            c.touch(Addr::new(i * 64 * 4), AccessKind::Load);
+        }
+        assert!(c.stats().l2_evictions > 0);
+        // Block 0 was evicted somewhere along the way; re-accessing it logs again.
+        assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::MustLog);
+    }
+
+    #[test]
+    fn l1_eviction_preserves_bits_via_l2() {
+        let mut c = CacheHierarchy::new(tiny_config());
+        // L1: 2 sets x 2 ways. Blocks 0, 2 and 4 (addresses 0, 128, 256) all
+        // map to L1 set 0 but fit in the larger L2 without evictions there.
+        let a = Addr::new(0);
+        assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::MustLog);
+        c.touch(Addr::new(128), AccessKind::Load);
+        c.touch(Addr::new(256), AccessKind::Load); // evicts block 0 from L1
+        // Bits survived in the L2, so this is not logged again.
+        assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::AlreadyCovered);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = CacheHierarchy::new(CacheConfig::default());
+        c.touch(Addr::new(0x100), AccessKind::Load);
+        c.touch(Addr::new(0x100), AccessKind::Load);
+        let s = c.stats();
+        assert_eq!(s.accesses(), 2);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.l1_misses, 1);
+        assert_eq!(s.l2_misses, 1);
+    }
+
+    #[test]
+    fn first_load_bit_probe() {
+        let mut c = CacheHierarchy::new(CacheConfig::default());
+        let a = Addr::new(0x5000);
+        assert!(!c.first_load_bit(a));
+        c.touch(a, AccessKind::Store);
+        assert!(c.first_load_bit(a));
+        assert!(!c.first_load_bit(Addr::new(0x5004)));
+        assert!(c.contains_block(a));
+    }
+}

@@ -1,0 +1,273 @@
+//! Directory-based MSI cache coherence.
+//!
+//! BugNet (like FDR) piggy-backs memory-race information on the *coherence
+//! reply messages* of a directory protocol: whenever a core's memory
+//! operation forces another core to invalidate or downgrade a block, the
+//! remote core's reply carries its execution state, and the local core
+//! appends an entry to its Memory Race Log. This module implements the
+//! directory state machine and reports exactly those reply events, plus the
+//! set of remote caches that must invalidate the block (which clears their
+//! first-load bits and is what makes first-load logging correct for shared
+//! memory and DMA, §4.5-4.6 of the paper).
+//!
+//! The directory is conservative about silent evictions: a core that evicted
+//! a block may still be listed as a sharer, producing a spurious invalidation
+//! that the core's cache simply ignores. This only ever adds race-log edges,
+//! it never loses one.
+
+use std::collections::{BTreeSet, HashMap};
+
+use bugnet_types::{Addr, CoreId};
+
+use crate::cache::AccessKind;
+
+/// The kind of coherence reply a remote core sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplyKind {
+    /// The remote core acknowledged invalidating its copy (local write to a
+    /// block the remote core had cached).
+    InvalidationAck,
+    /// The remote core supplied the block and downgraded from Modified to
+    /// Shared (local read of a block the remote core had modified).
+    DataReply,
+}
+
+/// A coherence reply observed by the requesting core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoherenceReply {
+    /// Core that sent the reply.
+    pub responder: CoreId,
+    /// Why it replied.
+    pub kind: ReplyKind,
+}
+
+/// Everything the machine must do in response to one memory access.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoherenceAction {
+    /// Reply messages received by the requesting core; each one becomes a
+    /// Memory Race Log entry when BugNet (or FDR) is recording.
+    pub replies: Vec<CoherenceReply>,
+    /// Cores whose private caches must invalidate the block (clearing its
+    /// first-load bits). The requesting core is never in this list.
+    pub invalidate: Vec<CoreId>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct BlockState {
+    owner: Option<CoreId>,
+    sharers: BTreeSet<CoreId>,
+}
+
+/// Directory tracking, per block, which cores hold it and in what state.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    block_bytes: u64,
+    blocks: HashMap<u64, BlockState>,
+    messages: u64,
+}
+
+impl Directory {
+    /// Creates a directory for caches with the given block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power of two.
+    pub fn new(block_bytes: u64) -> Self {
+        assert!(block_bytes.is_power_of_two() && block_bytes >= 4);
+        Directory {
+            block_bytes,
+            blocks: HashMap::new(),
+            messages: 0,
+        }
+    }
+
+    fn block_of(&self, addr: Addr) -> u64 {
+        addr.block_aligned(self.block_bytes).raw()
+    }
+
+    /// Records a memory access by `core` and returns the coherence activity
+    /// it caused.
+    pub fn access(&mut self, core: CoreId, addr: Addr, kind: AccessKind) -> CoherenceAction {
+        let block = self.block_of(addr);
+        let state = self.blocks.entry(block).or_default();
+        let mut action = CoherenceAction::default();
+
+        match kind {
+            AccessKind::Load => {
+                if let Some(owner) = state.owner {
+                    if owner != core {
+                        // Remote core downgrades M -> S and supplies the data.
+                        action.replies.push(CoherenceReply {
+                            responder: owner,
+                            kind: ReplyKind::DataReply,
+                        });
+                        state.sharers.insert(owner);
+                        state.owner = None;
+                    }
+                }
+                if state.owner != Some(core) {
+                    state.sharers.insert(core);
+                }
+            }
+            AccessKind::Store => {
+                if state.owner == Some(core) {
+                    // Already exclusive: silent upgrade, no messages.
+                } else {
+                    if let Some(owner) = state.owner.take() {
+                        if owner != core {
+                            action.replies.push(CoherenceReply {
+                                responder: owner,
+                                kind: ReplyKind::InvalidationAck,
+                            });
+                            action.invalidate.push(owner);
+                        }
+                    }
+                    for sharer in std::mem::take(&mut state.sharers) {
+                        if sharer != core {
+                            action.replies.push(CoherenceReply {
+                                responder: sharer,
+                                kind: ReplyKind::InvalidationAck,
+                            });
+                            action.invalidate.push(sharer);
+                        }
+                    }
+                    state.owner = Some(core);
+                }
+            }
+        }
+        self.messages += action.replies.len() as u64;
+        action
+    }
+
+    /// Records a DMA write to the block containing `addr`: every core caching
+    /// it must invalidate (clearing first-load bits); the directory entry is
+    /// reset to uncached.
+    pub fn dma_write(&mut self, addr: Addr) -> Vec<CoreId> {
+        let block = self.block_of(addr);
+        match self.blocks.remove(&block) {
+            Some(state) => {
+                let mut cores: Vec<CoreId> = state.sharers.into_iter().collect();
+                if let Some(owner) = state.owner {
+                    if !cores.contains(&owner) {
+                        cores.push(owner);
+                    }
+                }
+                cores.sort();
+                cores
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Total coherence reply messages generated so far.
+    pub fn reply_messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Number of blocks with directory state.
+    pub fn tracked_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: CoreId = CoreId(0);
+    const C1: CoreId = CoreId(1);
+    const C2: CoreId = CoreId(2);
+
+    fn dir() -> Directory {
+        Directory::new(64)
+    }
+
+    #[test]
+    fn private_access_generates_no_replies() {
+        let mut d = dir();
+        assert!(d.access(C0, Addr::new(0x100), AccessKind::Load).replies.is_empty());
+        assert!(d.access(C0, Addr::new(0x100), AccessKind::Store).replies.is_empty());
+        assert!(d.access(C0, Addr::new(0x100), AccessKind::Load).replies.is_empty());
+        assert_eq!(d.reply_messages(), 0);
+    }
+
+    #[test]
+    fn remote_store_invalidates_sharers() {
+        let mut d = dir();
+        d.access(C0, Addr::new(0x100), AccessKind::Load);
+        d.access(C1, Addr::new(0x100), AccessKind::Load);
+        let action = d.access(C2, Addr::new(0x100), AccessKind::Store);
+        assert_eq!(action.replies.len(), 2);
+        assert!(action
+            .replies
+            .iter()
+            .all(|r| r.kind == ReplyKind::InvalidationAck));
+        let mut inv = action.invalidate.clone();
+        inv.sort();
+        assert_eq!(inv, vec![C0, C1]);
+    }
+
+    #[test]
+    fn remote_load_downgrades_owner() {
+        let mut d = dir();
+        d.access(C0, Addr::new(0x200), AccessKind::Store);
+        let action = d.access(C1, Addr::new(0x200), AccessKind::Load);
+        assert_eq!(
+            action.replies,
+            vec![CoherenceReply {
+                responder: C0,
+                kind: ReplyKind::DataReply
+            }]
+        );
+        // Downgrade does not invalidate the owner's copy.
+        assert!(action.invalidate.is_empty());
+        // A later store by C1 must now invalidate C0's shared copy.
+        let action = d.access(C1, Addr::new(0x200), AccessKind::Store);
+        assert_eq!(action.invalidate, vec![C0]);
+    }
+
+    #[test]
+    fn write_after_write_transfers_ownership() {
+        let mut d = dir();
+        d.access(C0, Addr::new(0x300), AccessKind::Store);
+        let action = d.access(C1, Addr::new(0x300), AccessKind::Store);
+        assert_eq!(
+            action.replies,
+            vec![CoherenceReply {
+                responder: C0,
+                kind: ReplyKind::InvalidationAck
+            }]
+        );
+        // Second store by the same new owner is silent.
+        assert!(d.access(C1, Addr::new(0x300), AccessKind::Store).replies.is_empty());
+    }
+
+    #[test]
+    fn dma_invalidates_every_cacher() {
+        let mut d = dir();
+        d.access(C0, Addr::new(0x400), AccessKind::Load);
+        d.access(C1, Addr::new(0x400), AccessKind::Load);
+        assert_eq!(d.dma_write(Addr::new(0x400)), vec![C0, C1]);
+        // Once cleared, nothing to invalidate.
+        assert!(d.dma_write(Addr::new(0x400)).is_empty());
+    }
+
+    #[test]
+    fn same_block_different_words_share_state() {
+        let mut d = dir();
+        d.access(C0, Addr::new(0x500), AccessKind::Load);
+        // 0x520 is in the same 64-byte block as 0x500.
+        let action = d.access(C1, Addr::new(0x520), AccessKind::Store);
+        assert_eq!(action.invalidate, vec![C0]);
+    }
+
+    #[test]
+    fn message_counter_accumulates() {
+        let mut d = dir();
+        d.access(C0, Addr::new(0x600), AccessKind::Store);
+        d.access(C1, Addr::new(0x600), AccessKind::Load);
+        d.access(C1, Addr::new(0x600), AccessKind::Store);
+        assert_eq!(d.reply_messages(), 2);
+        assert_eq!(d.tracked_blocks(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! The simulated memory hierarchy.
+//!
+//! BugNet's first-load optimization lives in the cache: every word in the L1
+//! and L2 caches carries a *first-load bit* that is cleared at the start of
+//! each checkpoint interval, set on the first access to the word, propagated
+//! between the levels on fills and evictions, and cleared whenever the block
+//! leaves the L2 or is invalidated by coherence traffic or DMA. This crate
+//! provides that machinery plus the substrate around it:
+//!
+//! * [`SparseMemory`] — functional word-granularity main memory.
+//! * [`CacheHierarchy`] — a private L1+L2 pair per core that tracks block
+//!   residency and per-word first-load bits (metadata only; data values come
+//!   from [`SparseMemory`], which is exact).
+//! * [`Directory`] — an MSI directory coherence protocol over the cores'
+//!   private hierarchies; its reply messages are what BugNet and FDR
+//!   piggy-back memory-race information on.
+//! * [`DmaEngine`] — external writes into memory that invalidate cached
+//!   blocks, modelling DMA transfers from I/O devices.
+//!
+//! # Examples
+//!
+//! ```
+//! use bugnet_memsys::{CacheHierarchy, AccessKind, FirstAccess};
+//! use bugnet_types::{Addr, CacheConfig};
+//!
+//! let mut caches = CacheHierarchy::new(CacheConfig::default());
+//! // First load to a word must be logged...
+//! assert_eq!(caches.touch(Addr::new(0x1000), AccessKind::Load), FirstAccess::MustLog);
+//! // ...subsequent accesses to the same word need not be.
+//! assert_eq!(caches.touch(Addr::new(0x1000), AccessKind::Load), FirstAccess::AlreadyCovered);
+//! ```
+
+pub mod cache;
+pub mod coherence;
+pub mod dma;
+pub mod memory;
+
+pub use cache::{AccessKind, CacheHierarchy, CacheStats, FirstAccess};
+pub use coherence::{CoherenceAction, CoherenceReply, Directory, ReplyKind};
+pub use dma::DmaEngine;
+pub use memory::SparseMemory;

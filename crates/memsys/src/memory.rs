@@ -1,0 +1,144 @@
+//! Functional main memory.
+
+use std::collections::HashMap;
+
+use bugnet_types::{Addr, Word};
+
+/// Word-granularity sparse main memory.
+///
+/// Unwritten locations read as zero, which matches the simulator's model of a
+/// zero-initialized address space and keeps the structure compact for the
+/// multi-gigabyte synthetic address spaces used by the workloads.
+///
+/// # Examples
+///
+/// ```
+/// use bugnet_memsys::SparseMemory;
+/// use bugnet_types::{Addr, Word};
+///
+/// let mut mem = SparseMemory::new();
+/// assert_eq!(mem.read(Addr::new(0x100)), Word::ZERO);
+/// mem.write(Addr::new(0x100), Word::new(42));
+/// assert_eq!(mem.read(Addr::new(0x100)), Word::new(42));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseMemory {
+    words: HashMap<u64, Word>,
+}
+
+impl SparseMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        SparseMemory::default()
+    }
+
+    /// Reads the word containing `addr` (the address is word-aligned first).
+    pub fn read(&self, addr: Addr) -> Word {
+        self.words
+            .get(&addr.word_index())
+            .copied()
+            .unwrap_or(Word::ZERO)
+    }
+
+    /// Writes the word containing `addr` (the address is word-aligned first).
+    pub fn write(&mut self, addr: Addr, value: Word) {
+        if value == Word::ZERO {
+            // Keep the map sparse: a zero store is indistinguishable from an
+            // untouched location for readers.
+            self.words.remove(&addr.word_index());
+        } else {
+            self.words.insert(addr.word_index(), value);
+        }
+    }
+
+    /// Copies a slice of words starting at `base`.
+    pub fn write_block(&mut self, base: Addr, values: &[Word]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write(Addr::new(base.word_aligned().raw() + i as u64 * 4), *v);
+        }
+    }
+
+    /// Reads `count` words starting at `base`.
+    pub fn read_block(&self, base: Addr, count: usize) -> Vec<Word> {
+        (0..count)
+            .map(|i| self.read(Addr::new(base.word_aligned().raw() + i as u64 * 4)))
+            .collect()
+    }
+
+    /// Number of words that currently hold a non-zero value.
+    pub fn populated_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Approximate resident footprint in bytes (non-zero words only), used by
+    /// the FDR core-dump size model.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.words.len() as u64 * 4
+    }
+
+    /// Removes all contents, returning the memory to the all-zero state.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Iterates over `(word address, value)` pairs of populated words in an
+    /// unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, Word)> + '_ {
+        self.words
+            .iter()
+            .map(|(idx, w)| (Addr::from_word_index(*idx), *w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let mem = SparseMemory::new();
+        assert_eq!(mem.read(Addr::new(0)), Word::ZERO);
+        assert_eq!(mem.read(Addr::new(0xffff_ffff_fff0)), Word::ZERO);
+        assert_eq!(mem.populated_words(), 0);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut mem = SparseMemory::new();
+        mem.write(Addr::new(0x104), Word::new(7));
+        assert_eq!(mem.read(Addr::new(0x104)), Word::new(7));
+        // Unaligned reads hit the containing word.
+        assert_eq!(mem.read(Addr::new(0x106)), Word::new(7));
+        mem.write(Addr::new(0x104), Word::ZERO);
+        assert_eq!(mem.read(Addr::new(0x104)), Word::ZERO);
+        assert_eq!(mem.populated_words(), 0);
+    }
+
+    #[test]
+    fn block_copy() {
+        let mut mem = SparseMemory::new();
+        let vals: Vec<Word> = (1..=4u32).map(Word::new).collect();
+        mem.write_block(Addr::new(0x200), &vals);
+        assert_eq!(mem.read_block(Addr::new(0x200), 4), vals);
+        assert_eq!(mem.read(Addr::new(0x20c)), Word::new(4));
+        assert_eq!(mem.footprint_bytes(), 16);
+    }
+
+    #[test]
+    fn iter_and_clear() {
+        let mut mem = SparseMemory::new();
+        mem.write(Addr::new(4), Word::new(1));
+        mem.write(Addr::new(8), Word::new(2));
+        let mut pairs: Vec<_> = mem.iter().collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                (Addr::new(4), Word::new(1)),
+                (Addr::new(8), Word::new(2))
+            ]
+        );
+        mem.clear();
+        assert_eq!(mem.populated_words(), 0);
+    }
+}

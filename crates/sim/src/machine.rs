@@ -1,0 +1,876 @@
+//! The simulated machine: cores, caches, coherence, OS-lite and recorders.
+
+use std::sync::Arc;
+
+use bugnet_core::fll::TerminationCause;
+use bugnet_core::recorder::{CheckpointLogs, LogStore, ThreadRecorder};
+use bugnet_core::stats::LogSizeReport;
+use bugnet_core::{estimate_overhead, OverheadInputs, OverheadReport};
+use bugnet_cpu::{Cpu, Fault, MemoryPort, StepEvent};
+use bugnet_fdr::{FdrConfig, FdrLogReport, FdrRecorder};
+use bugnet_isa::{Program, SyscallCode};
+use bugnet_memsys::{
+    AccessKind, CacheHierarchy, CacheStats, CoherenceAction, Directory, DmaEngine, FirstAccess,
+    SparseMemory,
+};
+use bugnet_memsys::dma::DmaTransfer;
+use bugnet_types::{
+    Addr, BugNetConfig, ByteSize, CoreId, MachineConfig, ProcessId, SplitMix64, ThreadId,
+    Timestamp, Word,
+};
+use bugnet_workloads::Workload;
+
+/// How many instructions a core runs before the scheduler rotates to the next
+/// core; this is the granularity of the sequentially-consistent interleaving.
+const INTERLEAVE_BATCH: u64 = 64;
+
+/// Builder for [`Machine`].
+#[derive(Debug, Clone, Default)]
+pub struct MachineBuilder {
+    machine: MachineConfig,
+    bugnet: Option<BugNetConfig>,
+    fdr: Option<FdrConfig>,
+    cores_explicit: bool,
+}
+
+impl MachineBuilder {
+    /// Starts from the default machine configuration with no recorders.
+    pub fn new() -> Self {
+        MachineBuilder::default()
+    }
+
+    /// Sets the machine configuration.
+    pub fn machine(mut self, cfg: MachineConfig) -> Self {
+        self.cores_explicit = self.cores_explicit || cfg.cores != MachineConfig::default().cores;
+        self.machine = cfg;
+        self
+    }
+
+    /// Sets the number of cores (keeping other machine parameters).
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.machine.cores = cores.max(1);
+        self.cores_explicit = true;
+        self
+    }
+
+    /// Attaches a BugNet recorder with the given configuration.
+    pub fn bugnet(mut self, cfg: BugNetConfig) -> Self {
+        self.bugnet = Some(cfg);
+        self
+    }
+
+    /// Attaches the FDR baseline model.
+    pub fn fdr(mut self, cfg: FdrConfig) -> Self {
+        self.fdr = Some(cfg);
+        self
+    }
+
+    /// Builds the machine and loads the workload.
+    ///
+    /// The machine gets at least as many cores as the workload has threads
+    /// unless the core count was set explicitly (in which case threads share
+    /// cores through context switches).
+    pub fn build_with_workload(self, workload: &Workload) -> Machine {
+        let mut machine_cfg = self.machine;
+        if !self.cores_explicit && machine_cfg.cores < workload.thread_count() {
+            machine_cfg.cores = workload.thread_count();
+        }
+        Machine::new(machine_cfg, self.bugnet, self.fdr, workload)
+    }
+}
+
+#[derive(Debug)]
+struct ThreadCtx {
+    id: ThreadId,
+    cpu: Option<Cpu>,
+    program: Arc<Program>,
+    watch_index: Option<u32>,
+    watch_last_commit: Option<u64>,
+    finished: bool,
+    fault: Option<(Fault, Addr)>,
+    next_timer: u64,
+    started: bool,
+    last_scheduled: u64,
+}
+
+#[derive(Debug)]
+struct CoreCtx {
+    caches: CacheHierarchy,
+    active_thread: Option<usize>,
+    quantum_used: u64,
+}
+
+/// Final state of one thread after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadOutcome {
+    /// The thread.
+    pub thread: ThreadId,
+    /// Instructions it committed.
+    pub committed: u64,
+    /// Whether it halted normally.
+    pub halted: bool,
+    /// The fault that terminated it, if any.
+    pub fault: Option<Fault>,
+    /// Program counter of the faulting instruction.
+    pub fault_pc: Option<Addr>,
+    /// Instruction count at the last commit of the watched (root-cause)
+    /// instruction, if one was configured and committed.
+    pub watch_last_commit: Option<u64>,
+}
+
+/// Result of running the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Per-thread outcomes.
+    pub threads: Vec<ThreadOutcome>,
+    /// Instructions committed across all threads.
+    total_committed: u64,
+    /// Timer interrupts delivered.
+    pub interrupts: u64,
+    /// System calls serviced.
+    pub syscalls: u64,
+    /// Context switches performed.
+    pub context_switches: u64,
+}
+
+impl RunOutcome {
+    /// Instructions committed across all threads.
+    pub fn total_committed(&self) -> u64 {
+        self.total_committed
+    }
+
+    /// The first thread that faulted, if any.
+    pub fn faulted_thread(&self) -> Option<&ThreadOutcome> {
+        self.threads.iter().find(|t| t.fault.is_some())
+    }
+
+    /// Dynamic instructions between the last commit of the watched root-cause
+    /// instruction and the crash, for the faulting thread (Table 1's window).
+    pub fn bug_window(&self) -> Option<u64> {
+        let t = self.faulted_thread()?;
+        Some(t.committed - t.watch_last_commit?)
+    }
+}
+
+/// The simulated multiprocessor with BugNet (and optionally FDR) attached.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    memory: SparseMemory,
+    directory: Directory,
+    dma: DmaEngine,
+    cores: Vec<CoreCtx>,
+    threads: Vec<ThreadCtx>,
+    bugnet_cfg: Option<BugNetConfig>,
+    recorders: Vec<ThreadRecorder>,
+    log_store: Option<LogStore>,
+    fdr: Option<FdrRecorder>,
+    clock: u64,
+    input_rng: SplitMix64,
+    interrupts: u64,
+    syscalls: u64,
+    context_switches: u64,
+    total_committed: u64,
+}
+
+impl Machine {
+    fn new(
+        cfg: MachineConfig,
+        bugnet_cfg: Option<BugNetConfig>,
+        fdr_cfg: Option<FdrConfig>,
+        workload: &Workload,
+    ) -> Self {
+        let process = ProcessId(1);
+        let mut memory = SparseMemory::new();
+        let mut threads = Vec::new();
+        let mut recorders = Vec::new();
+        for (i, spec) in workload.threads.iter().enumerate() {
+            for seg in spec.program.data() {
+                memory.write_block(seg.base, &seg.words);
+            }
+            let id = ThreadId(i as u32);
+            threads.push(ThreadCtx {
+                id,
+                cpu: Some(Cpu::new(Arc::clone(&spec.program))),
+                program: Arc::clone(&spec.program),
+                watch_index: spec.watch_index,
+                watch_last_commit: None,
+                finished: false,
+                fault: None,
+                next_timer: cfg.timer_interrupt_period.unwrap_or(u64::MAX),
+                started: false,
+                last_scheduled: 0,
+            });
+            if let Some(bn) = &bugnet_cfg {
+                recorders.push(ThreadRecorder::new(bn.clone(), process, id));
+            }
+        }
+        let cores = (0..cfg.cores)
+            .map(|_| CoreCtx {
+                caches: CacheHierarchy::new(cfg.cache),
+                active_thread: None,
+                quantum_used: 0,
+            })
+            .collect();
+        let log_store = bugnet_cfg.as_ref().map(LogStore::new);
+        Machine {
+            directory: Directory::new(cfg.cache.l1.block_bytes),
+            dma: DmaEngine::new(),
+            cores,
+            threads,
+            bugnet_cfg,
+            recorders,
+            log_store,
+            fdr: fdr_cfg.map(FdrRecorder::new),
+            clock: 0,
+            input_rng: SplitMix64::new(0xD0_5EED),
+            interrupts: 0,
+            syscalls: 0,
+            context_switches: 0,
+            total_committed: 0,
+            memory,
+            cfg,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The BugNet configuration, if a recorder is attached.
+    pub fn bugnet_config(&self) -> Option<&BugNetConfig> {
+        self.bugnet_cfg.as_ref()
+    }
+
+    /// The memory-backed log store, if a recorder is attached.
+    pub fn log_store(&self) -> Option<&LogStore> {
+        self.log_store.as_ref()
+    }
+
+    /// The program image of a thread (needed to replay its logs).
+    pub fn program_of(&self, thread: ThreadId) -> Option<Arc<Program>> {
+        self.threads
+            .iter()
+            .find(|t| t.id == thread)
+            .map(|t| Arc::clone(&t.program))
+    }
+
+    /// Main memory (read access, e.g. for footprint reporting).
+    pub fn memory(&self) -> &SparseMemory {
+        &self.memory
+    }
+
+    /// Aggregate cache statistics across all cores.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for core in &self.cores {
+            let s = core.caches.stats();
+            total.l1_hits += s.l1_hits;
+            total.l1_misses += s.l1_misses;
+            total.l2_hits += s.l2_hits;
+            total.l2_misses += s.l2_misses;
+            total.l2_evictions += s.l2_evictions;
+            total.invalidations += s.invalidations;
+        }
+        total
+    }
+
+    /// Log-size report over every retained checkpoint of every thread.
+    pub fn log_report(&self) -> LogSizeReport {
+        match &self.log_store {
+            Some(store) => {
+                let mut report = LogSizeReport::default();
+                for thread in store.threads() {
+                    report.merge(&LogSizeReport::from_logs(store.thread_logs(thread)));
+                }
+                report
+            }
+            None => LogSizeReport::default(),
+        }
+    }
+
+    /// FDR per-category log report, if the baseline model is attached.
+    pub fn fdr_report(&self) -> Option<FdrLogReport> {
+        self.fdr
+            .as_ref()
+            .map(|f| f.report(ByteSize::from_bytes(self.memory.footprint_bytes())))
+    }
+
+    /// Recording-overhead estimate for the execution so far.
+    pub fn overhead_report(&self) -> OverheadReport {
+        let report = self.log_report();
+        let buffer = self
+            .bugnet_cfg
+            .as_ref()
+            .map(|c| c.on_chip_buffer_area())
+            .unwrap_or(ByteSize::ZERO);
+        estimate_overhead(
+            &self.cfg,
+            &OverheadInputs {
+                instructions: self.total_committed.max(1),
+                log_bytes: report.total_size(),
+                buffer,
+                ipc: 1.0,
+            },
+        )
+    }
+
+    /// All retained logs of every thread (oldest first per thread).
+    pub fn dump_logs(&self) -> Vec<(ThreadId, Vec<CheckpointLogs>)> {
+        match &self.log_store {
+            Some(store) => store
+                .threads()
+                .into_iter()
+                .map(|t| (t, store.dump_thread(t)))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn recording(&self) -> bool {
+        self.bugnet_cfg.is_some()
+    }
+
+    fn next_timestamp(&mut self) -> Timestamp {
+        self.clock += 1;
+        Timestamp(self.clock)
+    }
+
+    fn begin_interval(&mut self, thread: usize, core: usize) {
+        if !self.recording() {
+            return;
+        }
+        let arch = self.threads[thread]
+            .cpu
+            .as_ref()
+            .expect("cpu present when beginning an interval")
+            .arch_state();
+        let ts = self.next_timestamp();
+        self.recorders[thread].begin_interval(arch, ts);
+        self.cores[core].caches.clear_first_load_bits();
+    }
+
+    fn end_interval(&mut self, thread: usize, cause: TerminationCause) {
+        if !self.recording() {
+            return;
+        }
+        let arch = self.threads[thread]
+            .cpu
+            .as_ref()
+            .expect("cpu present when ending an interval")
+            .arch_state();
+        if let Some(logs) = self.recorders[thread].end_interval(cause, &arch) {
+            if let Some(store) = &mut self.log_store {
+                store.push(logs);
+            }
+        }
+    }
+
+    fn restart_interval(&mut self, thread: usize, core: usize, cause: TerminationCause) {
+        self.end_interval(thread, cause);
+        if !self.threads[thread].finished {
+            self.begin_interval(thread, core);
+        }
+    }
+
+    fn map_thread(&mut self, core: usize) -> Option<usize> {
+        if let Some(t) = self.cores[core].active_thread {
+            if !self.threads[t].finished {
+                return Some(t);
+            }
+            self.cores[core].active_thread = None;
+        }
+        // Pick the least-recently-scheduled unfinished thread not mapped on
+        // any core, so a descheduled lock holder always runs again.
+        let candidate = (0..self.threads.len())
+            .filter(|&t| {
+                !self.threads[t].finished
+                    && !self.cores.iter().any(|c| c.active_thread == Some(t))
+            })
+            .min_by_key(|&t| self.threads[t].last_scheduled)?;
+        self.cores[core].active_thread = Some(candidate);
+        self.cores[core].quantum_used = 0;
+        self.clock += 1;
+        self.threads[candidate].last_scheduled = self.clock;
+        if self.threads[candidate].started {
+            self.context_switches += 1;
+        }
+        self.threads[candidate].started = true;
+        self.begin_interval(candidate, core);
+        Some(candidate)
+    }
+
+    fn unmap_thread(&mut self, core: usize) {
+        self.cores[core].active_thread = None;
+        self.cores[core].quantum_used = 0;
+    }
+
+    fn handle_syscall(&mut self, thread: usize, core: usize, code: SyscallCode) {
+        self.syscalls += 1;
+        // The interval terminates before the kernel runs; kernel effects are
+        // never recorded (paper §4.4-4.5).
+        self.end_interval(thread, TerminationCause::Syscall);
+        match code {
+            SyscallCode::Exit => {
+                if let Some(cpu) = self.threads[thread].cpu.as_mut() {
+                    cpu.halt();
+                }
+                self.threads[thread].finished = true;
+            }
+            SyscallCode::ReadInput => {
+                // r3 = buffer address, r4 = word count; the kernel services the
+                // request with a DMA transfer that invalidates cached blocks.
+                let (addr, count) = {
+                    let cpu = self.threads[thread].cpu.as_ref().expect("cpu present");
+                    let addr = cpu.regs().read(bugnet_isa::Reg::R3).get() as u64;
+                    let count = cpu.regs().read(bugnet_isa::Reg::R4).get().clamp(1, 4096) as u64;
+                    (Addr::new(addr), count)
+                };
+                if addr.raw() >= 0x1000 {
+                    let words: Vec<Word> = (0..count)
+                        .map(|_| {
+                            if self.input_rng.chance(0.5) {
+                                Word::new(self.input_rng.next_range(16) as u32)
+                            } else {
+                                Word::new(self.input_rng.next_u32())
+                            }
+                        })
+                        .collect();
+                    let transfer = DmaTransfer::new(addr, words);
+                    let block_bytes = self.cfg.cache.l1.block_bytes;
+                    let blocks = self.dma.perform(&mut self.memory, &transfer, block_bytes);
+                    for block in blocks {
+                        self.directory.dma_write(block);
+                        for c in &mut self.cores {
+                            c.caches.invalidate_block(block);
+                        }
+                    }
+                    if let Some(fdr) = &mut self.fdr {
+                        fdr.on_input(count);
+                        fdr.on_dma(count * 4);
+                    }
+                }
+            }
+            SyscallCode::WriteOutput | SyscallCode::Yield | SyscallCode::Other(_) => {}
+        }
+        if !self.threads[thread].finished {
+            self.begin_interval(thread, core);
+        } else {
+            self.unmap_thread(core);
+        }
+    }
+
+    /// Executes up to `batch` instructions of the thread mapped on `core`.
+    /// Returns the number of instructions committed.
+    fn run_batch(&mut self, core: usize, batch: u64) -> u64 {
+        let Some(thread) = self.map_thread(core) else {
+            return 0;
+        };
+        let mut committed_here = 0u64;
+        for _ in 0..batch {
+            if self.threads[thread].finished {
+                break;
+            }
+            let mut cpu = self.threads[thread]
+                .cpu
+                .take()
+                .expect("cpu present for running thread");
+            let pc_before = cpu.pc();
+            let event = {
+                let mut port = MachinePort {
+                    machine: self,
+                    thread,
+                    core,
+                };
+                cpu.step(&mut port)
+            };
+            let commits = matches!(
+                event,
+                StepEvent::Committed | StepEvent::SyscallCommitted(_) | StepEvent::Halted
+            );
+            if commits {
+                committed_here += 1;
+                self.total_committed += 1;
+                if let Some(watch) = self.threads[thread].watch_index {
+                    if self.threads[thread].program.index_of_pc(pc_before) == Some(watch) {
+                        self.threads[thread].watch_last_commit = Some(cpu.icount().0);
+                    }
+                }
+                if let Some(fdr) = &mut self.fdr {
+                    fdr.on_instruction();
+                }
+            }
+            let icount = cpu.icount().0;
+            let fault_pc = cpu.pc();
+            self.threads[thread].cpu = Some(cpu);
+
+            match event {
+                StepEvent::Committed => {
+                    let interval_full = self.recording()
+                        && self.recorders[thread].record_committed_instruction();
+                    if interval_full {
+                        self.restart_interval(thread, core, TerminationCause::IntervalFull);
+                    }
+                    // Timer interrupt?
+                    if icount >= self.threads[thread].next_timer {
+                        self.interrupts += 1;
+                        if let Some(fdr) = &mut self.fdr {
+                            fdr.on_interrupt();
+                        }
+                        let period = self.cfg.timer_interrupt_period.unwrap_or(u64::MAX);
+                        self.threads[thread].next_timer =
+                            icount.saturating_add(period.max(1));
+                        self.restart_interval(thread, core, TerminationCause::Interrupt);
+                    }
+                }
+                StepEvent::SyscallCommitted(code) => {
+                    if self.recording() {
+                        self.recorders[thread].record_committed_instruction();
+                    }
+                    self.handle_syscall(thread, core, code);
+                    if matches!(code, SyscallCode::Yield) {
+                        // Give another thread a chance on this core.
+                        if self.threads.len() > self.cfg.cores {
+                            self.end_interval(thread, TerminationCause::ContextSwitch);
+                            self.context_switches += 1;
+                            self.unmap_thread(core);
+                        }
+                        break;
+                    }
+                }
+                StepEvent::Halted => {
+                    if self.recording() {
+                        self.recorders[thread].record_committed_instruction();
+                    }
+                    self.end_interval(thread, TerminationCause::ProgramExit);
+                    self.threads[thread].finished = true;
+                    self.unmap_thread(core);
+                    break;
+                }
+                StepEvent::Faulted(fault) => {
+                    if self.recording() {
+                        self.recorders[thread].record_fault(fault_pc);
+                    }
+                    self.end_interval(thread, TerminationCause::Fault);
+                    self.threads[thread].fault = Some((fault, fault_pc));
+                    self.threads[thread].finished = true;
+                    self.unmap_thread(core);
+                    break;
+                }
+            }
+        }
+        // Preemptive context switch when threads outnumber cores.
+        if self.threads.len() > self.cfg.cores {
+            if let Some(t) = self.cores[core].active_thread {
+                self.cores[core].quantum_used += committed_here;
+                let waiting = (0..self.threads.len()).any(|i| {
+                    !self.threads[i].finished
+                        && !self.cores.iter().any(|c| c.active_thread == Some(i))
+                });
+                if waiting && self.cores[core].quantum_used >= self.cfg.context_switch_quantum {
+                    self.end_interval(t, TerminationCause::ContextSwitch);
+                    self.context_switches += 1;
+                    self.unmap_thread(core);
+                }
+            }
+        }
+        committed_here
+    }
+
+    fn finalize_open_intervals(&mut self) {
+        if !self.recording() {
+            return;
+        }
+        for t in 0..self.threads.len() {
+            if self.recorders[t].is_recording() {
+                self.end_interval(t, TerminationCause::ContextSwitch);
+            }
+        }
+        for core in &mut self.cores {
+            core.active_thread = None;
+            core.quantum_used = 0;
+        }
+    }
+
+    /// Runs until every thread halts or faults, or `max_instructions` have
+    /// committed in total. Open checkpoint intervals are closed (and their
+    /// logs pushed) before returning.
+    pub fn run(&mut self, max_instructions: u64) -> RunOutcome {
+        let start = self.total_committed;
+        'outer: while self.total_committed - start < max_instructions {
+            let mut progressed = false;
+            let fault_before = self.threads.iter().any(|t| t.fault.is_some());
+            for core in 0..self.cores.len() {
+                let done = self.run_batch(core, INTERLEAVE_BATCH);
+                progressed |= done > 0;
+                if self.total_committed - start >= max_instructions {
+                    break 'outer;
+                }
+            }
+            // A fault terminates the whole application (the OS dumps the logs).
+            if !fault_before && self.threads.iter().any(|t| t.fault.is_some()) {
+                break;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        self.finalize_open_intervals();
+        self.outcome()
+    }
+
+    /// Runs until every thread halts or faults.
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        self.run(u64::MAX)
+    }
+
+    fn outcome(&self) -> RunOutcome {
+        RunOutcome {
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadOutcome {
+                    thread: t.id,
+                    committed: t.cpu.as_ref().map(|c| c.icount().0).unwrap_or(0),
+                    halted: t.finished && t.fault.is_none(),
+                    fault: t.fault.map(|(f, _)| f),
+                    fault_pc: t.fault.map(|(_, pc)| pc),
+                    watch_last_commit: t.watch_last_commit,
+                })
+                .collect(),
+            total_committed: self.total_committed,
+            interrupts: self.interrupts,
+            syscalls: self.syscalls,
+            context_switches: self.context_switches,
+        }
+    }
+}
+
+/// The recording memory path: every load/store of the running thread flows
+/// through the coherence directory, the core's caches (first-load bits) and
+/// the BugNet/FDR recorders before touching functional memory.
+struct MachinePort<'a> {
+    machine: &'a mut Machine,
+    thread: usize,
+    core: usize,
+}
+
+impl MachinePort<'_> {
+    fn apply_coherence(&mut self, addr: Addr, action: &CoherenceAction) {
+        let m = &mut *self.machine;
+        for reply in &action.replies {
+            let remote_core = reply.responder.0 as usize;
+            if m.recording() {
+                if let Some(remote_thread) = m.cores.get(remote_core).and_then(|c| c.active_thread)
+                {
+                    if remote_thread != self.thread && m.recorders[remote_thread].is_recording() {
+                        let remote_state = m.recorders[remote_thread].remote_exec_state();
+                        m.recorders[self.thread].record_coherence_reply(remote_state);
+                    }
+                }
+            }
+            if let Some(fdr) = &mut m.fdr {
+                fdr.on_coherence_reply();
+            }
+        }
+        for core_id in &action.invalidate {
+            if let Some(core) = m.cores.get_mut(core_id.0 as usize) {
+                core.caches.invalidate_block(addr);
+            }
+        }
+    }
+}
+
+impl MemoryPort for MachinePort<'_> {
+    fn load(&mut self, addr: Addr) -> Word {
+        let multi_core = self.machine.cores.len() > 1;
+        if multi_core {
+            let action =
+                self.machine
+                    .directory
+                    .access(CoreId(self.core as u32), addr, AccessKind::Load);
+            self.apply_coherence(addr, &action);
+        }
+        let m = &mut *self.machine;
+        let value = m.memory.read(addr);
+        let first =
+            m.cores[self.core].caches.touch(addr, AccessKind::Load) == FirstAccess::MustLog;
+        if m.recording() {
+            m.recorders[self.thread].record_load(addr, value, first);
+        }
+        value
+    }
+
+    fn store(&mut self, addr: Addr, value: Word) {
+        let multi_core = self.machine.cores.len() > 1;
+        if multi_core {
+            let action =
+                self.machine
+                    .directory
+                    .access(CoreId(self.core as u32), addr, AccessKind::Store);
+            self.apply_coherence(addr, &action);
+        }
+        let m = &mut *self.machine;
+        let was_cached = m.cores[self.core].caches.contains_block(addr);
+        m.cores[self.core].caches.touch(addr, AccessKind::Store);
+        if let Some(fdr) = &mut m.fdr {
+            fdr.on_store(addr, was_cached);
+        }
+        if m.recording() {
+            m.recorders[self.thread].record_store(addr, value);
+        }
+        m.memory.write(addr, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugnet_workloads::bugs::BugSpec;
+    use bugnet_workloads::mt;
+    use bugnet_workloads::spec::SpecProfile;
+
+    fn bugnet_cfg(interval: u64) -> BugNetConfig {
+        BugNetConfig::default().with_checkpoint_interval(interval)
+    }
+
+    #[test]
+    fn single_thread_run_commits_and_logs() {
+        let workload = SpecProfile::gzip().build_workload(30_000, 1);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(5_000))
+            .build_with_workload(&workload);
+        let outcome = machine.run_to_completion();
+        assert!(outcome.total_committed() > 20_000);
+        assert!(outcome.threads[0].halted);
+        let report = machine.log_report();
+        assert!(report.intervals >= 4, "intervals = {}", report.intervals);
+        assert!(report.loads_logged > 0);
+        assert!(report.fll_size.bytes() > 0);
+        // Interrupts from the default 1M period do not fire in 30k instructions,
+        // so intervals come from the interval limit.
+        assert_eq!(outcome.interrupts, 0);
+    }
+
+    #[test]
+    fn timer_interrupts_terminate_intervals() {
+        let workload = SpecProfile::crafty().build_workload(40_000, 1);
+        let mut machine = MachineBuilder::new()
+            .machine(MachineConfig {
+                timer_interrupt_period: Some(7_000),
+                ..MachineConfig::default()
+            })
+            .bugnet(bugnet_cfg(1_000_000))
+            .build_with_workload(&workload);
+        let outcome = machine.run_to_completion();
+        assert!(outcome.interrupts >= 4, "interrupts = {}", outcome.interrupts);
+        let report = machine.log_report();
+        assert!(report.intervals as u64 >= outcome.interrupts);
+    }
+
+    #[test]
+    fn bug_workload_faults_and_records_window() {
+        let spec = BugSpec::all()[0]; // bc, window 591
+        let workload = spec.build(1.0);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(1_000_000))
+            .build_with_workload(&workload);
+        let outcome = machine.run_to_completion();
+        let faulted = outcome.faulted_thread().expect("the bug must fire");
+        assert!(faulted.fault.is_some());
+        let window = outcome.bug_window().expect("watched root cause");
+        assert!(window.abs_diff(spec.paper_window) < 64, "window = {window}");
+        // The faulting interval carries the fault trailer.
+        let store = machine.log_store().unwrap();
+        let logs = store.thread_logs(ThreadId(0));
+        assert!(logs.last().unwrap().fll.fault.is_some());
+    }
+
+    #[test]
+    fn multithreaded_run_generates_race_log_entries() {
+        let workload = mt::racy_counter(2, 2_000);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(100_000))
+            .build_with_workload(&workload);
+        let outcome = machine.run_to_completion();
+        assert!(outcome.threads.iter().all(|t| t.halted));
+        let report = machine.log_report();
+        assert!(report.mrl_entries > 0, "expected coherence traffic to be logged");
+    }
+
+    #[test]
+    fn more_threads_than_cores_context_switch() {
+        let workload = mt::locked_counter(3, 500);
+        let mut machine = MachineBuilder::new()
+            .machine(MachineConfig {
+                cores: 2,
+                context_switch_quantum: 2_000,
+                ..MachineConfig::default()
+            })
+            .cores(2)
+            .bugnet(bugnet_cfg(1_000_000))
+            .build_with_workload(&workload);
+        let outcome = machine.run_to_completion();
+        assert!(outcome.threads.iter().all(|t| t.halted), "{outcome:?}");
+        assert!(outcome.context_switches > 0);
+    }
+
+    #[test]
+    fn syscall_input_is_not_logged_until_loaded() {
+        // A program that asks the kernel for input and then reads it.
+        use bugnet_isa::{ProgramBuilder, Reg};
+        let mut b = ProgramBuilder::new("reader");
+        let buf = b.alloc_zeroed(64);
+        b.li_addr(Reg::R3, buf);
+        b.li(Reg::R4, 64);
+        b.syscall(SyscallCode::ReadInput);
+        // Read the first 32 words of the buffer.
+        b.li(Reg::R5, 0);
+        b.li(Reg::R6, 32);
+        let top = b.here();
+        b.alu_imm(bugnet_isa::AluOp::Shl, Reg::R7, Reg::R5, 2);
+        b.alu(bugnet_isa::AluOp::Add, Reg::R7, Reg::R3, Reg::R7);
+        b.load(Reg::R8, Reg::R7, 0);
+        b.alu_imm(bugnet_isa::AluOp::Add, Reg::R5, Reg::R5, 1);
+        b.branch(bugnet_isa::BranchCond::Lt, Reg::R5, Reg::R6, top);
+        b.halt();
+        let workload = Workload::single("reader", Arc::new(b.build()));
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(1_000_000))
+            .fdr(FdrConfig::default())
+            .build_with_workload(&workload);
+        let outcome = machine.run_to_completion();
+        assert_eq!(outcome.syscalls, 1);
+        let report = machine.log_report();
+        // Only the words actually loaded (32) are logged, not the whole DMA.
+        assert!(report.loads_logged >= 32);
+        assert!(report.loads_logged < 64 + 8);
+        let fdr = machine.fdr_report().unwrap();
+        assert_eq!(fdr.input_log.bytes(), 64 * 8);
+        assert!(fdr.dma_log.bytes() >= 256);
+    }
+
+    #[test]
+    fn overhead_is_negligible_for_spec_like_runs() {
+        let workload = SpecProfile::parser().build_workload(50_000, 1);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(10_000))
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+        let overhead = machine.overhead_report();
+        assert!(overhead.overhead_percent() < 0.1);
+    }
+
+    #[test]
+    fn run_with_budget_stops_early() {
+        let workload = SpecProfile::art().build_workload(1_000_000, 1);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(10_000))
+            .build_with_workload(&workload);
+        let outcome = machine.run(20_000);
+        assert!(outcome.total_committed() >= 20_000);
+        assert!(outcome.total_committed() < 25_000);
+        assert!(!outcome.threads[0].halted);
+    }
+}

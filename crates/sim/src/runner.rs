@@ -1,0 +1,99 @@
+//! One-call experiment helpers used by the bench binaries and examples.
+
+use bugnet_core::stats::LogSizeReport;
+use bugnet_core::OverheadReport;
+use bugnet_types::BugNetConfig;
+use bugnet_workloads::spec::SpecProfile;
+use bugnet_workloads::Workload;
+
+use crate::machine::{MachineBuilder, RunOutcome};
+
+/// Everything the experiments typically need from one recorded run.
+#[derive(Debug, Clone)]
+pub struct RecordedRun {
+    /// Name of the workload that was recorded.
+    pub workload_name: String,
+    /// Execution outcome (instruction counts, faults, OS events).
+    pub outcome: RunOutcome,
+    /// Aggregate log-size/compression report over all retained checkpoints.
+    pub report: LogSizeReport,
+    /// Recording-overhead estimate.
+    pub overhead: OverheadReport,
+}
+
+impl RecordedRun {
+    /// FLL bytes per committed instruction, the quantity the paper's
+    /// size figures are built from.
+    pub fn fll_bytes_per_instruction(&self) -> f64 {
+        self.report.fll_bytes_per_instruction()
+    }
+}
+
+/// Records an arbitrary workload with the given BugNet configuration and
+/// returns the run summary.
+pub fn record_workload(workload: &Workload, bugnet: BugNetConfig) -> RecordedRun {
+    let mut machine = MachineBuilder::new()
+        .bugnet(bugnet)
+        .build_with_workload(workload);
+    let outcome = machine.run_to_completion();
+    RecordedRun {
+        workload_name: workload.name.clone(),
+        report: machine.log_report(),
+        overhead: machine.overhead_report(),
+        outcome,
+    }
+}
+
+/// Records `instructions` committed instructions of a SPEC-like profile with
+/// the given checkpoint-interval length and dictionary size.
+pub fn record_spec_profile(
+    profile: &SpecProfile,
+    instructions: u64,
+    checkpoint_interval: u64,
+    dictionary_entries: usize,
+) -> RecordedRun {
+    let workload = profile.build_workload(instructions, 1);
+    let cfg = BugNetConfig::default()
+        .with_checkpoint_interval(checkpoint_interval)
+        .with_dictionary_entries(dictionary_entries)
+        .with_fll_region(bugnet_types::ByteSize::from_mib(512))
+        .with_target_replay_window(instructions);
+    record_workload(&workload, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_spec_profile_produces_a_report() {
+        let run = record_spec_profile(&SpecProfile::gzip(), 20_000, 5_000, 64);
+        assert_eq!(run.workload_name, "gzip");
+        assert!(run.outcome.total_committed() > 15_000);
+        assert!(run.report.fll_size.bytes() > 0);
+        assert!(run.fll_bytes_per_instruction() > 0.0);
+        assert!(run.overhead.overhead_percent() < 1.0);
+    }
+
+    #[test]
+    fn longer_intervals_shrink_the_logs() {
+        // The first-load optimization gets better with longer intervals
+        // (Figure 3's trend).
+        let short = record_spec_profile(&SpecProfile::crafty(), 30_000, 1_000, 64);
+        let long = record_spec_profile(&SpecProfile::crafty(), 30_000, 15_000, 64);
+        assert!(
+            long.report.fll_size.bytes() < short.report.fll_size.bytes(),
+            "long {} vs short {}",
+            long.report.fll_size,
+            short.report.fll_size
+        );
+    }
+
+    #[test]
+    fn bigger_dictionaries_compress_better() {
+        let small = record_spec_profile(&SpecProfile::parser(), 20_000, 10_000, 8);
+        let large = record_spec_profile(&SpecProfile::parser(), 20_000, 10_000, 256);
+        assert!(large.report.dictionary_hit_rate() >= small.report.dictionary_hit_rate());
+        assert!(large.report.compression_ratio() >= small.report.compression_ratio());
+    }
+}

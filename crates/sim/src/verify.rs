@@ -1,0 +1,252 @@
+//! Replay-based verification and cross-thread analysis.
+//!
+//! After a recorded run, every retained checkpoint interval is replayed from
+//! its First-Load Log alone and the replay's execution digest (loads, stores,
+//! final register state) is compared against the digest captured during
+//! recording. A match means the interval was reproduced instruction-for-
+//! instruction — the determinism property the paper's mechanism provides.
+
+use std::collections::BTreeMap;
+
+use bugnet_core::race::{analyze, RaceAnalysis, ThreadHistory};
+use bugnet_core::recorder::CheckpointLogs;
+use bugnet_core::replayer::{ReplayError, ReplayedInterval, Replayer};
+use bugnet_types::{CheckpointId, ThreadId};
+
+use crate::machine::Machine;
+
+/// Verification result for one checkpoint interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalVerification {
+    /// Thread the interval belongs to.
+    pub thread: ThreadId,
+    /// Checkpoint identifier.
+    pub checkpoint: CheckpointId,
+    /// Instructions replayed.
+    pub instructions: u64,
+    /// Whether the replay digest matched the recorded digest.
+    pub digest_match: bool,
+    /// For fault-terminated intervals: whether the fault was reproduced at
+    /// the recorded program counter.
+    pub fault_reproduced: Option<bool>,
+}
+
+/// Verification result for a whole recorded run.
+#[derive(Debug, Clone, Default)]
+pub struct VerificationReport {
+    /// Per-interval results, grouped by thread in log order.
+    pub intervals: Vec<IntervalVerification>,
+}
+
+impl VerificationReport {
+    /// Whether every replayed interval matched its recording exactly
+    /// (digests equal and, where applicable, faults reproduced).
+    pub fn all_verified(&self) -> bool {
+        !self.intervals.is_empty()
+            && self.intervals.iter().all(|i| {
+                i.digest_match && i.fault_reproduced.unwrap_or(true)
+            })
+    }
+
+    /// Total instructions covered by the verified intervals.
+    pub fn instructions(&self) -> u64 {
+        self.intervals.iter().map(|i| i.instructions).sum()
+    }
+
+    /// Number of intervals that failed verification.
+    pub fn failures(&self) -> usize {
+        self.intervals
+            .iter()
+            .filter(|i| !(i.digest_match && i.fault_reproduced.unwrap_or(true)))
+            .count()
+    }
+}
+
+fn verify_thread(
+    replayer: &Replayer,
+    logs: &[CheckpointLogs],
+) -> Result<Vec<IntervalVerification>, ReplayError> {
+    let mut out = Vec::with_capacity(logs.len());
+    for entry in logs {
+        let replayed = replayer.replay_interval(&entry.fll)?;
+        let fault_reproduced = entry.fll.fault.map(|expected| {
+            replayed
+                .observed_fault
+                .map(|(pc, _)| pc == expected.pc)
+                .unwrap_or(false)
+        });
+        out.push(IntervalVerification {
+            thread: entry.fll.header.thread,
+            checkpoint: entry.fll.header.checkpoint,
+            instructions: replayed.instructions,
+            digest_match: replayed.digest == entry.digest,
+            fault_reproduced,
+        });
+    }
+    Ok(out)
+}
+
+impl Machine {
+    /// Replays every retained interval of every thread and checks that the
+    /// replay reproduces the recorded execution exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReplayError`] if a log cannot be decoded or replayed at
+    /// all; mismatches that still replay are reported in the
+    /// [`VerificationReport`] instead.
+    pub fn replay_and_verify(&self) -> Result<VerificationReport, ReplayError> {
+        let mut report = VerificationReport::default();
+        let Some(store) = self.log_store() else {
+            return Ok(report);
+        };
+        for thread in store.threads() {
+            let Some(program) = self.program_of(thread) else {
+                continue;
+            };
+            let replayer = Replayer::new(program);
+            let logs = store.dump_thread(thread);
+            report
+                .intervals
+                .extend(verify_thread(&replayer, &logs)?);
+        }
+        Ok(report)
+    }
+
+    /// Replays every thread with memory-operation tracing and runs the
+    /// cross-thread ordering / data-race analysis over the MRLs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReplayError`] if any interval cannot be replayed.
+    pub fn race_analysis(&self, max_race_pairs: usize) -> Result<RaceAnalysis, ReplayError> {
+        let Some(store) = self.log_store() else {
+            return Ok(RaceAnalysis::default());
+        };
+        let mut logs_by_thread: BTreeMap<ThreadId, Vec<CheckpointLogs>> = BTreeMap::new();
+        let mut replays_by_thread: BTreeMap<ThreadId, Vec<ReplayedInterval>> = BTreeMap::new();
+        for thread in store.threads() {
+            let Some(program) = self.program_of(thread) else {
+                continue;
+            };
+            let replayer = Replayer::new(program).with_trace_capture(true);
+            let logs = store.dump_thread(thread);
+            let replays = replayer.replay_thread(&logs)?;
+            logs_by_thread.insert(thread, logs);
+            replays_by_thread.insert(thread, replays);
+        }
+        let histories: Vec<ThreadHistory<'_>> = logs_by_thread
+            .iter()
+            .map(|(thread, logs)| ThreadHistory {
+                thread: *thread,
+                logs,
+                replays: &replays_by_thread[thread],
+            })
+            .collect();
+        Ok(analyze(&histories, max_race_pairs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineBuilder;
+    use bugnet_types::BugNetConfig;
+    use bugnet_workloads::bugs::BugSpec;
+    use bugnet_workloads::mt;
+    use bugnet_workloads::spec::SpecProfile;
+
+    fn cfg(interval: u64) -> BugNetConfig {
+        BugNetConfig::default().with_checkpoint_interval(interval)
+    }
+
+    #[test]
+    fn spec_profile_run_verifies_deterministically() {
+        let workload = SpecProfile::vpr().build_workload(25_000, 1);
+        let mut machine = MachineBuilder::new()
+            .bugnet(cfg(4_000))
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+        let report = machine.replay_and_verify().unwrap();
+        assert!(report.intervals.len() >= 5);
+        assert_eq!(report.failures(), 0);
+        assert!(report.all_verified());
+        assert!(report.instructions() > 20_000);
+    }
+
+    #[test]
+    fn buggy_run_reproduces_the_crash_under_replay() {
+        let spec = BugSpec::all()[6]; // gnuplot null dereference, window 782
+        let workload = spec.build(1.0);
+        let mut machine = MachineBuilder::new()
+            .bugnet(cfg(50_000))
+            .build_with_workload(&workload);
+        let outcome = machine.run_to_completion();
+        assert!(outcome.faulted_thread().is_some());
+        let report = machine.replay_and_verify().unwrap();
+        assert!(report.all_verified());
+        // The last interval of thread 0 is the faulting one and must have
+        // reproduced the fault at the recorded PC.
+        let faulting = report
+            .intervals
+            .iter()
+            .filter(|i| i.thread == ThreadId(0))
+            .next_back()
+            .unwrap();
+        assert_eq!(faulting.fault_reproduced, Some(true));
+    }
+
+    #[test]
+    fn interrupted_and_syscalled_runs_still_verify() {
+        use bugnet_types::MachineConfig;
+        let workload = SpecProfile::art().build_workload(30_000, 1);
+        let mut machine = MachineBuilder::new()
+            .machine(MachineConfig {
+                timer_interrupt_period: Some(5_000),
+                ..MachineConfig::default()
+            })
+            .bugnet(cfg(1_000_000))
+            .build_with_workload(&workload);
+        let outcome = machine.run_to_completion();
+        assert!(outcome.interrupts > 0);
+        let report = machine.replay_and_verify().unwrap();
+        assert!(report.all_verified());
+    }
+
+    #[test]
+    fn multithreaded_locked_counter_verifies_and_orders() {
+        let workload = mt::locked_counter(2, 300);
+        let mut machine = MachineBuilder::new()
+            .bugnet(cfg(20_000))
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+        let report = machine.replay_and_verify().unwrap();
+        assert!(report.all_verified());
+        let analysis = machine.race_analysis(32).unwrap();
+        // The coherence traffic produced ordering edges.
+        assert!(!analysis.edges.is_empty() || analysis.unresolved_edges > 0);
+    }
+
+    #[test]
+    fn racy_counter_shows_candidate_races() {
+        let workload = mt::racy_counter(2, 400);
+        let mut machine = MachineBuilder::new()
+            .bugnet(cfg(50_000))
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+        let report = machine.replay_and_verify().unwrap();
+        assert!(report.all_verified());
+        let analysis = machine.race_analysis(64).unwrap();
+        assert!(analysis.has_races(), "unsynchronized counter must race");
+    }
+
+    #[test]
+    fn machine_without_recorder_verifies_trivially() {
+        let workload = SpecProfile::gzip().build_workload(5_000, 1);
+        let mut machine = MachineBuilder::new().build_with_workload(&workload);
+        machine.run_to_completion();
+        let report = machine.replay_and_verify().unwrap();
+        assert!(report.intervals.is_empty());
+        assert!(!report.all_verified());
+    }
+}

@@ -1,0 +1,214 @@
+//! Byte addresses and 32-bit machine words.
+//!
+//! The simulated machine is a 32-bit word-oriented architecture (the paper
+//! logs 32-bit load values); addresses are kept as `u64` so that large
+//! synthetic working sets can be modelled without wrap-around.
+
+use std::fmt;
+
+/// Number of bytes in one machine word.
+pub const WORD_BYTES: u64 = 4;
+
+/// A byte address in the simulated machine's virtual address space.
+///
+/// # Examples
+///
+/// ```
+/// use bugnet_types::Addr;
+/// let a = Addr::new(0x1004);
+/// assert_eq!(a.word_aligned(), Addr::new(0x1004));
+/// assert_eq!(Addr::new(0x1006).word_aligned(), Addr::new(0x1004));
+/// assert_eq!(a.word_index(), 0x401);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// The address of word number `index` (i.e. `index * 4`).
+    pub const fn from_word_index(index: u64) -> Self {
+        Addr(index * WORD_BYTES)
+    }
+
+    /// Raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The word-aligned address containing this byte.
+    pub const fn word_aligned(self) -> Self {
+        Addr(self.0 & !(WORD_BYTES - 1))
+    }
+
+    /// Index of the containing word (byte address divided by 4).
+    pub const fn word_index(self) -> u64 {
+        self.0 / WORD_BYTES
+    }
+
+    /// Whether this address is aligned to a word boundary.
+    pub const fn is_word_aligned(self) -> bool {
+        self.0 % WORD_BYTES == 0
+    }
+
+    /// Address advanced by `bytes`.
+    pub const fn offset(self, bytes: i64) -> Self {
+        Addr(self.0.wrapping_add(bytes as u64))
+    }
+
+    /// Address of the cache block containing this byte for a block of
+    /// `block_bytes` (must be a power of two).
+    pub const fn block_aligned(self, block_bytes: u64) -> Self {
+        Addr(self.0 & !(block_bytes - 1))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+/// A 32-bit machine word: the unit of loads, stores and logged values.
+///
+/// # Examples
+///
+/// ```
+/// use bugnet_types::Word;
+/// let w = Word::new(7);
+/// assert_eq!(w.get() + 1, 8);
+/// assert_eq!(Word::ZERO.get(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Word(u32);
+
+impl Word {
+    /// The all-zero word.
+    pub const ZERO: Word = Word(0);
+
+    /// Wraps a raw 32-bit value.
+    pub const fn new(raw: u32) -> Self {
+        Word(raw)
+    }
+
+    /// Raw 32-bit value.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The value interpreted as a signed 32-bit integer.
+    pub const fn as_i32(self) -> i32 {
+        self.0 as i32
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl From<u32> for Word {
+    fn from(raw: u32) -> Self {
+        Word(raw)
+    }
+}
+
+impl From<Word> for u32 {
+    fn from(w: Word) -> Self {
+        w.0
+    }
+}
+
+impl From<i32> for Word {
+    fn from(raw: i32) -> Self {
+        Word(raw as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_alignment() {
+        assert!(Addr::new(0).is_word_aligned());
+        assert!(Addr::new(8).is_word_aligned());
+        assert!(!Addr::new(9).is_word_aligned());
+        assert_eq!(Addr::new(13).word_aligned(), Addr::new(12));
+        assert_eq!(Addr::new(13).word_index(), 3);
+    }
+
+    #[test]
+    fn block_alignment() {
+        assert_eq!(Addr::new(0x1fe).block_aligned(64), Addr::new(0x1c0));
+        assert_eq!(Addr::new(0x200).block_aligned(64), Addr::new(0x200));
+    }
+
+    #[test]
+    fn word_round_trip_and_sign() {
+        assert_eq!(Word::from(-1i32).get(), u32::MAX);
+        assert_eq!(Word::from(-1i32).as_i32(), -1);
+        assert_eq!(u32::from(Word::new(5)), 5);
+    }
+
+    #[test]
+    fn offsets() {
+        assert_eq!(Addr::new(100).offset(-4), Addr::new(96));
+        assert_eq!(Addr::new(100).offset(8), Addr::new(108));
+    }
+
+    #[test]
+    fn from_word_index_round_trips() {
+        for idx in [0u64, 1, 17, 1 << 20] {
+            assert_eq!(Addr::from_word_index(idx).word_index(), idx);
+        }
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Addr::new(0x10).to_string(), "0x00000010");
+        assert_eq!(Word::new(0x10).to_string(), "0x00000010");
+        assert_eq!(format!("{:x}", Word::new(255)), "ff");
+        assert_eq!(format!("{:b}", Word::new(5)), "101");
+    }
+}

@@ -1,0 +1,138 @@
+//! Identifier newtypes used across the recorder, the simulator and the logs.
+
+use std::fmt;
+
+/// Identifies a software thread of the traced application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifies the traced process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies a hardware core (processor) of the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub u32);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Checkpoint interval identifier (the paper's "C-ID").
+///
+/// The hardware counter wraps around; the wrap width is configured by
+/// [`crate::BugNetConfig::checkpoint_id_bits`]. The replayer only ever needs
+/// to distinguish checkpoints that are simultaneously resident in the
+/// memory-backed log region, so a small counter suffices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CheckpointId(pub u32);
+
+impl CheckpointId {
+    /// The next checkpoint identifier, wrapping at `1 << bits`.
+    pub fn next_wrapping(self, bits: u32) -> CheckpointId {
+        let mask = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        CheckpointId((self.0.wrapping_add(1)) & mask)
+    }
+}
+
+impl fmt::Display for CheckpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CID{}", self.0)
+    }
+}
+
+/// A count of committed instructions.
+///
+/// Used both as an absolute per-thread counter and as an offset from the
+/// start of a checkpoint interval (the paper's "IC" fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InstrCount(pub u64);
+
+impl InstrCount {
+    /// Zero instructions.
+    pub const ZERO: InstrCount = InstrCount(0);
+
+    /// The counter advanced by one committed instruction.
+    pub const fn succ(self) -> InstrCount {
+        InstrCount(self.0 + 1)
+    }
+
+    /// Difference `self - earlier`, saturating at zero.
+    pub const fn since(self, earlier: InstrCount) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for InstrCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for InstrCount {
+    fn from(raw: u64) -> Self {
+        InstrCount(raw)
+    }
+}
+
+/// System clock timestamp recorded in FLL and MRL headers, used only to order
+/// the logs of one thread and to pair FLLs with MRLs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_id_wraps() {
+        let id = CheckpointId(6);
+        assert_eq!(id.next_wrapping(3), CheckpointId(7));
+        assert_eq!(CheckpointId(7).next_wrapping(3), CheckpointId(0));
+        assert_eq!(CheckpointId(u32::MAX).next_wrapping(32), CheckpointId(0));
+    }
+
+    #[test]
+    fn instr_count_arithmetic() {
+        let a = InstrCount(10);
+        assert_eq!(a.succ(), InstrCount(11));
+        assert_eq!(InstrCount(25).since(a), 15);
+        assert_eq!(a.since(InstrCount(25)), 0);
+    }
+
+    #[test]
+    fn displays_are_compact() {
+        assert_eq!(ThreadId(3).to_string(), "T3");
+        assert_eq!(ProcessId(1).to_string(), "P1");
+        assert_eq!(CoreId(0).to_string(), "C0");
+        assert_eq!(CheckpointId(9).to_string(), "CID9");
+        assert_eq!(InstrCount(42).to_string(), "42");
+        assert_eq!(Timestamp(7).to_string(), "t7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(InstrCount(1) < InstrCount(2));
+        assert!(Timestamp(1) < Timestamp(2));
+    }
+}

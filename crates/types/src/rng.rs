@@ -1,0 +1,151 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The synthetic workloads must be perfectly reproducible across runs and
+//! across the record/replay boundary, so they use this self-contained
+//! SplitMix64 generator instead of an OS-seeded source.
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+///
+/// # Examples
+///
+/// ```
+/// use bugnet_types::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.next_range(10);
+/// assert!(x < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed; equal seeds give equal sequences.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit pseudo-random value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit pseudo-random value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`. Returns 0 when `bound` is 0.
+    pub fn next_range(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            // Multiply-shift reduction: unbiased enough for workload synthesis.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Draws an index in `[0, weights.len())` with probability proportional to
+    /// the weights. Returns 0 for an empty or all-zero slice.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        if total <= 0.0 || weights.is_empty() {
+            return 0;
+        }
+        let mut target = self.next_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if *w <= 0.0 {
+                continue;
+            }
+            if target < *w {
+                return i;
+            }
+            target -= *w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.next_range(13) < 13);
+        }
+        assert_eq!(rng.next_range(0), 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SplitMix64::new(11);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn weighted_index_respects_zero_weights() {
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..100 {
+            let idx = rng.weighted_index(&[0.0, 1.0, 0.0]);
+            assert_eq!(idx, 1);
+        }
+        assert_eq!(rng.weighted_index(&[]), 0);
+        assert_eq!(rng.weighted_index(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn weighted_index_distribution_roughly_matches() {
+        let mut rng = SplitMix64::new(31);
+        let mut counts = [0u32; 2];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&[1.0, 3.0])] += 1;
+        }
+        // Expect roughly 25% / 75%.
+        assert!(counts[0] > 1500 && counts[0] < 3500, "counts = {counts:?}");
+    }
+}

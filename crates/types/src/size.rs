@@ -1,0 +1,178 @@
+//! Byte-size accounting and human-readable formatting.
+//!
+//! Log sizes are the central quantity reported by the paper's evaluation
+//! (Figures 2-4 and 6, Table 2), so they get a dedicated type that tracks
+//! exact bit counts and formats the way the paper's tables do (KB / MB).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// An exact size measured in bits, displayed in KB/MB.
+///
+/// # Examples
+///
+/// ```
+/// use bugnet_types::ByteSize;
+///
+/// let header = ByteSize::from_bytes(140);
+/// let entries = ByteSize::from_bits(12_345);
+/// let total = header + entries;
+/// assert_eq!(total.bits(), 140 * 8 + 12_345);
+/// assert!(total.bytes() >= 1683);
+/// assert_eq!(ByteSize::from_bytes(225 * 1024).to_string(), "225.00 KB");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize {
+    bits: u64,
+}
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize { bits: 0 };
+
+    /// A size of exactly `bits` bits.
+    pub const fn from_bits(bits: u64) -> Self {
+        ByteSize { bits }
+    }
+
+    /// A size of exactly `bytes` bytes.
+    pub const fn from_bytes(bytes: u64) -> Self {
+        ByteSize { bits: bytes * 8 }
+    }
+
+    /// A size of `kib` binary kilobytes.
+    pub const fn from_kib(kib: u64) -> Self {
+        ByteSize::from_bytes(kib * 1024)
+    }
+
+    /// A size of `mib` binary megabytes.
+    pub const fn from_mib(mib: u64) -> Self {
+        ByteSize::from_bytes(mib * 1024 * 1024)
+    }
+
+    /// Exact number of bits.
+    pub const fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Number of whole bytes (rounded up).
+    pub const fn bytes(self) -> u64 {
+        self.bits.div_ceil(8)
+    }
+
+    /// Size in binary kilobytes as a float.
+    pub fn kib(self) -> f64 {
+        self.bytes() as f64 / 1024.0
+    }
+
+    /// Size in binary megabytes as a float.
+    pub fn mib(self) -> f64 {
+        self.bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Ratio `self / other`, useful for compression ratios.
+    ///
+    /// Returns `f64::INFINITY` when `other` is zero and `self` is not.
+    pub fn ratio_to(self, other: ByteSize) -> f64 {
+        if other.bits == 0 {
+            if self.bits == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.bits as f64 / other.bits as f64
+        }
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, other: ByteSize) -> ByteSize {
+        ByteSize {
+            bits: self.bits.saturating_sub(other.bits),
+        }
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize {
+            bits: self.bits + rhs.bits,
+        }
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.bits += rhs.bits;
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bytes = self.bytes();
+        if bytes < 1024 {
+            write!(f, "{bytes} B")
+        } else if bytes < 1024 * 1024 {
+            write!(f, "{:.2} KB", self.kib())
+        } else if bytes < 1024 * 1024 * 1024 {
+            write!(f, "{:.2} MB", self.mib())
+        } else {
+            write!(f, "{:.2} GB", self.mib() / 1024.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ByteSize::from_bytes(1).bits(), 8);
+        assert_eq!(ByteSize::from_bits(9).bytes(), 2);
+        assert_eq!(ByteSize::from_kib(2).bytes(), 2048);
+        assert_eq!(ByteSize::from_mib(1).kib(), 1024.0);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let total: ByteSize = [ByteSize::from_bits(3), ByteSize::from_bits(5)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.bits(), 8);
+        let mut acc = ByteSize::ZERO;
+        acc += ByteSize::from_bytes(4);
+        assert_eq!(acc.bytes(), 4);
+        assert_eq!(
+            ByteSize::from_bytes(10).saturating_sub(ByteSize::from_bytes(20)),
+            ByteSize::ZERO
+        );
+    }
+
+    #[test]
+    fn ratios() {
+        assert_eq!(
+            ByteSize::from_bytes(100).ratio_to(ByteSize::from_bytes(50)),
+            2.0
+        );
+        assert_eq!(ByteSize::ZERO.ratio_to(ByteSize::ZERO), 1.0);
+        assert!(ByteSize::from_bits(1).ratio_to(ByteSize::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(ByteSize::from_bytes(17).to_string(), "17 B");
+        assert_eq!(ByteSize::from_kib(225).to_string(), "225.00 KB");
+        assert_eq!(ByteSize::from_mib(19).to_string(), "19.00 MB");
+        assert_eq!(ByteSize::from_mib(2048).to_string(), "2.00 GB");
+    }
+}

@@ -1,0 +1,396 @@
+//! The paper's Table 1: programs with known bugs.
+//!
+//! Each entry reproduces one row of Table 1 as a synthetic program with an
+//! injected defect of the same class. The program performs some warm-up work,
+//! commits a *root-cause* instruction (the store that corrupts a pointer,
+//! return-address slot, bounds variable or divisor), keeps executing benign
+//! work for approximately the paper's reported root-cause-to-crash distance,
+//! and then crashes by consuming the corrupted state. The harness watches the
+//! root-cause instruction so the experiment can measure the achieved window
+//! and the FLL size needed to replay it (Figure 2).
+//!
+//! Paper-scale windows reach 18 M instructions (`ghostscript`); experiments
+//! scale them down by default and can be run at full scale with
+//! `--paper-scale`.
+
+use std::sync::Arc;
+
+use bugnet_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg, SyscallCode};
+use bugnet_types::{Addr, SplitMix64};
+
+use crate::workload::{ThreadSpec, Workload};
+
+/// Address of the region shared between threads of multithreaded bug
+/// workloads (zero-initialized, never part of a program's data segment).
+pub const SHARED_REGION_BASE: u64 = 0x3000_0000;
+/// Number of shared words used by multithreaded bug workloads.
+pub const SHARED_REGION_WORDS: u64 = 256;
+
+/// The defect classes appearing in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugClass {
+    /// An out-of-bounds store corrupts an adjacent heap object (pointer).
+    HeapCorruption,
+    /// A long input overflows a global buffer into an adjacent pointer.
+    GlobalBufferOverflow,
+    /// A long input overflows a stack buffer into the return-address slot.
+    StackReturnOverflow,
+    /// A pointer to a freed object is written through, corrupting live data.
+    DanglingPointer,
+    /// A pointer that was never initialized (or reset to NULL) is dereferenced.
+    NullPointerDereference,
+    /// An arithmetic overflow produces an out-of-range index / zero divisor.
+    ArithmeticOverflow,
+    /// A stale (null) function pointer is called.
+    NullFunctionPointer,
+}
+
+impl BugClass {
+    /// Short human-readable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BugClass::HeapCorruption => "heap corruption",
+            BugClass::GlobalBufferOverflow => "global buffer overflow",
+            BugClass::StackReturnOverflow => "stack return-address overflow",
+            BugClass::DanglingPointer => "dangling pointer",
+            BugClass::NullPointerDereference => "null pointer dereference",
+            BugClass::ArithmeticOverflow => "arithmetic overflow",
+            BugClass::NullFunctionPointer => "null function pointer",
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BugSpec {
+    /// Program name as it appears in the paper.
+    pub name: &'static str,
+    /// Source location of the fix in the original program.
+    pub source_location: &'static str,
+    /// The paper's description of the defect.
+    pub description: &'static str,
+    /// Defect class driving the synthetic construction.
+    pub class: BugClass,
+    /// Dynamic instructions between root cause and crash reported by the paper.
+    pub paper_window: u64,
+    /// Whether the paper's program is multithreaded.
+    pub multithreaded: bool,
+}
+
+impl BugSpec {
+    /// All eighteen rows of Table 1, in the paper's order.
+    pub fn all() -> Vec<BugSpec> {
+        use BugClass::*;
+        vec![
+            BugSpec { name: "bc-1.06", source_location: "storage.c:176", description: "misuse of bounds variable corrupts heap objects", class: HeapCorruption, paper_window: 591, multithreaded: false },
+            BugSpec { name: "gzip-1.2.4", source_location: "gzip.c:1009", description: "1024-byte input filename overflows global variable", class: GlobalBufferOverflow, paper_window: 32_209, multithreaded: false },
+            BugSpec { name: "ncompress-4.2.4", source_location: "compress42.c:886", description: "1024-byte input filename corrupts stack return address", class: StackReturnOverflow, paper_window: 17_966, multithreaded: false },
+            BugSpec { name: "polymorph-0.4.0", source_location: "polymorph.c:193,200", description: "2048-byte input filename corrupts stack return address", class: StackReturnOverflow, paper_window: 6_208, multithreaded: false },
+            BugSpec { name: "tar-1.13.25", source_location: "prepargs.c:92", description: "incorrect loop bounds leads to heap object overflow", class: HeapCorruption, paper_window: 6_634, multithreaded: false },
+            BugSpec { name: "ghostscript-8.12", source_location: "ttinterp.c:5108, ttobjs.c:279", description: "a dangling pointer results in a memory corruption", class: DanglingPointer, paper_window: 18_030_519, multithreaded: false },
+            BugSpec { name: "gnuplot-3.7.1-1", source_location: "pslatex.trm:189", description: "null pointer dereference due to not setting a file name", class: NullPointerDereference, paper_window: 782, multithreaded: false },
+            BugSpec { name: "gnuplot-3.7.1-2", source_location: "plot.c:622", description: "a buffer overflow corrupts the stack return address", class: StackReturnOverflow, paper_window: 131_751, multithreaded: false },
+            BugSpec { name: "tidy-34132-1", source_location: "istack.c:31", description: "null pointer dereference", class: NullPointerDereference, paper_window: 2_537_326, multithreaded: false },
+            BugSpec { name: "tidy-34132-2", source_location: "parser.c:3505", description: "memory corruption", class: HeapCorruption, paper_window: 13, multithreaded: false },
+            BugSpec { name: "tidy-34132-3", source_location: "parser.c", description: "memory corruption", class: HeapCorruption, paper_window: 59, multithreaded: false },
+            BugSpec { name: "xv-3.10a-1", source_location: "xvbmp.c:168", description: "incorrect bound checking leads to stack buffer overflow", class: StackReturnOverflow, paper_window: 44_557, multithreaded: false },
+            BugSpec { name: "xv-3.10a-2", source_location: "xvbrowse.c:956, xvdir.c:1200", description: "a long file name results in a buffer overflow", class: GlobalBufferOverflow, paper_window: 7_543_600, multithreaded: false },
+            BugSpec { name: "gaim-0.82.1", source_location: "gtkdialogs.c:759,820,862,901", description: "buddy list remove operations cause null pointer dereference", class: NullPointerDereference, paper_window: 74_590, multithreaded: true },
+            BugSpec { name: "napster-1.5.2", source_location: "nap.c:1391", description: "dangling pointer corrupts memory when resizing terminal", class: DanglingPointer, paper_window: 189_391, multithreaded: true },
+            BugSpec { name: "python-2.1.1-1", source_location: "audioop.c:939,966", description: "arithmetic computation results in buffer overflow", class: ArithmeticOverflow, paper_window: 92, multithreaded: true },
+            BugSpec { name: "python-2.1.1-2", source_location: "sysmodule.c:76", description: "a null pointer dereference leads to a crash", class: NullPointerDereference, paper_window: 941, multithreaded: true },
+            BugSpec { name: "w3m-0.3.2.2", source_location: "istream.c:445", description: "null (obsolete) function pointer dereference causes a crash", class: NullFunctionPointer, paper_window: 79_309, multithreaded: true },
+        ]
+    }
+
+    /// The root-cause-to-crash window after applying a scale factor
+    /// (`scale = 1.0` reproduces the paper's distances).
+    pub fn scaled_window(&self, scale: f64) -> u64 {
+        ((self.paper_window as f64 * scale).round() as u64).max(8)
+    }
+
+    /// Builds the workload for this bug at the given window scale.
+    pub fn build(&self, scale: f64) -> Workload {
+        let window = self.scaled_window(scale);
+        let (program, watch_index) = build_buggy_program(self, window);
+        let mut threads = vec![ThreadSpec::with_watch(program, watch_index)];
+        if self.multithreaded {
+            threads.push(ThreadSpec::new(shared_worker_program(self.name)));
+        }
+        Workload::new(self.name, threads)
+    }
+}
+
+/// Builds the buggy program; returns it and the root-cause instruction index.
+fn build_buggy_program(spec: &BugSpec, window: u64) -> (Arc<Program>, u32) {
+    let mut rng = SplitMix64::new(spec.paper_window ^ 0xB06);
+    let mut b = ProgramBuilder::new(spec.name);
+
+    // Victim state adjacent to a buffer, as in the real defects.
+    let buffer = b.alloc_data_array(64, |i| (i as u32) * 5 + 1);
+    let victim_ptr = b.alloc_data_word(buffer.raw() as u32); // a valid pointer
+    let divisor = b.alloc_data_word(1024); // a valid divisor
+    let scratch = b.alloc_data_array(1024, |i| if i % 3 == 0 { 0 } else { i as u32 });
+    b.symbol("buffer", buffer);
+    b.symbol("victim", victim_ptr);
+
+    // Registers.
+    let victim = Reg::R3;
+    let tmp = Reg::R4;
+    let scratch_base = Reg::R5;
+    let idx = Reg::R6;
+    let limit = Reg::R7;
+    let acc = Reg::R8;
+    let corrupt = Reg::R9;
+    let addr = Reg::R10;
+
+    b.li_addr(victim, victim_ptr);
+    b.li_addr(scratch_base, scratch);
+    b.li(acc, 0);
+
+    // Warm-up phase: realistic pre-bug activity over the scratch array.
+    let warmup_iterations = (window / 4).clamp(64, 20_000) as u32;
+    b.li(idx, 0);
+    b.li(limit, warmup_iterations);
+    let warm_top = b.here();
+    b.alu_imm(AluOp::And, tmp, idx, 1023);
+    b.alu_imm(AluOp::Shl, tmp, tmp, 2);
+    b.alu(AluOp::Add, addr, scratch_base, tmp);
+    b.load(Reg::R11, addr, 0);
+    b.alu(AluOp::Add, acc, acc, Reg::R11);
+    b.store(acc, addr, 0);
+    b.alu_imm(AluOp::Add, idx, idx, 1);
+    b.branch(BranchCond::Lt, idx, limit, warm_top);
+
+    // For multithreaded variants, touch the shared region so coherence
+    // replies (and hence MRL entries) are generated.
+    if spec.multithreaded {
+        b.li(Reg::R12, SHARED_REGION_BASE as u32);
+        b.li(idx, 0);
+        b.li(limit, 64);
+        let sh_top = b.here();
+        b.alu_imm(AluOp::Shl, tmp, idx, 2);
+        b.alu(AluOp::Add, addr, Reg::R12, tmp);
+        b.load(Reg::R11, addr, 0);
+        b.alu_imm(AluOp::Add, Reg::R11, Reg::R11, 1);
+        b.store(Reg::R11, addr, 0);
+        b.alu_imm(AluOp::Add, idx, idx, 1);
+        b.branch(BranchCond::Lt, idx, limit, sh_top);
+    }
+
+    // The root cause: one store that corrupts the victim state. The corrupt
+    // value depends on the defect class.
+    let watch_index = match spec.class {
+        BugClass::NullPointerDereference | BugClass::NullFunctionPointer => {
+            b.li(corrupt, 0);
+            b.store(corrupt, victim, 0)
+        }
+        BugClass::StackReturnOverflow => {
+            // The overflow writes attacker-controlled bytes over the return slot.
+            b.li(corrupt, 0xdead_0000 | (rng.next_u32() & 0xfff0));
+            b.store(corrupt, victim, 0)
+        }
+        BugClass::HeapCorruption | BugClass::GlobalBufferOverflow | BugClass::DanglingPointer => {
+            // A small bogus value lands inside the null guard page, as a
+            // corrupted object pointer typically does.
+            b.li(corrupt, 0x0000_0200 | (rng.next_u32() & 0xff) << 2);
+            b.store(corrupt, victim, 0)
+        }
+        BugClass::ArithmeticOverflow => {
+            // The computation zeroes the divisor (models the overflowed length).
+            b.li_addr(Reg::R13, divisor);
+            b.li(corrupt, 0);
+            b.store(corrupt, Reg::R13, 0)
+        }
+    };
+
+    // Delay phase: benign work between root cause and crash, sized so the
+    // crash lands roughly `window` committed instructions after the corrupting
+    // store (matching Table 1's measured distances).
+    let delay_body_instructions = 7u64;
+    let delay_iterations = (window / delay_body_instructions).max(1) as u32;
+    b.li(idx, 0);
+    b.li(limit, delay_iterations);
+    let delay_top = b.here();
+    b.alu_imm(AluOp::And, tmp, idx, 1023);
+    b.alu_imm(AluOp::Shl, tmp, tmp, 2);
+    b.alu(AluOp::Add, addr, scratch_base, tmp);
+    b.load(Reg::R11, addr, 0);
+    b.alu(AluOp::Xor, acc, acc, Reg::R11);
+    b.alu_imm(AluOp::Add, idx, idx, 1);
+    b.branch(BranchCond::Lt, idx, limit, delay_top);
+
+    // The crash site: consume the corrupted state.
+    match spec.class {
+        BugClass::NullPointerDereference
+        | BugClass::HeapCorruption
+        | BugClass::GlobalBufferOverflow
+        | BugClass::DanglingPointer => {
+            // Load the (corrupted) pointer and dereference it.
+            b.load(tmp, victim, 0);
+            b.load(Reg::R11, tmp, 0);
+        }
+        BugClass::StackReturnOverflow | BugClass::NullFunctionPointer => {
+            // "Return" / call through the corrupted slot.
+            b.load(tmp, victim, 0);
+            b.jump_reg(tmp);
+        }
+        BugClass::ArithmeticOverflow => {
+            b.li_addr(Reg::R13, divisor);
+            b.load(tmp, Reg::R13, 0);
+            b.li(Reg::R11, 1_000_000);
+            b.alu(AluOp::Div, Reg::R11, Reg::R11, tmp);
+        }
+    }
+
+    // Only reached if the defect somehow did not trigger.
+    b.syscall(SyscallCode::Exit);
+    b.halt();
+
+    (Arc::new(b.build()), watch_index)
+}
+
+/// The benign second thread of multithreaded bug workloads: it continuously
+/// increments words of the shared region, generating coherence traffic with
+/// the buggy thread.
+fn shared_worker_program(name: &str) -> Arc<Program> {
+    let mut b = ProgramBuilder::new(format!("{name}-worker"));
+    // Give the worker its own (unused) data base so it does not overlap the
+    // buggy program's initialized data.
+    b.data_base(Addr::new(0x2000_0000));
+    let base = Reg::R3;
+    let idx = Reg::R4;
+    let tmp = Reg::R5;
+    let addr = Reg::R6;
+    let round = Reg::R7;
+    let rounds = Reg::R8;
+    b.li(base, SHARED_REGION_BASE as u32);
+    b.li(round, 0);
+    b.li(rounds, 2_000);
+    let outer = b.here();
+    b.li(idx, 0);
+    let inner = b.here();
+    b.alu_imm(AluOp::Shl, tmp, idx, 2);
+    b.alu(AluOp::Add, addr, base, tmp);
+    b.load(Reg::R9, addr, 0);
+    b.alu_imm(AluOp::Add, Reg::R9, Reg::R9, 1);
+    b.store(Reg::R9, addr, 0);
+    b.alu_imm(AluOp::Add, idx, idx, 1);
+    b.alu_imm(AluOp::Slt, tmp, idx, SHARED_REGION_WORDS as i32);
+    b.branch(BranchCond::Ne, tmp, Reg::R0, inner);
+    b.alu_imm(AluOp::Add, round, round, 1);
+    b.branch(BranchCond::Lt, round, rounds, outer);
+    b.halt();
+    Arc::new(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugnet_cpu::{Cpu, Fault, SparseMemoryPort, StepEvent};
+
+    #[test]
+    fn table_has_eighteen_rows_in_paper_order() {
+        let all = BugSpec::all();
+        assert_eq!(all.len(), 18);
+        assert_eq!(all[0].name, "bc-1.06");
+        assert_eq!(all[5].paper_window, 18_030_519);
+        assert_eq!(all.iter().filter(|b| b.multithreaded).count(), 5);
+    }
+
+    #[test]
+    fn scaled_window_has_a_floor() {
+        let spec = BugSpec::all()[9]; // tidy-2, window 13
+        assert_eq!(spec.scaled_window(0.01), 8);
+        assert_eq!(spec.scaled_window(1.0), 13);
+    }
+
+    #[test]
+    fn every_bug_program_crashes_with_the_expected_fault_class() {
+        for spec in BugSpec::all() {
+            let workload = spec.build(0.02);
+            let program = Arc::clone(&workload.threads[0].program);
+            let mut port = SparseMemoryPort::from_program(&program);
+            let mut cpu = Cpu::new(Arc::clone(&program));
+            let event = cpu.run(&mut port, 5_000_000);
+            let fault = match event {
+                StepEvent::Faulted(f) => f,
+                other => panic!("{}: expected a fault, got {other:?}", spec.name),
+            };
+            match spec.class {
+                BugClass::NullPointerDereference
+                | BugClass::HeapCorruption
+                | BugClass::GlobalBufferOverflow
+                | BugClass::DanglingPointer => {
+                    assert!(
+                        matches!(fault, Fault::InvalidAddress(_) | Fault::Misaligned(_)),
+                        "{}: unexpected fault {fault:?}",
+                        spec.name
+                    );
+                }
+                BugClass::StackReturnOverflow | BugClass::NullFunctionPointer => {
+                    assert!(
+                        matches!(fault, Fault::InvalidPc(_)),
+                        "{}: unexpected fault {fault:?}",
+                        spec.name
+                    );
+                }
+                BugClass::ArithmeticOverflow => {
+                    assert_eq!(fault, Fault::DivideByZero, "{}", spec.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_distance_tracks_the_requested_window() {
+        let spec = BugSpec::all()[1]; // gzip, window 32209
+        let scale = 0.1;
+        let workload = spec.build(scale);
+        let program = Arc::clone(&workload.threads[0].program);
+        let watch = workload.threads[0].watch_index.unwrap();
+        let mut port = SparseMemoryPort::from_program(&program);
+        let mut cpu = Cpu::new(Arc::clone(&program));
+        let mut last_watch_commit = 0u64;
+        loop {
+            let before_pc = cpu.pc();
+            let event = cpu.step(&mut port);
+            match event {
+                StepEvent::Committed | StepEvent::SyscallCommitted(_) => {
+                    if program.index_of_pc(before_pc) == Some(watch) {
+                        last_watch_commit = cpu.icount().0;
+                    }
+                }
+                StepEvent::Faulted(_) => break,
+                StepEvent::Halted => panic!("expected a crash"),
+            }
+            if cpu.icount().0 > 10_000_000 {
+                panic!("runaway");
+            }
+        }
+        let window = cpu.icount().0 - last_watch_commit;
+        let target = spec.scaled_window(scale);
+        let error = window.abs_diff(target);
+        assert!(error < 64, "window {window} vs target {target}");
+        assert!(last_watch_commit > 0);
+    }
+
+    #[test]
+    fn multithreaded_bugs_have_a_worker_thread() {
+        let spec = BugSpec::all()[17]; // w3m
+        let workload = spec.build(0.05);
+        assert_eq!(workload.thread_count(), 2);
+        // The worker halts on its own.
+        let worker = Arc::clone(&workload.threads[1].program);
+        let mut port = SparseMemoryPort::from_program(&worker);
+        let mut cpu = Cpu::new(Arc::clone(&worker));
+        assert_eq!(cpu.run(&mut port, 20_000_000), StepEvent::Halted);
+    }
+
+    #[test]
+    fn bug_class_labels_are_distinct() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = BugSpec::all().iter().map(|b| b.class.label()).collect();
+        assert!(labels.len() >= 6);
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic workloads for the BugNet evaluation.
+//!
+//! The paper evaluates BugNet on real x86 binaries: SPEC 2000 programs for
+//! the log-size and compression studies, and eighteen open-source programs
+//! with known bugs (Table 1) for the replay-window study. Neither is
+//! available to this reproduction, so this crate generates synthetic programs
+//! for the simulated ISA whose *memory behaviour* — working-set size, access
+//! patterns, load-value locality, instruction mix — is tuned per benchmark so
+//! that the quantities BugNet measures (first-load frequency, dictionary hit
+//! rate, log bytes per instruction) land in the ranges the paper reports.
+//!
+//! * [`spec`] — seven SPEC-2000-like profiles (art, bzip2, crafty, gzip, mcf,
+//!   parser, vpr) for Figures 3-6 and Table 2.
+//! * [`bugs`] — the eighteen Table-1 programs with injected defects (buffer
+//!   overflows, dangling pointers, null dereferences, arithmetic bugs) whose
+//!   root-cause-to-crash distances follow the paper.
+//! * [`mt`] — small multithreaded kernels (locked counter, producer/consumer,
+//!   racy counter) used to exercise Memory Race Logs and the race analysis.
+
+pub mod bugs;
+pub mod mt;
+pub mod spec;
+pub mod workload;
+
+pub use bugs::{BugClass, BugSpec};
+pub use spec::SpecProfile;
+pub use workload::{ThreadSpec, Workload};

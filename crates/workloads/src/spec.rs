@@ -1,0 +1,399 @@
+//! SPEC-2000-like synthetic benchmark profiles.
+//!
+//! The paper's sensitivity studies (Figures 3-6, Table 2) use seven SPEC 2000
+//! integer/FP programs. The profiles below generate loop-kernel programs for
+//! the simulated ISA whose memory behaviour is shaped by four knobs:
+//!
+//! * **working-set size** — bounds how many distinct words an interval can
+//!   touch, which is what the first-load optimization's effectiveness depends
+//!   on (larger working sets ⇒ more first loads ⇒ larger FLLs);
+//! * **sequential fraction** — how much of the access stream walks memory in
+//!   order (streaming, like `art`) versus chasing pseudo-random indices
+//!   (pointer-heavy, like `mcf`);
+//! * **frequent-value fraction** — how much of the data consists of a small
+//!   set of recurring values, which drives the dictionary hit rate
+//!   (Figure 5) and the compression ratio (Figure 6);
+//! * **instruction mix** — relative weights of load bursts, store bursts and
+//!   pure compute, which set the loads-per-instruction rate.
+
+use std::sync::Arc;
+
+use bugnet_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
+use bugnet_types::SplitMix64;
+
+use crate::workload::{ThreadSpec, Workload};
+
+/// A synthetic benchmark profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecProfile {
+    /// Benchmark name as used in the paper's figures.
+    pub name: &'static str,
+    /// Working-set size in words (rounded up to a power of two).
+    pub working_set_words: u64,
+    /// Fraction of load bursts that walk memory sequentially.
+    pub sequential_fraction: f64,
+    /// Fraction of data words (and stored values) drawn from the frequent set.
+    pub frequent_value_fraction: f64,
+    /// Number of distinct frequent values.
+    pub frequent_values: u32,
+    /// Relative weight of load-burst kernel operations.
+    pub load_weight: f64,
+    /// Relative weight of store-burst kernel operations.
+    pub store_weight: f64,
+    /// Relative weight of pure-compute kernel operations.
+    pub compute_weight: f64,
+    /// Loads (or stores) issued back-to-back per address computation.
+    pub burst: u32,
+    /// Number of kernel operations generated per outer-loop iteration.
+    pub kernel_ops: u32,
+    /// Seed for the program generator.
+    pub seed: u64,
+}
+
+impl SpecProfile {
+    /// Streaming, array-walking floating-point code (`179.art`).
+    pub fn art() -> Self {
+        SpecProfile {
+            name: "art",
+            working_set_words: 64 * 1024,
+            sequential_fraction: 0.85,
+            frequent_value_fraction: 0.55,
+            frequent_values: 12,
+            load_weight: 0.55,
+            store_weight: 0.15,
+            compute_weight: 0.30,
+            burst: 4,
+            kernel_ops: 40,
+            seed: 0xA47,
+        }
+    }
+
+    /// Block-sorting compressor with mixed locality (`256.bzip2`).
+    pub fn bzip2() -> Self {
+        SpecProfile {
+            name: "bzip2",
+            working_set_words: 128 * 1024,
+            sequential_fraction: 0.45,
+            frequent_value_fraction: 0.45,
+            frequent_values: 24,
+            load_weight: 0.45,
+            store_weight: 0.25,
+            compute_weight: 0.30,
+            burst: 3,
+            kernel_ops: 40,
+            seed: 0xB21,
+        }
+    }
+
+    /// Chess engine with a small, hot working set (`186.crafty`).
+    pub fn crafty() -> Self {
+        SpecProfile {
+            name: "crafty",
+            working_set_words: 8 * 1024,
+            sequential_fraction: 0.25,
+            frequent_value_fraction: 0.50,
+            frequent_values: 20,
+            load_weight: 0.40,
+            store_weight: 0.15,
+            compute_weight: 0.45,
+            burst: 2,
+            kernel_ops: 48,
+            seed: 0xC4A,
+        }
+    }
+
+    /// LZ77 compressor with sequential input scans (`164.gzip`).
+    pub fn gzip() -> Self {
+        SpecProfile {
+            name: "gzip",
+            working_set_words: 32 * 1024,
+            sequential_fraction: 0.65,
+            frequent_value_fraction: 0.50,
+            frequent_values: 16,
+            load_weight: 0.45,
+            store_weight: 0.20,
+            compute_weight: 0.35,
+            burst: 3,
+            kernel_ops: 40,
+            seed: 0x6219,
+        }
+    }
+
+    /// Sparse network-simplex solver chasing pointers (`181.mcf`).
+    pub fn mcf() -> Self {
+        SpecProfile {
+            name: "mcf",
+            working_set_words: 512 * 1024,
+            sequential_fraction: 0.10,
+            frequent_value_fraction: 0.35,
+            frequent_values: 8,
+            load_weight: 0.55,
+            store_weight: 0.15,
+            compute_weight: 0.30,
+            burst: 2,
+            kernel_ops: 40,
+            seed: 0x3CF,
+        }
+    }
+
+    /// Natural-language parser with moderate locality (`197.parser`).
+    pub fn parser() -> Self {
+        SpecProfile {
+            name: "parser",
+            working_set_words: 64 * 1024,
+            sequential_fraction: 0.35,
+            frequent_value_fraction: 0.55,
+            frequent_values: 24,
+            load_weight: 0.45,
+            store_weight: 0.20,
+            compute_weight: 0.35,
+            burst: 2,
+            kernel_ops: 44,
+            seed: 0x9A25E2,
+        }
+    }
+
+    /// FPGA place-and-route with mixed behaviour (`175.vpr`).
+    pub fn vpr() -> Self {
+        SpecProfile {
+            name: "vpr",
+            working_set_words: 32 * 1024,
+            sequential_fraction: 0.35,
+            frequent_value_fraction: 0.50,
+            frequent_values: 16,
+            load_weight: 0.45,
+            store_weight: 0.20,
+            compute_weight: 0.35,
+            burst: 3,
+            kernel_ops: 40,
+            seed: 0x4B9,
+        }
+    }
+
+    /// The seven profiles used by the paper's sensitivity studies.
+    pub fn all() -> Vec<SpecProfile> {
+        vec![
+            SpecProfile::art(),
+            SpecProfile::bzip2(),
+            SpecProfile::crafty(),
+            SpecProfile::gzip(),
+            SpecProfile::mcf(),
+            SpecProfile::parser(),
+            SpecProfile::vpr(),
+        ]
+    }
+
+    /// Builds a program for this profile that commits roughly
+    /// `instructions_hint` instructions before halting.
+    pub fn build_program(&self, instructions_hint: u64, seed_offset: u64) -> Arc<Program> {
+        let ws_words = self.working_set_words.next_power_of_two().max(64);
+        let mut rng = SplitMix64::new(self.seed ^ seed_offset.wrapping_mul(0x9E37_79B9));
+        let mut b = ProgramBuilder::new(self.name);
+
+        // Frequent values: small constants and a few "pointer-like" values.
+        let frequent: Vec<u32> = (0..self.frequent_values.max(1))
+            .map(|i| match i % 4 {
+                0 => i / 4,
+                1 => 0xffff_ffff - i,
+                2 => 0x1000_0000 + i * 0x40,
+                _ => 7 * i,
+            })
+            .collect();
+
+        // Working set, with a frequent-value fraction and unique filler.
+        let mut init_rng = SplitMix64::new(self.seed ^ 0x51ab ^ seed_offset);
+        let ws = b.alloc_data_array(ws_words as usize, |i| {
+            if init_rng.chance(self.frequent_value_fraction) {
+                frequent[init_rng.next_range(frequent.len() as u64) as usize]
+            } else {
+                (i as u32).wrapping_mul(2654435761).wrapping_add(seed_offset as u32)
+            }
+        });
+        b.symbol("working_set", ws);
+
+        // Register conventions for the generated kernel.
+        let lcg = Reg::R10;
+        let ws_base = Reg::R11;
+        let mask = Reg::R12;
+        let lcg_mul = Reg::R13;
+        let tmp = Reg::R14;
+        let addr = Reg::R15;
+        let seq_ptr = Reg::R16;
+        let seq_end = Reg::R17;
+        let acc = Reg::R24;
+        let loop_ctr = Reg::R25;
+        let loop_lim = Reg::R26;
+        let val = Reg::R27;
+        let freq_regs = [Reg::R20, Reg::R21, Reg::R22, Reg::R23];
+
+        b.li(lcg, (0x1234_5678 ^ seed_offset as u32) | 1);
+        b.li_addr(ws_base, ws);
+        b.li(mask, (ws_words as u32 - 1) * 4);
+        b.li(lcg_mul, 1_664_525);
+        b.li_addr(seq_ptr, ws);
+        b.li(seq_end, ws.raw() as u32 + (ws_words as u32) * 4);
+        b.li(acc, 0);
+        for (i, r) in freq_regs.iter().enumerate() {
+            b.li(*r, frequent[i % frequent.len()]);
+        }
+
+        // Generate the kernel body once; count its instructions to size the loop.
+        let weights = [self.load_weight, self.store_weight, self.compute_weight];
+        let loop_ctr_init = b.code_len();
+        b.li(loop_ctr, 0);
+        // Placeholder for the loop limit, patched after we know the body size.
+        let loop_lim_slot = b.li(loop_lim, 1);
+        let top = b.here();
+        let body_start = b.code_len();
+
+        for _ in 0..self.kernel_ops {
+            match rng.weighted_index(&weights) {
+                0 => {
+                    // Load burst.
+                    if rng.chance(self.sequential_fraction) {
+                        // Sequential walk with wrap-around.
+                        for k in 0..self.burst {
+                            b.load(val, seq_ptr, (k * 4) as i32);
+                            b.alu(AluOp::Add, acc, acc, val);
+                        }
+                        b.alu_imm(AluOp::Add, seq_ptr, seq_ptr, (self.burst * 4) as i32);
+                        // Wrap: if seq_ptr >= end, reset to base.
+                        let no_wrap = b.new_label();
+                        b.branch(BranchCond::Ltu, seq_ptr, seq_end, no_wrap);
+                        b.li_addr(seq_ptr, ws);
+                        b.bind(no_wrap);
+                    } else {
+                        // Pseudo-random index.
+                        b.alu(AluOp::Mul, lcg, lcg, lcg_mul);
+                        b.alu_imm(AluOp::Add, lcg, lcg, 1_013_904_223);
+                        b.alu(AluOp::And, tmp, lcg, mask);
+                        b.alu(AluOp::Add, addr, ws_base, tmp);
+                        for k in 0..self.burst {
+                            let off = (k * 4) as i32;
+                            b.load(val, addr, off);
+                            b.alu(AluOp::Xor, acc, acc, val);
+                        }
+                    }
+                }
+                1 => {
+                    // Store burst.
+                    b.alu(AluOp::Mul, lcg, lcg, lcg_mul);
+                    b.alu_imm(AluOp::Add, lcg, lcg, 1_013_904_223);
+                    b.alu(AluOp::And, tmp, lcg, mask);
+                    b.alu(AluOp::Add, addr, ws_base, tmp);
+                    for k in 0..self.burst {
+                        let source = if rng.chance(self.frequent_value_fraction) {
+                            freq_regs[rng.next_range(freq_regs.len() as u64) as usize]
+                        } else {
+                            lcg
+                        };
+                        b.store(source, addr, (k * 4) as i32);
+                    }
+                }
+                _ => {
+                    // Compute.
+                    let ops = [AluOp::Add, AluOp::Xor, AluOp::Mul, AluOp::Sub, AluOp::Or];
+                    for _ in 0..3 {
+                        let op = ops[rng.next_range(ops.len() as u64) as usize];
+                        b.alu(op, acc, acc, freq_regs[rng.next_range(4) as usize]);
+                    }
+                }
+            }
+        }
+
+        let body_len = (b.code_len() - body_start) as u64 + 3; // + loop bookkeeping
+        b.alu_imm(AluOp::Add, loop_ctr, loop_ctr, 1);
+        b.branch(BranchCond::Lt, loop_ctr, loop_lim, top);
+        b.halt();
+
+        // Patch the loop limit so total committed instructions ≈ the hint.
+        let setup = loop_ctr_init as u64 + 2;
+        let iterations = ((instructions_hint.saturating_sub(setup)) / body_len).max(1);
+        let program = b.build();
+        let mut code = program.code().to_vec();
+        code[loop_lim_slot as usize] = bugnet_isa::Instr::Li {
+            rd: loop_lim,
+            imm: iterations as u32,
+        };
+        let mut patched = Program::new(
+            self.name,
+            code,
+            program.code_base(),
+            program.entry_index(),
+            program.data().to_vec(),
+        );
+        for (name, addr) in program.symbols() {
+            patched.add_symbol(name.clone(), *addr);
+        }
+        Arc::new(patched)
+    }
+
+    /// Builds a workload of `threads` independent instances of this profile,
+    /// each committing roughly `instructions_hint` instructions.
+    pub fn build_workload(&self, instructions_hint: u64, threads: usize) -> Workload {
+        let threads = threads.max(1);
+        let specs = (0..threads)
+            .map(|t| ThreadSpec::new(self.build_program(instructions_hint, t as u64)))
+            .collect();
+        Workload::new(self.name, specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugnet_cpu::{Cpu, SparseMemoryPort, StepEvent};
+
+    fn committed(program: &Arc<Program>, cap: u64) -> (u64, StepEvent) {
+        let mut port = SparseMemoryPort::from_program(program);
+        let mut cpu = Cpu::new(Arc::clone(program));
+        let event = cpu.run(&mut port, cap);
+        (cpu.icount().0, event)
+    }
+
+    #[test]
+    fn all_profiles_build_and_halt() {
+        for profile in SpecProfile::all() {
+            let program = profile.build_program(20_000, 0);
+            let (count, event) = committed(&program, 200_000);
+            assert_eq!(event, StepEvent::Halted, "{} must halt", profile.name);
+            assert!(
+                count > 10_000 && count < 60_000,
+                "{}: committed {count} instructions, expected ≈20k",
+                profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn instruction_hint_scales_execution_length() {
+        let profile = SpecProfile::gzip();
+        let short = committed(&profile.build_program(5_000, 0), 1_000_000).0;
+        let long = committed(&profile.build_program(50_000, 0), 1_000_000).0;
+        assert!(long > short * 5, "short={short} long={long}");
+    }
+
+    #[test]
+    fn seeds_give_distinct_programs() {
+        let profile = SpecProfile::mcf();
+        let a = profile.build_program(10_000, 0);
+        let b = profile.build_program(10_000, 1);
+        assert_ne!(a.data()[0].words, b.data()[0].words);
+    }
+
+    #[test]
+    fn workload_thread_count() {
+        let w = SpecProfile::art().build_workload(10_000, 3);
+        assert_eq!(w.thread_count(), 3);
+        assert_eq!(w.name, "art");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let profile = SpecProfile::vpr();
+        let a = profile.build_program(10_000, 7);
+        let b = profile.build_program(10_000, 7);
+        assert_eq!(a.code(), b.code());
+        assert_eq!(a.data(), b.data());
+    }
+}

@@ -1,0 +1,99 @@
+//! Workload descriptions handed to the machine harness.
+
+use std::sync::Arc;
+
+use bugnet_isa::Program;
+
+/// One software thread of a workload.
+#[derive(Debug, Clone)]
+pub struct ThreadSpec {
+    /// The program image the thread executes.
+    pub program: Arc<Program>,
+    /// Instruction index of the workload's injected root-cause instruction,
+    /// if any; the harness records the last time it committed so bug-window
+    /// lengths can be measured (Table 1).
+    pub watch_index: Option<u32>,
+}
+
+impl ThreadSpec {
+    /// A thread with no watched instruction.
+    pub fn new(program: Arc<Program>) -> Self {
+        ThreadSpec {
+            program,
+            watch_index: None,
+        }
+    }
+
+    /// A thread whose `watch_index` instruction is tracked by the harness.
+    pub fn with_watch(program: Arc<Program>, watch_index: u32) -> Self {
+        ThreadSpec {
+            program,
+            watch_index: Some(watch_index),
+        }
+    }
+}
+
+/// A named set of threads to run together on the simulated machine.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name (used in experiment tables).
+    pub name: String,
+    /// The threads, index 0 first.
+    pub threads: Vec<ThreadSpec>,
+}
+
+impl Workload {
+    /// Creates a single-threaded workload.
+    pub fn single(name: impl Into<String>, program: Arc<Program>) -> Self {
+        Workload {
+            name: name.into(),
+            threads: vec![ThreadSpec::new(program)],
+        }
+    }
+
+    /// Creates a workload from explicit thread specs.
+    pub fn new(name: impl Into<String>, threads: Vec<ThreadSpec>) -> Self {
+        Workload {
+            name: name.into(),
+            threads,
+        }
+    }
+
+    /// Number of threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Whether more than one thread is present.
+    pub fn is_multithreaded(&self) -> bool {
+        self.threads.len() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugnet_isa::ProgramBuilder;
+
+    fn tiny_program() -> Arc<Program> {
+        let mut b = ProgramBuilder::new("tiny");
+        b.halt();
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn single_thread_workload() {
+        let w = Workload::single("demo", tiny_program());
+        assert_eq!(w.thread_count(), 1);
+        assert!(!w.is_multithreaded());
+        assert!(w.threads[0].watch_index.is_none());
+    }
+
+    #[test]
+    fn watched_thread() {
+        let t = ThreadSpec::with_watch(tiny_program(), 7);
+        assert_eq!(t.watch_index, Some(7));
+        let w = Workload::new("two", vec![t.clone(), ThreadSpec::new(tiny_program())]);
+        assert!(w.is_multithreaded());
+    }
+}

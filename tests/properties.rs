@@ -1,0 +1,220 @@
+//! Property-based tests (proptest) for the core data structures and the
+//! end-to-end determinism invariant.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use bugnet::core::bitstream::{BitReader, BitWriter};
+use bugnet::core::dictionary::ValueDictionary;
+use bugnet::core::fll::{EncodedValue, FllCodec, FllEncoder, FllHeader, FirstLoadLog, TerminationCause};
+use bugnet::core::Replayer;
+use bugnet::cpu::ArchState;
+use bugnet::isa::{encode, AluOp, BranchCond, Instr, ProgramBuilder, Reg};
+use bugnet::sim::MachineBuilder;
+use bugnet::types::{
+    Addr, BugNetConfig, CheckpointId, ProcessId, SplitMix64, ThreadId, Timestamp, Word,
+};
+use bugnet::workloads::Workload;
+
+// ---------------------------------------------------------------------------
+// Bitstream: any sequence of (width, value) fields round-trips losslessly.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitstream_round_trips(fields in prop::collection::vec((1u32..=64, any::<u64>()), 0..200)) {
+        let mut writer = BitWriter::new();
+        for (width, value) in &fields {
+            let masked = if *width == 64 { *value } else { value & ((1u64 << width) - 1) };
+            writer.write_bits(masked, *width);
+        }
+        let stream = writer.finish();
+        let mut reader = BitReader::new(&stream);
+        for (width, value) in &fields {
+            let masked = if *width == 64 { *value } else { value & ((1u64 << width) - 1) };
+            prop_assert_eq!(reader.read_bits(*width), Some(masked));
+        }
+        prop_assert!(reader.is_exhausted());
+    }
+
+    // -----------------------------------------------------------------------
+    // Dictionary: the encoder-side table and the replayer-side table stay in
+    // lockstep for any value stream, so every logged rank resolves to the
+    // original value.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn dictionary_encoder_and_replayer_stay_synchronized(
+        values in prop::collection::vec(0u32..64, 1..500),
+        capacity in 1usize..128,
+    ) {
+        let mut encoder = ValueDictionary::new(capacity, 3);
+        let mut replayer = ValueDictionary::new(capacity, 3);
+        for v in values {
+            let value = Word::new(v);
+            let rank = encoder.encode(value);
+            if let Some(rank) = rank {
+                prop_assert_eq!(replayer.value_at(rank), Some(value));
+            }
+            replayer.observe(value);
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // FLL codec: any record sequence round-trips through encode + decode.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn fll_records_round_trip(
+        records in prop::collection::vec((0u64..5_000_000, prop::option::of(0usize..64), any::<u32>()), 0..300),
+    ) {
+        let cfg = BugNetConfig::default();
+        let codec = FllCodec::from_config(&cfg);
+        let mut encoder = FllEncoder::new(codec);
+        let expected: Vec<(u64, EncodedValue)> = records
+            .iter()
+            .map(|(skipped, rank, raw)| {
+                let value = match rank {
+                    Some(r) => EncodedValue::DictRank(*r),
+                    None => EncodedValue::Full(Word::new(*raw)),
+                };
+                encoder.push(*skipped, value);
+                (*skipped, value)
+            })
+            .collect();
+        let (stream, payload) = encoder.finish();
+        let log = FirstLoadLog::new(
+            FllHeader {
+                process: ProcessId(1),
+                thread: ThreadId(0),
+                checkpoint: CheckpointId(0),
+                timestamp: Timestamp(0),
+                arch: ArchState::default(),
+            },
+            codec,
+            stream,
+            payload,
+            records.len() as u64,
+            records.len() as u64,
+            TerminationCause::IntervalFull,
+            None,
+        );
+        let decoded = log.decode_records().unwrap();
+        prop_assert_eq!(decoded.len(), expected.len());
+        for (rec, (skipped, value)) in decoded.iter().zip(&expected) {
+            prop_assert_eq!(rec.skipped, *skipped);
+            prop_assert_eq!(rec.value, *value);
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // ISA encoding: programs assembled from arbitrary (valid) instruction
+    // parameters survive the binary encoding round trip.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn instruction_encoding_round_trips(
+        rd in 0usize..32, rs1 in 0usize..32, rs2 in 0usize..32,
+        imm in any::<i32>(), target in any::<u32>(), op_index in 0usize..13, cond_index in 0usize..6,
+    ) {
+        let rd = Reg::from_index(rd).unwrap();
+        let rs1 = Reg::from_index(rs1).unwrap();
+        let rs2 = Reg::from_index(rs2).unwrap();
+        let op = AluOp::ALL[op_index];
+        let cond = BranchCond::ALL[cond_index];
+        let instrs = [
+            Instr::Li { rd, imm: imm as u32 },
+            Instr::Alu { op, rd, rs1, rs2 },
+            Instr::AluImm { op, rd, rs1, imm },
+            Instr::Load { rd, base: rs1, offset: imm },
+            Instr::Store { rs: rs2, base: rs1, offset: imm },
+            Instr::AtomicSwap { rd, rs: rs2, base: rs1 },
+            Instr::Branch { cond, rs1, rs2, target },
+            Instr::Jump { target },
+            Instr::JumpAndLink { rd, target },
+            Instr::JumpReg { rs: rs1 },
+        ];
+        for instr in instrs {
+            prop_assert_eq!(encode::decode(encode::encode(instr)), Ok(instr));
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // End-to-end determinism: randomly generated straight-line programs with
+    // loads, stores and arithmetic over a small working set always replay to
+    // the recorded digest, for arbitrary checkpoint interval lengths.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn random_programs_replay_deterministically(
+        seed in any::<u64>(),
+        ops in 20usize..200,
+        interval in 16u64..2_000,
+    ) {
+        let program = random_program(seed, ops);
+        let workload = Workload::single("prop", Arc::clone(&program));
+        let mut machine = MachineBuilder::new()
+            .bugnet(BugNetConfig::default().with_checkpoint_interval(interval))
+            .build_with_workload(&workload);
+        let outcome = machine.run_to_completion();
+        prop_assert!(outcome.threads[0].halted || outcome.threads[0].fault.is_some());
+        let verification = machine.replay_and_verify().unwrap();
+        prop_assert!(verification.all_verified(), "failures = {}", verification.failures());
+        // And replaying a second time gives the same digests again.
+        let logs = machine.log_store().unwrap().dump_thread(ThreadId(0));
+        let replayer = Replayer::new(program);
+        let first = replayer.replay_thread(&logs).unwrap();
+        let second = replayer.replay_thread(&logs).unwrap();
+        for (a, b) in first.iter().zip(&second) {
+            prop_assert_eq!(&a.digest, &b.digest);
+            prop_assert_eq!(&a.final_state, &b.final_state);
+        }
+    }
+}
+
+/// Generates a random but well-formed program: a loop over a mix of loads,
+/// stores and ALU operations on a 256-word array, ending in `halt`.
+fn random_program(seed: u64, ops: usize) -> Arc<bugnet::isa::Program> {
+    let mut rng = SplitMix64::new(seed);
+    let mut b = ProgramBuilder::new("prop-program");
+    let data = b.alloc_data_array(256, |i| (i as u32).wrapping_mul(0x9E37_79B9) ^ seed as u32);
+    b.li_addr(Reg::R3, data);
+    b.li(Reg::R4, 0); // rolling value
+    b.li(Reg::R10, 0); // loop counter
+    b.li(Reg::R11, 3 + (seed % 5) as u32); // loop iterations
+    let top = b.here();
+    for _ in 0..ops {
+        match rng.next_range(5) {
+            0 | 1 => {
+                let offset = (rng.next_range(256) * 4) as i32;
+                b.load(Reg::R5, Reg::R3, offset);
+                b.alu(AluOp::Add, Reg::R4, Reg::R4, Reg::R5);
+            }
+            2 => {
+                let offset = (rng.next_range(256) * 4) as i32;
+                b.store(Reg::R4, Reg::R3, offset);
+            }
+            3 => {
+                b.alu_imm(AluOp::Xor, Reg::R4, Reg::R4, rng.next_u32() as i32);
+            }
+            _ => {
+                b.alu_imm(AluOp::Add, Reg::R4, Reg::R4, 1);
+            }
+        }
+    }
+    b.alu_imm(AluOp::Add, Reg::R10, Reg::R10, 1);
+    b.branch(BranchCond::Lt, Reg::R10, Reg::R11, top);
+    b.halt();
+    Arc::new(b.build())
+}
+
+// Keep Addr/Timestamp imports used even when proptest shrinks cases away.
+#[test]
+fn helper_program_is_deterministic() {
+    let a = random_program(42, 50);
+    let b = random_program(42, 50);
+    assert_eq!(a.code(), b.code());
+    assert_ne!(a.fetch(Addr::new(0)), Some(Instr::Halt));
+}
