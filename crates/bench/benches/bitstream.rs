@@ -1,0 +1,147 @@
+//! Criterion microbenchmarks for the packed bitstream codec.
+//!
+//! Each optimized path is benchmarked against a naive bit-at-a-time
+//! reference (the pre-optimization implementation), so the speedup of the
+//! word-accumulator rewrite is visible directly in one run:
+//! `naive_* / word_*` is the throughput ratio.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bugnet_core::bitstream::{BitReader, BitStream, BitWriter};
+use bugnet_types::SplitMix64;
+
+/// The pre-optimization writer: one bounds check and potential push per bit.
+#[derive(Default)]
+struct NaiveBitWriter {
+    bytes: Vec<u8>,
+    bit_len: u64,
+}
+
+impl NaiveBitWriter {
+    fn write_bits(&mut self, value: u64, width: u32) {
+        for i in 0..width {
+            let byte_index = (self.bit_len / 8) as usize;
+            let bit_index = (self.bit_len % 8) as u32;
+            if byte_index == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            if (value >> i) & 1 == 1 {
+                self.bytes[byte_index] |= 1 << bit_index;
+            }
+            self.bit_len += 1;
+        }
+    }
+}
+
+fn field_stream(len: usize) -> Vec<(u64, u32)> {
+    let mut rng = SplitMix64::new(0xB175);
+    (0..len)
+        .map(|_| {
+            // FLL-like mix: mostly narrow fields, some full words.
+            let width = match rng.next_range(4) {
+                0 => 6,
+                1 => 7,
+                2 => 25,
+                _ => 33,
+            };
+            (rng.next_u64() & ((1u64 << width) - 1), width)
+        })
+        .collect()
+}
+
+fn bench_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitstream_write");
+    let fields = field_stream(10_000);
+
+    group.bench_function("naive_bit_at_a_time_10k_fields", |b| {
+        b.iter(|| {
+            let mut w = NaiveBitWriter::default();
+            for &(value, width) in &fields {
+                w.write_bits(value, width);
+            }
+            black_box(w.bit_len)
+        })
+    });
+
+    group.bench_function("word_accumulator_10k_fields", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for &(value, width) in &fields {
+                w.write_bits(value, width);
+            }
+            black_box(w.bit_len())
+        })
+    });
+
+    let payload: Vec<u8> = (0..64 * 1024).map(|i| i as u8).collect();
+    group.bench_function("bulk_write_bytes_64k", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity_bits(payload.len() as u64 * 8);
+            w.write_bytes(&payload);
+            black_box(w.bit_len())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitstream_read");
+    let fields = field_stream(10_000);
+    let mut w = BitWriter::new();
+    for &(value, width) in &fields {
+        w.write_bits(value, width);
+    }
+    let stream = w.finish();
+
+    group.bench_function("naive_bit_at_a_time_10k_fields", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            let mut r = NaiveReader::new(&stream);
+            for &(_, width) in &fields {
+                sum = sum.wrapping_add(r.read_bits(width));
+            }
+            black_box(sum)
+        })
+    });
+
+    group.bench_function("word_fetch_10k_fields", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            let mut r = BitReader::new(&stream);
+            for &(_, width) in &fields {
+                sum = sum.wrapping_add(r.read_bits(width).unwrap());
+            }
+            black_box(sum)
+        })
+    });
+
+    group.finish();
+}
+
+/// The pre-optimization reader: one indexed byte access per bit.
+struct NaiveReader<'a> {
+    stream: &'a BitStream,
+    cursor: u64,
+}
+
+impl<'a> NaiveReader<'a> {
+    fn new(stream: &'a BitStream) -> Self {
+        NaiveReader { stream, cursor: 0 }
+    }
+
+    fn read_bits(&mut self, width: u32) -> u64 {
+        let mut value = 0u64;
+        for i in 0..width {
+            let byte = self.stream.as_bytes()[(self.cursor / 8) as usize];
+            if (byte >> (self.cursor % 8)) & 1 == 1 {
+                value |= 1 << i;
+            }
+            self.cursor += 1;
+        }
+        value
+    }
+}
+
+criterion_group!(benches, bench_write, bench_read);
+criterion_main!(benches);

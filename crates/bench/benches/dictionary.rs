@@ -1,0 +1,138 @@
+//! Criterion microbenchmarks for the frequent-value dictionary.
+//!
+//! The optimized indexed dictionary is benchmarked against a naive
+//! linear-scan reference (the pre-optimization implementation), so the
+//! speedup of the hash-indexed rewrite is visible directly in one run:
+//! `linear_scan_* / indexed_*` is the throughput ratio.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bugnet_core::dictionary::ValueDictionary;
+use bugnet_types::{SplitMix64, Word};
+
+/// The pre-optimization dictionary: two O(capacity) scans per encoded load.
+struct LinearDictionary {
+    entries: Vec<(Word, u8)>,
+    capacity: usize,
+    counter_max: u8,
+}
+
+impl LinearDictionary {
+    fn new(capacity: usize, counter_bits: u32) -> Self {
+        LinearDictionary {
+            entries: Vec::new(),
+            capacity,
+            counter_max: ((1u16 << counter_bits) - 1) as u8,
+        }
+    }
+
+    fn lookup(&self, value: Word) -> Option<usize> {
+        self.entries.iter().position(|e| e.0 == value)
+    }
+
+    fn encode(&mut self, value: Word) -> Option<usize> {
+        let rank = self.lookup(value);
+        self.observe(value);
+        rank
+    }
+
+    fn observe(&mut self, value: Word) {
+        match self.lookup(value) {
+            Some(index) => {
+                let bumped = self.entries[index]
+                    .1
+                    .saturating_add(1)
+                    .min(self.counter_max);
+                self.entries[index].1 = bumped;
+                if index > 0 && bumped >= self.entries[index - 1].1 {
+                    self.entries.swap(index - 1, index);
+                }
+            }
+            None => {
+                if self.entries.len() < self.capacity {
+                    self.entries.push((value, 1));
+                } else {
+                    let victim = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .rev()
+                        .min_by_key(|(i, e)| (e.1, std::cmp::Reverse(*i)))
+                        .map(|(i, _)| i)
+                        .expect("capacity > 0");
+                    self.entries[victim] = (value, 1);
+                }
+            }
+        }
+    }
+}
+
+fn value_stream(len: usize, locality: f64) -> Vec<Word> {
+    let mut rng = SplitMix64::new(0xD1C7);
+    (0..len)
+        .map(|_| {
+            if rng.chance(locality) {
+                Word::new(rng.next_range(32) as u32)
+            } else {
+                Word::new(rng.next_u32())
+            }
+        })
+        .collect()
+}
+
+fn bench_dictionary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dictionary");
+    // 50% frequent-value locality, the middle of the paper's range.
+    let values = value_stream(10_000, 0.5);
+
+    for entries in [64usize, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("linear_scan_encode_10k", entries),
+            &entries,
+            |b, &entries| {
+                b.iter(|| {
+                    let mut dict = LinearDictionary::new(entries, 3);
+                    let mut hits = 0u64;
+                    for v in &values {
+                        if dict.encode(*v).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("indexed_encode_10k", entries),
+            &entries,
+            |b, &entries| {
+                b.iter(|| {
+                    let mut dict = ValueDictionary::new(entries, 3);
+                    let mut hits = 0u64;
+                    for v in &values {
+                        if dict.encode(*v).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+    }
+
+    // Observe-only path (unlogged loads and the replayer's per-load update).
+    group.bench_function("indexed_observe_10k/64", |b| {
+        b.iter(|| {
+            let mut dict = ValueDictionary::new(64, 3);
+            for v in &values {
+                dict.observe(*v);
+            }
+            black_box(dict.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dictionary);
+criterion_main!(benches);

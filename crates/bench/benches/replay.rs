@@ -26,7 +26,12 @@ fn bench_replay(c: &mut Criterion) {
     let replayer = Replayer::new(program);
 
     group.bench_function("replay_thread/gzip_20k", |b| {
-        b.iter(|| replayer.replay_thread(&logs).expect("replay succeeds").len())
+        b.iter(|| {
+            replayer
+                .replay_thread(&logs)
+                .expect("replay succeeds")
+                .len()
+        })
     });
 
     group.bench_function("replay_and_verify/gzip_20k", |b| {

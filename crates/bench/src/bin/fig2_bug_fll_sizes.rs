@@ -13,8 +13,17 @@ fn main() {
     let scale = opts.scale(0.02);
     let interval = opts.pick(100_000, 10_000_000);
     println!("Figure 2: FLL size required to replay each bug's window");
-    println!("(window scale = {scale}, checkpoint interval = {})\n", format_instructions(interval));
-    print_header(&["program", "replay window", "FLL size", "records", "MRL size"]);
+    println!(
+        "(window scale = {scale}, checkpoint interval = {})\n",
+        format_instructions(interval)
+    );
+    print_header(&[
+        "program",
+        "replay window",
+        "FLL size",
+        "records",
+        "MRL size",
+    ]);
     for spec in BugSpec::all() {
         let workload = spec.build(scale);
         let mut machine = MachineBuilder::new()
@@ -34,11 +43,7 @@ fn main() {
             .unwrap_or_else(|| "-".to_string());
         println!(
             "{} | {} | {} | {} | {}",
-            spec.name,
-            window,
-            report.fll_size,
-            report.loads_logged,
-            report.mrl_size
+            spec.name, window, report.fll_size, report.loads_logged, report.mrl_size
         );
     }
     println!("\nPaper observation: most bugs need well under 100 KB of FLL data; only the");

@@ -23,7 +23,9 @@ fn main() {
     for spec in BugSpec::all() {
         let workload = spec.build(scale);
         let mut machine = MachineBuilder::new()
-            .bugnet(BugNetConfig::default().with_checkpoint_interval(opts.pick(100_000, 10_000_000)))
+            .bugnet(
+                BugNetConfig::default().with_checkpoint_interval(opts.pick(100_000, 10_000_000)),
+            )
             .build_with_workload(&workload);
         let outcome = machine.run_to_completion();
         let fault = outcome

@@ -9,9 +9,8 @@ use bugnet_types::BugNetConfig;
 
 fn main() {
     println!("Table 3: hardware complexity, BugNet vs FDR\n");
-    let bugnet_10m = BugNetHardware::from_config(
-        &BugNetConfig::default().with_target_replay_window(10_000_000),
-    );
+    let bugnet_10m =
+        BugNetHardware::from_config(&BugNetConfig::default().with_target_replay_window(10_000_000));
     let bugnet_1b = BugNetHardware::from_config(
         &BugNetConfig::default().with_target_replay_window(1_000_000_000),
     );
@@ -24,7 +23,10 @@ fn main() {
         } else {
             "NIL".to_string()
         };
-        println!("{} | {} | {} | {}", item.name, item.area, item.area, fdr_value);
+        println!(
+            "{} | {} | {} | {}",
+            item.name, item.area, item.area, fdr_value
+        );
     }
     for item in fdr.items().iter().filter(|i| !i.name.contains("Race")) {
         println!("{} | NIL | NIL | {}", item.name, item.area);

@@ -1,0 +1,233 @@
+//! End-to-end throughput harness for the record/replay hot path.
+//!
+//! Prints a single JSON object to stdout so successive PRs can track the
+//! recorder's performance trajectory (`BENCH_baseline.json` in the repo root
+//! is the committed output of this harness). Run with:
+//!
+//! ```text
+//! cargo run --release -p bugnet_bench --bin throughput            # default scale
+//! cargo run --release -p bugnet_bench --bin throughput -- --paper-scale
+//! ```
+//!
+//! Metrics:
+//!
+//! * `recorder_loads_per_sec` — synthetic first-load stream pushed through
+//!   `ThreadRecorder::record_load` (dictionary + FLL encoder, the §4.3 path).
+//! * `fll_decode_records_per_sec` — decoding those records back out of the
+//!   packed stream (the replayer's §5.1 input path).
+//! * `dictionary_encode_ops_per_sec` — dictionary encode/update alone.
+//! * `bitstream_write_mbits_per_sec` / `bitstream_read_mbits_per_sec` —
+//!   raw codec bandwidth over an FLL-like field mix.
+//! * `machine_record_instrs_per_sec` / `machine_replay_instrs_per_sec` —
+//!   whole simulated machine running the gzip profile with the recorder
+//!   attached, then replaying and verifying every interval.
+
+use std::time::Instant;
+
+use bugnet_bench::ExperimentOptions;
+use bugnet_core::bitstream::{BitReader, BitWriter};
+use bugnet_core::fll::TerminationCause;
+use bugnet_core::recorder::ThreadRecorder;
+use bugnet_core::{Replayer, ValueDictionary};
+use bugnet_sim::MachineBuilder;
+use bugnet_types::{Addr, BugNetConfig, ProcessId, SplitMix64, ThreadId, Timestamp, Word};
+use bugnet_workloads::spec::SpecProfile;
+
+struct Metric {
+    name: &'static str,
+    value: f64,
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Synthetic load stream with the paper's frequent-value locality profile:
+/// (address, value, is_first_load).
+fn load_stream(len: usize) -> Vec<(Addr, Word, bool)> {
+    let mut rng = SplitMix64::new(0x70AD);
+    (0..len)
+        .map(|i| {
+            let value = if rng.chance(0.5) {
+                Word::new(rng.next_range(32) as u32)
+            } else {
+                Word::new(rng.next_u32())
+            };
+            let first = rng.chance(0.25);
+            (Addr::new(0x1_0000 + (i as u64 % 4096) * 4), value, first)
+        })
+        .collect()
+}
+
+fn bench_recorder(loads: &[(Addr, Word, bool)], interval: u64) -> (Vec<Metric>, f64) {
+    let cfg = BugNetConfig::default().with_checkpoint_interval(interval);
+    let mut recorder = ThreadRecorder::new(cfg, ProcessId(1), ThreadId(0));
+    let mut flls = Vec::new();
+    let ((), record_secs) = time(|| {
+        recorder.begin_interval(Default::default(), Timestamp(0));
+        for &(addr, value, first) in loads {
+            recorder.record_load(addr, value, first);
+            if recorder.record_committed_instruction() {
+                let logs = recorder
+                    .end_interval(TerminationCause::IntervalFull, &Default::default())
+                    .expect("interval open");
+                flls.push(logs.fll);
+                recorder.begin_interval(Default::default(), Timestamp(0));
+            }
+        }
+        if let Some(logs) =
+            recorder.end_interval(TerminationCause::ProgramExit, &Default::default())
+        {
+            flls.push(logs.fll);
+        }
+    });
+
+    let total_records: u64 = flls.iter().map(|f| f.records()).sum();
+    let (decoded, decode_secs) = time(|| {
+        let mut n = 0u64;
+        for fll in &flls {
+            n += fll.decode_records().expect("stream decodes").len() as u64;
+        }
+        n
+    });
+    assert_eq!(decoded, total_records);
+
+    let metrics = vec![
+        Metric {
+            name: "recorder_loads_per_sec",
+            value: loads.len() as f64 / record_secs,
+        },
+        Metric {
+            name: "fll_decode_records_per_sec",
+            value: total_records as f64 / decode_secs,
+        },
+    ];
+    (metrics, total_records as f64)
+}
+
+fn bench_dictionary(loads: &[(Addr, Word, bool)]) -> Metric {
+    let mut dict = ValueDictionary::new(64, 3);
+    let (hits, secs) = time(|| {
+        let mut hits = 0u64;
+        for &(_, value, _) in loads {
+            if dict.encode(value).is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    assert!(hits > 0);
+    Metric {
+        name: "dictionary_encode_ops_per_sec",
+        value: loads.len() as f64 / secs,
+    }
+}
+
+fn bench_bitstream(fields: usize) -> Vec<Metric> {
+    let mut rng = SplitMix64::new(0xB175);
+    let fields: Vec<(u64, u32)> = (0..fields)
+        .map(|_| {
+            let width = match rng.next_range(4) {
+                0 => 6,
+                1 => 7,
+                2 => 25,
+                _ => 33,
+            };
+            (rng.next_u64() & ((1u64 << width) - 1), width)
+        })
+        .collect();
+    let total_bits: u64 = fields.iter().map(|&(_, w)| u64::from(w)).sum();
+
+    let (stream, write_secs) = time(|| {
+        let mut w = BitWriter::with_capacity_bits(total_bits);
+        for &(value, width) in &fields {
+            w.write_bits(value, width);
+        }
+        w.finish()
+    });
+    let (sum, read_secs) = time(|| {
+        let mut r = BitReader::new(&stream);
+        let mut sum = 0u64;
+        for &(_, width) in &fields {
+            sum = sum.wrapping_add(r.read_bits(width).expect("in bounds"));
+        }
+        sum
+    });
+    assert!(sum != 0);
+
+    vec![
+        Metric {
+            name: "bitstream_write_mbits_per_sec",
+            value: total_bits as f64 / write_secs / 1e6,
+        },
+        Metric {
+            name: "bitstream_read_mbits_per_sec",
+            value: total_bits as f64 / read_secs / 1e6,
+        },
+    ]
+}
+
+fn bench_machine(instructions: u64, interval: u64) -> Vec<Metric> {
+    let workload = SpecProfile::gzip().build_workload(instructions, 1);
+    let mut machine = MachineBuilder::new()
+        .bugnet(BugNetConfig::default().with_checkpoint_interval(interval))
+        .build_with_workload(&workload);
+    let (outcome, record_secs) = time(|| machine.run_to_completion());
+    let committed = outcome.total_committed();
+
+    let logs = machine
+        .log_store()
+        .expect("recorder attached")
+        .dump_thread(ThreadId(0));
+    let program = machine.program_of(ThreadId(0)).expect("program exists");
+    let replayer = Replayer::new(program);
+    let (replayed, replay_secs) = time(|| {
+        replayer
+            .replay_thread(&logs)
+            .expect("replay succeeds")
+            .iter()
+            .map(|r| r.instructions)
+            .sum::<u64>()
+    });
+
+    vec![
+        Metric {
+            name: "machine_record_instrs_per_sec",
+            value: committed as f64 / record_secs,
+        },
+        Metric {
+            name: "machine_replay_instrs_per_sec",
+            value: replayed as f64 / replay_secs,
+        },
+    ]
+}
+
+fn main() {
+    let opts = ExperimentOptions::from_args();
+    let loads = load_stream(opts.pick(2_000_000, 20_000_000) as usize);
+    let interval = opts.pick(100_000, 10_000_000);
+
+    let mut metrics = Vec::new();
+    let (recorder_metrics, records) = bench_recorder(&loads, interval);
+    metrics.extend(recorder_metrics);
+    metrics.push(bench_dictionary(&loads));
+    metrics.extend(bench_bitstream(opts.pick(4_000_000, 20_000_000) as usize));
+    metrics.extend(bench_machine(
+        opts.pick(200_000, 2_000_000),
+        opts.pick(50_000, 1_000_000),
+    ));
+
+    println!("{{");
+    println!("  \"harness\": \"throughput\",");
+    println!("  \"paper_scale\": {},", opts.paper_scale);
+    println!("  \"loads\": {},", loads.len());
+    println!("  \"fll_records\": {},", records as u64);
+    println!("  \"checkpoint_interval\": {interval},");
+    for (i, m) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        println!("  \"{}\": {:.0}{comma}", m.name, m.value);
+    }
+    println!("}}");
+}

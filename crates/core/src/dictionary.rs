@@ -14,6 +14,17 @@
 //! positions, letting very frequent values percolate to the top. On a miss
 //! the value replaces the entry with the smallest counter (ties broken by the
 //! lowest position in the table).
+//!
+//! The rank-ordered entry array is shadowed by a `HashMap` from value to
+//! rank, kept in sync on every swap, insert and eviction, so the per-load
+//! encode/observe path is O(1) instead of a linear scan of the table. A
+//! histogram of counter values additionally locates the smallest live counter
+//! without scanning, so evictions only walk the tail of the array to find the
+//! lowest-positioned minimum. The observable rank/eviction semantics are
+//! identical to a linear-scan implementation (see the differential test in
+//! `tests/properties.rs`).
+
+use std::collections::HashMap;
 
 use bugnet_types::Word;
 
@@ -30,14 +41,32 @@ use bugnet_types::Word;
 /// dict.observe(Word::new(7));
 /// assert_eq!(dict.lookup(Word::new(7)), Some(0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ValueDictionary {
     entries: Vec<Entry>,
+    /// Value → rank shadow index; `index[entries[i].value] == i` always.
+    index: HashMap<Word, u32>,
+    /// `counter_histogram[c]` = number of entries whose counter equals `c`.
+    counter_histogram: Vec<u32>,
     capacity: usize,
     counter_max: u8,
     lookups: u64,
     hits: u64,
 }
+
+impl PartialEq for ValueDictionary {
+    fn eq(&self, other: &Self) -> bool {
+        // The entry array is the canonical state; the index and histogram are
+        // derived from it.
+        self.entries == other.entries
+            && self.capacity == other.capacity
+            && self.counter_max == other.counter_max
+            && self.lookups == other.lookups
+            && self.hits == other.hits
+    }
+}
+
+impl Eq for ValueDictionary {}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Entry {
@@ -54,11 +83,17 @@ impl ValueDictionary {
     /// Panics if `capacity` is zero or `counter_bits` is zero or above 8.
     pub fn new(capacity: usize, counter_bits: u32) -> Self {
         assert!(capacity > 0, "dictionary needs at least one entry");
-        assert!((1..=8).contains(&counter_bits), "counter must be 1..=8 bits");
+        assert!(
+            (1..=8).contains(&counter_bits),
+            "counter must be 1..=8 bits"
+        );
+        let counter_max = ((1u16 << counter_bits) - 1) as u8;
         ValueDictionary {
             entries: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            counter_histogram: vec![0; counter_max as usize + 1],
             capacity,
-            counter_max: ((1u16 << counter_bits) - 1) as u8,
+            counter_max,
             lookups: 0,
             hits: 0,
         }
@@ -83,12 +118,14 @@ impl ValueDictionary {
     /// the hit statistics.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.index.clear();
+        self.counter_histogram.fill(0);
     }
 
     /// The rank (index) of `value` if present. Does **not** update the table
     /// or the statistics; encoding uses [`ValueDictionary::encode`].
     pub fn lookup(&self, value: Word) -> Option<usize> {
-        self.entries.iter().position(|e| e.value == value)
+        self.index.get(&value).map(|&i| i as usize)
     }
 
     /// The value stored at `rank`, used by the replayer to resolve a logged
@@ -112,34 +149,68 @@ impl ValueDictionary {
 
     /// Applies the per-load table update for an executed load of `value`
     /// without recording compression statistics (used for loads that are not
-    /// logged, and by the replayer for every load).
+    /// logged, and by the replayer for every load). O(1) amortized: the hit
+    /// path is a hash probe plus at most one swap, and the insert path only
+    /// scans for an eviction victim when the table is full.
     pub fn observe(&mut self, value: Word) {
-        match self.lookup(value) {
-            Some(index) => {
-                let bumped = self.entries[index].counter.saturating_add(1).min(self.counter_max);
-                self.entries[index].counter = bumped;
-                if index > 0 && bumped >= self.entries[index - 1].counter {
-                    self.entries.swap(index - 1, index);
-                }
-            }
-            None => {
-                if self.entries.len() < self.capacity {
-                    self.entries.push(Entry { value, counter: 1 });
-                } else {
-                    // Replace the entry with the smallest counter; ties go to
-                    // the lowest position (largest index).
-                    let victim = self
-                        .entries
-                        .iter()
-                        .enumerate()
-                        .rev()
-                        .min_by_key(|(i, e)| (e.counter, std::cmp::Reverse(*i)))
-                        .map(|(i, _)| i)
-                        .expect("capacity > 0");
-                    self.entries[victim] = Entry { value, counter: 1 };
-                }
-            }
+        match self.index.get(&value) {
+            Some(&i) => self.bump(i as usize),
+            None => self.insert(value),
         }
+    }
+
+    /// Hit path: saturating-increment the counter at `i` and swap the entry
+    /// one rank upward if it now matches or exceeds its upstairs neighbour.
+    fn bump(&mut self, i: usize) {
+        let old = self.entries[i].counter;
+        let bumped = old.saturating_add(1).min(self.counter_max);
+        if bumped != old {
+            self.entries[i].counter = bumped;
+            self.counter_histogram[old as usize] -= 1;
+            self.counter_histogram[bumped as usize] += 1;
+        }
+        if i > 0 && bumped >= self.entries[i - 1].counter {
+            self.entries.swap(i - 1, i);
+            // Keep the shadow index in sync with the swap.
+            self.index.insert(self.entries[i - 1].value, (i - 1) as u32);
+            self.index.insert(self.entries[i].value, i as u32);
+        }
+    }
+
+    /// Miss path: append while there is room, otherwise replace the entry
+    /// with the smallest counter (ties broken by the lowest position, i.e.
+    /// the largest index).
+    fn insert(&mut self, value: Word) {
+        if self.entries.len() < self.capacity {
+            let rank = self.entries.len() as u32;
+            self.entries.push(Entry { value, counter: 1 });
+            self.index.insert(value, rank);
+            self.counter_histogram[1] += 1;
+        } else {
+            let victim = self.victim_position();
+            let old = self.entries[victim];
+            self.index.remove(&old.value);
+            self.counter_histogram[old.counter as usize] -= 1;
+            self.entries[victim] = Entry { value, counter: 1 };
+            self.index.insert(value, victim as u32);
+            self.counter_histogram[1] += 1;
+        }
+    }
+
+    /// Largest index whose counter equals the smallest live counter value.
+    /// The histogram pinpoints that counter value without a scan; the
+    /// backward search stops at the first (lowest-positioned) match, which
+    /// under frequent-value locality sits near the tail of the table.
+    fn victim_position(&self) -> usize {
+        let min_counter = self
+            .counter_histogram
+            .iter()
+            .position(|&n| n > 0)
+            .expect("table is full, some counter value is live") as u8;
+        self.entries
+            .iter()
+            .rposition(|e| e.counter == min_counter)
+            .expect("histogram says min_counter is live")
     }
 
     /// `(lookups, hits)` observed through [`ValueDictionary::encode`].
@@ -172,6 +243,24 @@ mod tests {
         ValueDictionary::new(cap, 3)
     }
 
+    /// The shadow index and counter histogram must always be derivable from
+    /// the entry array.
+    fn check_invariants(d: &ValueDictionary) {
+        assert_eq!(d.index.len(), d.entries.len());
+        for (i, e) in d.entries.iter().enumerate() {
+            assert_eq!(
+                d.index.get(&e.value),
+                Some(&(i as u32)),
+                "index desync at {i}"
+            );
+        }
+        let mut hist = vec![0u32; d.counter_max as usize + 1];
+        for e in &d.entries {
+            hist[e.counter as usize] += 1;
+        }
+        assert_eq!(hist, d.counter_histogram, "histogram desync");
+    }
+
     #[test]
     fn miss_then_hit() {
         let mut d = dict(4);
@@ -179,6 +268,7 @@ mod tests {
         assert_eq!(d.encode(Word::new(5)), Some(0));
         assert_eq!(d.stats(), (2, 1));
         assert!((d.hit_rate() - 0.5).abs() < 1e-9);
+        check_invariants(&d);
     }
 
     #[test]
@@ -192,6 +282,7 @@ mod tests {
         }
         assert_eq!(d.lookup(Word::new(2)), Some(0));
         assert_eq!(d.lookup(Word::new(1)), Some(1));
+        check_invariants(&d);
     }
 
     #[test]
@@ -200,12 +291,13 @@ mod tests {
         d.observe(Word::new(10)); // counter 1
         d.observe(Word::new(20)); // counter 1
         d.observe(Word::new(10)); // counter 2, stays/rises to top
-        // Table full; 30 replaces the entry with the smallest counter; both
-        // candidates... only 20 has counter 1, and it sits at the bottom.
+                                  // Table full; 30 replaces the entry with the smallest counter; both
+                                  // candidates... only 20 has counter 1, and it sits at the bottom.
         d.observe(Word::new(30));
         assert!(d.lookup(Word::new(10)).is_some());
         assert!(d.lookup(Word::new(20)).is_none());
         assert!(d.lookup(Word::new(30)).is_some());
+        check_invariants(&d);
     }
 
     #[test]
@@ -220,6 +312,7 @@ mod tests {
         assert_eq!(d.lookup(Word::new(1)), Some(0));
         assert_eq!(d.lookup(Word::new(2)), Some(1));
         assert_eq!(d.lookup(Word::new(4)), Some(2));
+        check_invariants(&d);
     }
 
     #[test]
@@ -233,6 +326,7 @@ mod tests {
         // A new value can still be inserted into the free slot.
         d.observe(Word::new(10));
         assert_eq!(d.lookup(Word::new(10)), Some(1));
+        check_invariants(&d);
     }
 
     #[test]
@@ -244,6 +338,7 @@ mod tests {
         assert!(d.is_empty());
         assert_eq!(d.stats(), (2, 1));
         assert_eq!(d.lookup(Word::new(3)), None);
+        check_invariants(&d);
     }
 
     #[test]
@@ -279,5 +374,21 @@ mod tests {
             rep.observe(Word::new(v));
             assert_eq!(enc.entries, rep.entries);
         }
+        check_invariants(&enc);
+        check_invariants(&rep);
+    }
+
+    #[test]
+    fn index_survives_heavy_churn() {
+        // Many evictions and swaps with a small table; the shadow structures
+        // must stay consistent throughout.
+        let mut d = dict(4);
+        let mut x = 1u32;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            d.observe(Word::new(x % 23));
+        }
+        check_invariants(&d);
+        assert_eq!(d.len(), 4);
     }
 }

@@ -42,6 +42,32 @@ pub enum TerminationCause {
     ProgramExit,
 }
 
+impl TerminationCause {
+    /// Compact tag used in the serialized log dump.
+    fn to_tag(self) -> u64 {
+        match self {
+            TerminationCause::IntervalFull => 0,
+            TerminationCause::Interrupt => 1,
+            TerminationCause::ContextSwitch => 2,
+            TerminationCause::Syscall => 3,
+            TerminationCause::Fault => 4,
+            TerminationCause::ProgramExit => 5,
+        }
+    }
+
+    fn from_tag(tag: u64) -> Option<Self> {
+        Some(match tag {
+            0 => TerminationCause::IntervalFull,
+            1 => TerminationCause::Interrupt,
+            2 => TerminationCause::ContextSwitch,
+            3 => TerminationCause::Syscall,
+            4 => TerminationCause::Fault,
+            5 => TerminationCause::ProgramExit,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for TerminationCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -76,6 +102,51 @@ impl FllHeader {
     pub fn encoded_bits(checkpoint_id_bits: u32) -> u64 {
         // PID + TID + C-ID + timestamp + PC + 32 registers.
         32 + 32 + checkpoint_id_bits as u64 + 64 + ArchState::encoded_bits()
+    }
+
+    /// Serializes the header. The fixed 32-bit fields and the architectural
+    /// snapshot go through the writer's byte-aligned bulk path, so with the
+    /// default 8-bit C-ID the whole header is a handful of `memcpy`s.
+    pub fn encode_into(&self, w: &mut BitWriter, checkpoint_id_bits: u32) {
+        w.write_bytes(&self.process.0.to_le_bytes());
+        w.write_bytes(&self.thread.0.to_le_bytes());
+        w.write_bits(u64::from(self.checkpoint.0), checkpoint_id_bits);
+        w.write_bits(self.timestamp.0, 64);
+        let mut arch = [0u8; 4 + 32 * 4];
+        arch[..4].copy_from_slice(&(self.arch.pc.raw() as u32).to_le_bytes());
+        for (i, reg) in self.arch.regs.iter().enumerate() {
+            arch[4 + i * 4..8 + i * 4].copy_from_slice(&reg.get().to_le_bytes());
+        }
+        w.write_bytes(&arch);
+    }
+
+    /// Decodes a header written by [`FllHeader::encode_into`].
+    pub fn decode_from(r: &mut BitReader<'_>, checkpoint_id_bits: u32) -> Option<Self> {
+        let mut word = [0u8; 4];
+        r.read_bytes(&mut word)?;
+        let process = ProcessId(u32::from_le_bytes(word));
+        r.read_bytes(&mut word)?;
+        let thread = ThreadId(u32::from_le_bytes(word));
+        let checkpoint = CheckpointId(r.read_bits(checkpoint_id_bits)? as u32);
+        let timestamp = Timestamp(r.read_bits(64)?);
+        let mut arch_bytes = [0u8; 4 + 32 * 4];
+        r.read_bytes(&mut arch_bytes)?;
+        let pc = Addr::new(u64::from(u32::from_le_bytes(
+            arch_bytes[..4].try_into().ok()?,
+        )));
+        let mut regs = [Word::ZERO; 32];
+        for (i, reg) in regs.iter_mut().enumerate() {
+            *reg = Word::new(u32::from_le_bytes(
+                arch_bytes[4 + i * 4..8 + i * 4].try_into().ok()?,
+            ));
+        }
+        Some(FllHeader {
+            process,
+            thread,
+            checkpoint,
+            timestamp,
+            arch: ArchState::new(pc, regs),
+        })
     }
 }
 
@@ -204,12 +275,32 @@ impl FllEncoder {
         }
     }
 
+    /// Creates an encoder with storage pre-reserved for roughly
+    /// `expected_records` common-case records, so recording an interval does
+    /// not reallocate the stream buffer record by record.
+    pub fn with_record_capacity(codec: FllCodec, expected_records: u64) -> Self {
+        FllEncoder {
+            codec,
+            writer: BitWriter::with_capacity_bits(expected_records * codec.record_bits(0, true)),
+            records: 0,
+            dictionary_hits: 0,
+            uncompressed_bits: 0,
+        }
+    }
+
     /// Appends one record.
+    ///
+    /// Each type bit is fused with the field that follows it into a single
+    /// accumulator push (LSB-first concatenation), so a common-case record
+    /// (reduced L-Count + dictionary rank) costs two `write_bits` calls.
     pub fn push(&mut self, skipped: u64, value: EncodedValue) {
         // LC-Type + L-Count.
         if skipped <= self.codec.reduced_lcount_max() {
-            self.writer.write_bit(false);
-            self.writer.write_bits(skipped, self.codec.reduced_lcount_bits);
+            self.writer
+                .write_bits(skipped << 1, self.codec.reduced_lcount_bits + 1);
+        } else if self.codec.full_lcount_bits < 64 {
+            self.writer
+                .write_bits((skipped << 1) | 1, self.codec.full_lcount_bits + 1);
         } else {
             self.writer.write_bit(true);
             self.writer.write_bits(skipped, self.codec.full_lcount_bits);
@@ -217,13 +308,12 @@ impl FllEncoder {
         // LV-Type + value.
         match value {
             EncodedValue::DictRank(rank) => {
-                self.writer.write_bit(false);
-                self.writer.write_bits(rank as u64, self.codec.dict_index_bits);
+                self.writer
+                    .write_bits((rank as u64) << 1, self.codec.dict_index_bits + 1);
                 self.dictionary_hits += 1;
             }
             EncodedValue::Full(word) => {
-                self.writer.write_bit(true);
-                self.writer.write_bits(word.get() as u64, 32);
+                self.writer.write_bits((u64::from(word.get()) << 1) | 1, 33);
             }
         }
         self.records += 1;
@@ -325,7 +415,8 @@ impl FirstLoadLog {
 
     /// Total size of the log (header + records + fault trailer).
     pub fn size(&self) -> ByteSize {
-        let mut bits = FllHeader::encoded_bits(self.codec.checkpoint_id_bits) + self.stream.bit_len();
+        let mut bits =
+            FllHeader::encoded_bits(self.codec.checkpoint_id_bits) + self.stream.bit_len();
         if self.fault.is_some() {
             bits += FaultRecord::encoded_bits();
         }
@@ -344,7 +435,8 @@ impl FirstLoadLog {
 
     /// Dictionary compression ratio of the payload (uncompressed / actual).
     pub fn compression_ratio(&self) -> f64 {
-        self.uncompressed_payload_size().ratio_to(self.payload_size())
+        self.uncompressed_payload_size()
+            .ratio_to(self.payload_size())
     }
 
     /// Iterator-style reader over the records.
@@ -368,6 +460,114 @@ impl FirstLoadLog {
             out.push(record);
         }
         Ok(out)
+    }
+
+    /// Serializes the complete log — codec widths, header, metadata and the
+    /// packed record stream — into a byte vector. The header and the record
+    /// stream go through the writer's byte-aligned bulk path. This is the
+    /// format a software BugNet driver would dump to disk after a crash; it
+    /// is deterministic, so golden tests compare it byte for byte.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = BitWriter::with_capacity_bits(
+            FllHeader::encoded_bits(self.codec.checkpoint_id_bits) + self.stream.bit_len() + 512,
+        );
+        // Codec widths first, so the decoder knows every later field width.
+        w.write_bytes(&[
+            self.codec.reduced_lcount_bits as u8,
+            self.codec.full_lcount_bits as u8,
+            self.codec.dict_index_bits as u8,
+            self.codec.checkpoint_id_bits as u8,
+            self.codec.dictionary_counter_bits as u8,
+        ]);
+        w.write_bytes(&(self.codec.dictionary_entries as u32).to_le_bytes());
+        self.header
+            .encode_into(&mut w, self.codec.checkpoint_id_bits);
+        w.write_bits(self.instructions, 64);
+        w.write_bits(self.loads_executed, 64);
+        w.write_bits(self.termination.to_tag(), 3);
+        match self.fault {
+            Some(fault) => {
+                w.write_bit(true);
+                w.write_bits(u64::from(fault.pc.raw() as u32), 32);
+                w.write_bits(fault.icount_in_interval.0, 64);
+            }
+            None => w.write_bit(false),
+        }
+        w.write_bits(self.payload.records, 64);
+        w.write_bits(self.payload.dictionary_hits, 64);
+        w.write_bits(self.payload.uncompressed_bits, 64);
+        // Re-align so the record stream is a straight memcpy both ways.
+        w.write_bits(0, 4);
+        w.write_bits(self.stream.bit_len(), 64);
+        w.write_bytes(self.stream.as_bytes());
+        w.finish().as_bytes().to_vec()
+    }
+
+    /// Deserializes a log written by [`FirstLoadLog::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FllDecodeError::Truncated`] if the buffer is too short or
+    /// structurally inconsistent.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FllDecodeError> {
+        let stream = BitStream::from_bytes(bytes.to_vec(), bytes.len() as u64 * 8);
+        let mut r = BitReader::new(&stream);
+        let mut widths = [0u8; 5];
+        r.read_bytes(&mut widths).ok_or(FllDecodeError::Truncated)?;
+        let mut entries = [0u8; 4];
+        r.read_bytes(&mut entries)
+            .ok_or(FllDecodeError::Truncated)?;
+        let codec = FllCodec {
+            reduced_lcount_bits: u32::from(widths[0]),
+            full_lcount_bits: u32::from(widths[1]),
+            dict_index_bits: u32::from(widths[2]),
+            checkpoint_id_bits: u32::from(widths[3]),
+            dictionary_counter_bits: u32::from(widths[4]),
+            dictionary_entries: u32::from_le_bytes(entries) as usize,
+        };
+        let header = FllHeader::decode_from(&mut r, codec.checkpoint_id_bits)
+            .ok_or(FllDecodeError::Truncated)?;
+        let instructions = r.read_bits(64).ok_or(FllDecodeError::Truncated)?;
+        let loads_executed = r.read_bits(64).ok_or(FllDecodeError::Truncated)?;
+        let termination =
+            TerminationCause::from_tag(r.read_bits(3).ok_or(FllDecodeError::Truncated)?)
+                .ok_or(FllDecodeError::Truncated)?;
+        let fault = if r.read_bit().ok_or(FllDecodeError::Truncated)? {
+            let pc = Addr::new(r.read_bits(32).ok_or(FllDecodeError::Truncated)?);
+            let icount = InstrCount(r.read_bits(64).ok_or(FllDecodeError::Truncated)?);
+            Some(FaultRecord {
+                pc,
+                icount_in_interval: icount,
+            })
+        } else {
+            None
+        };
+        let payload = FllPayloadStats {
+            records: r.read_bits(64).ok_or(FllDecodeError::Truncated)?,
+            dictionary_hits: r.read_bits(64).ok_or(FllDecodeError::Truncated)?,
+            uncompressed_bits: r.read_bits(64).ok_or(FllDecodeError::Truncated)?,
+        };
+        r.read_bits(4).ok_or(FllDecodeError::Truncated)?;
+        let stream_bits = r.read_bits(64).ok_or(FllDecodeError::Truncated)?;
+        // A corrupt dump could claim any 64-bit stream length; bound it by
+        // the bits actually present before allocating (read_bytes below
+        // still catches a shortfall in the padding byte).
+        if stream_bits > r.remaining() {
+            return Err(FllDecodeError::Truncated);
+        }
+        let mut stream_bytes = vec![0u8; stream_bits.div_ceil(8) as usize];
+        r.read_bytes(&mut stream_bytes)
+            .ok_or(FllDecodeError::Truncated)?;
+        Ok(FirstLoadLog {
+            header,
+            instructions,
+            loads_executed,
+            termination,
+            fault,
+            codec,
+            stream: BitStream::from_bytes(stream_bytes, stream_bits),
+            payload,
+        })
     }
 }
 
@@ -521,16 +721,19 @@ mod tests {
                 icount_in_interval: InstrCount(9),
             }),
         );
-        assert_eq!(with_fault.size().bits(), no_fault + FaultRecord::encoded_bits());
         assert_eq!(
-            FllHeader::encoded_bits(8),
-            32 + 32 + 8 + 64 + (33 * 32)
+            with_fault.size().bits(),
+            no_fault + FaultRecord::encoded_bits()
         );
+        assert_eq!(FllHeader::encoded_bits(8), 32 + 32 + 8 + 64 + (33 * 32));
     }
 
     #[test]
     fn compression_ratio_reflects_dictionary_hits() {
-        let all_hits = make_log(&[(0, EncodedValue::DictRank(1)), (0, EncodedValue::DictRank(2))]);
+        let all_hits = make_log(&[
+            (0, EncodedValue::DictRank(1)),
+            (0, EncodedValue::DictRank(2)),
+        ]);
         let no_hits = make_log(&[
             (0, EncodedValue::Full(Word::new(1))),
             (0, EncodedValue::Full(Word::new(2))),
@@ -543,7 +746,10 @@ mod tests {
 
     #[test]
     fn reader_reports_remaining() {
-        let log = make_log(&[(0, EncodedValue::DictRank(1)), (1, EncodedValue::DictRank(2))]);
+        let log = make_log(&[
+            (0, EncodedValue::DictRank(1)),
+            (1, EncodedValue::DictRank(2)),
+        ]);
         let mut reader = log.records_reader();
         assert_eq!(reader.remaining(), 2);
         reader.next_record().unwrap();
@@ -557,5 +763,138 @@ mod tests {
         let log = make_log(&[]);
         assert!(log.to_string().contains("interval full"));
         assert_eq!(TerminationCause::Fault.to_string(), "fault");
+    }
+
+    #[test]
+    fn header_encodes_through_the_bulk_path() {
+        let mut arch = ArchState {
+            pc: Addr::new(0x40_0010),
+            ..ArchState::default()
+        };
+        arch.regs[5] = Word::new(0xdead_beef);
+        let header = FllHeader {
+            process: ProcessId(7),
+            thread: ThreadId(3),
+            checkpoint: CheckpointId(200),
+            timestamp: Timestamp(123_456_789),
+            arch,
+        };
+        let mut w = BitWriter::new();
+        header.encode_into(&mut w, 8);
+        let stream = w.finish();
+        assert_eq!(stream.bit_len(), FllHeader::encoded_bits(8));
+        let mut r = BitReader::new(&stream);
+        assert_eq!(FllHeader::decode_from(&mut r, 8), Some(header));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn log_serialization_round_trips() {
+        let records = vec![
+            (0, EncodedValue::Full(Word::new(0xdead_beef))),
+            (3, EncodedValue::DictRank(5)),
+            (1_000_000, EncodedValue::DictRank(0)),
+        ];
+        let log = make_log(&records);
+        let bytes = log.to_bytes();
+        let back = FirstLoadLog::from_bytes(&bytes).unwrap();
+        assert_eq!(back, log);
+        // Serialization is deterministic byte for byte.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn log_serialization_round_trips_with_fault() {
+        let mut enc = FllEncoder::new(codec());
+        enc.push(2, EncodedValue::Full(Word::new(41)));
+        let (stream, payload) = enc.finish();
+        let log = FirstLoadLog::new(
+            header(),
+            codec(),
+            stream,
+            payload,
+            10,
+            1,
+            TerminationCause::Fault,
+            Some(FaultRecord {
+                pc: Addr::new(0x400010),
+                icount_in_interval: InstrCount(9),
+            }),
+        );
+        let back = FirstLoadLog::from_bytes(&log.to_bytes()).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(back.fault, log.fault);
+        assert_eq!(back.termination, TerminationCause::Fault);
+    }
+
+    #[test]
+    fn truncated_serialized_log_is_rejected() {
+        let log = make_log(&[(0, EncodedValue::DictRank(1))]);
+        let bytes = log.to_bytes();
+        for len in [0, 4, 8, bytes.len() - 1] {
+            assert_eq!(
+                FirstLoadLog::from_bytes(&bytes[..len]),
+                Err(FllDecodeError::Truncated),
+                "prefix of {len} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_stream_length_is_rejected_without_allocating() {
+        let log = make_log(&[(0, EncodedValue::DictRank(1))]);
+        let mut bytes = log.to_bytes();
+        // The 8-byte stream bit-length field sits right before the stream
+        // bytes; overwrite it with absurd values.
+        let stream_len = log.payload_size().bits().div_ceil(8) as usize;
+        let field = bytes.len() - stream_len - 8;
+        for corrupt in [u64::MAX, 1 << 40, (bytes.len() as u64) * 8 + 1] {
+            bytes[field..field + 8].copy_from_slice(&corrupt.to_le_bytes());
+            assert_eq!(
+                FirstLoadLog::from_bytes(&bytes),
+                Err(FllDecodeError::Truncated),
+                "stream_bits = {corrupt} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_type_bits_keep_the_wire_format() {
+        // Reference encoding: type bit written separately from its field, as
+        // the original implementation did. The fused fast path must produce
+        // the identical stream.
+        let c = codec();
+        let records = [
+            (0u64, EncodedValue::DictRank(5)),
+            (31, EncodedValue::Full(Word::new(0xffff_ffff))),
+            (32, EncodedValue::DictRank(63)),
+            (9_999_999, EncodedValue::Full(Word::new(0))),
+        ];
+        let mut reference = BitWriter::new();
+        for (skipped, value) in &records {
+            if *skipped <= c.reduced_lcount_max() {
+                reference.write_bit(false);
+                reference.write_bits(*skipped, c.reduced_lcount_bits);
+            } else {
+                reference.write_bit(true);
+                reference.write_bits(*skipped, c.full_lcount_bits);
+            }
+            match value {
+                EncodedValue::DictRank(rank) => {
+                    reference.write_bit(false);
+                    reference.write_bits(*rank as u64, c.dict_index_bits);
+                }
+                EncodedValue::Full(word) => {
+                    reference.write_bit(true);
+                    reference.write_bits(u64::from(word.get()), 32);
+                }
+            }
+        }
+        let mut enc = FllEncoder::new(c);
+        for (skipped, value) in &records {
+            enc.push(*skipped, *value);
+        }
+        let (stream, _) = enc.finish();
+        assert_eq!(stream, reference.finish());
     }
 }

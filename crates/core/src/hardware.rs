@@ -28,8 +28,7 @@ pub struct BugNetHardware {
 impl BugNetHardware {
     /// Builds the budget from a recorder configuration.
     pub fn from_config(cfg: &BugNetConfig) -> Self {
-        let dict_bits =
-            cfg.dictionary_entries as u64 * (32 + cfg.dictionary_counter_bits as u64);
+        let dict_bits = cfg.dictionary_entries as u64 * (32 + cfg.dictionary_counter_bits as u64);
         let items = vec![
             HardwareItem {
                 name: "Checkpoint Buffer (CB)".to_string(),
@@ -91,7 +90,8 @@ mod tests {
 
     #[test]
     fn dictionary_size_scales_cam_area() {
-        let small = BugNetHardware::from_config(&BugNetConfig::default().with_dictionary_entries(8));
+        let small =
+            BugNetHardware::from_config(&BugNetConfig::default().with_dictionary_entries(8));
         let large =
             BugNetHardware::from_config(&BugNetConfig::default().with_dictionary_entries(1024));
         assert!(large.total_area() > small.total_area());

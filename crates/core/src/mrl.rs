@@ -22,6 +22,8 @@ use bugnet_types::{
     BugNetConfig, ByteSize, CheckpointId, InstrCount, ProcessId, ThreadId, Timestamp,
 };
 
+use crate::bitstream::{BitReader, BitStream, BitWriter};
+
 /// Execution state a remote core attaches to its coherence reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RemoteExecState {
@@ -98,6 +100,82 @@ impl MemoryRaceLog {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Serializes the log into a byte vector through the bitstream writer's
+    /// byte-aligned bulk path. Like [`crate::fll::FirstLoadLog::to_bytes`],
+    /// this is the deterministic software dump format used by golden tests.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = BitWriter::with_capacity_bits(256 + self.entries.len() as u64 * 192);
+        w.write_bytes(&[self.checkpoint_id_bits as u8]);
+        w.write_bits(self.entry_bits, 64);
+        w.write_bytes(&self.header.process.0.to_le_bytes());
+        w.write_bytes(&self.header.thread.0.to_le_bytes());
+        w.write_bytes(&self.header.checkpoint.0.to_le_bytes());
+        w.write_bits(self.header.timestamp.0, 64);
+        w.write_bits(self.suppressed, 64);
+        w.write_bits(self.entries.len() as u64, 64);
+        for e in &self.entries {
+            let mut buf = [0u8; 24];
+            buf[..8].copy_from_slice(&e.local_ic.0.to_le_bytes());
+            buf[8..12].copy_from_slice(&e.remote.thread.0.to_le_bytes());
+            buf[12..16].copy_from_slice(&e.remote.checkpoint.0.to_le_bytes());
+            buf[16..24].copy_from_slice(&e.remote.instructions.0.to_le_bytes());
+            w.write_bytes(&buf);
+        }
+        w.finish().as_bytes().to_vec()
+    }
+
+    /// Deserializes a log written by [`MemoryRaceLog::to_bytes`], or `None`
+    /// if the buffer is truncated.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let stream = BitStream::from_bytes(bytes.to_vec(), bytes.len() as u64 * 8);
+        let mut r = BitReader::new(&stream);
+        let mut byte = [0u8; 1];
+        r.read_bytes(&mut byte)?;
+        let checkpoint_id_bits = u32::from(byte[0]);
+        let entry_bits = r.read_bits(64)?;
+        let mut word = [0u8; 4];
+        r.read_bytes(&mut word)?;
+        let process = ProcessId(u32::from_le_bytes(word));
+        r.read_bytes(&mut word)?;
+        let thread = ThreadId(u32::from_le_bytes(word));
+        r.read_bytes(&mut word)?;
+        let checkpoint = CheckpointId(u32::from_le_bytes(word));
+        let timestamp = Timestamp(r.read_bits(64)?);
+        let suppressed = r.read_bits(64)?;
+        let count = r.read_bits(64)?;
+        // A corrupt dump could claim any 64-bit count; bound it by the bytes
+        // actually present (24 per entry) before allocating.
+        if count > r.remaining() / (24 * 8) {
+            return None;
+        }
+        let count = count as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut buf = [0u8; 24];
+            r.read_bytes(&mut buf)?;
+            entries.push(RaceEntry {
+                local_ic: InstrCount(u64::from_le_bytes(buf[..8].try_into().ok()?)),
+                remote: RemoteExecState {
+                    thread: ThreadId(u32::from_le_bytes(buf[8..12].try_into().ok()?)),
+                    checkpoint: CheckpointId(u32::from_le_bytes(buf[12..16].try_into().ok()?)),
+                    instructions: InstrCount(u64::from_le_bytes(buf[16..24].try_into().ok()?)),
+                },
+            });
+        }
+        Some(MemoryRaceLog {
+            header: MrlHeader {
+                process,
+                thread,
+                checkpoint,
+                timestamp,
+            },
+            entries,
+            suppressed,
+            entry_bits,
+            checkpoint_id_bits,
+        })
+    }
 }
 
 impl fmt::Display for MemoryRaceLog {
@@ -136,7 +214,7 @@ impl MrlBuilder {
             + cfg.interval_ic_bits() as u64;
         MrlBuilder {
             header,
-            entries: Vec::new(),
+            entries: Vec::with_capacity(16),
             suppressed: 0,
             last_seen: HashMap::new(),
             netzer: cfg.netzer_reduction,
@@ -261,5 +339,42 @@ mod tests {
         let mut b = MrlBuilder::new(header(), &cfg);
         b.record(InstrCount(1), remote(1, 0, 1));
         assert!(b.finish().to_string().contains("1 entries"));
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let cfg = BugNetConfig::default();
+        let mut b = MrlBuilder::new(header(), &cfg);
+        b.record(InstrCount(10), remote(1, 0, 200));
+        b.record(InstrCount(20), remote(1, 0, 150)); // suppressed
+        b.record(InstrCount(30), remote(2, 3, 77));
+        let log = b.finish();
+        let bytes = log.to_bytes();
+        let back = MemoryRaceLog::from_bytes(&bytes).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(back.suppressed_entries(), 1);
+        assert_eq!(back.to_bytes(), bytes);
+        // Truncated buffers are rejected.
+        assert_eq!(MemoryRaceLog::from_bytes(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(MemoryRaceLog::from_bytes(&[]), None);
+    }
+
+    #[test]
+    fn corrupt_entry_count_is_rejected_without_allocating() {
+        let cfg = BugNetConfig::default();
+        let mut b = MrlBuilder::new(header(), &cfg);
+        b.record(InstrCount(10), remote(1, 0, 200));
+        let log = b.finish();
+        let mut bytes = log.to_bytes();
+        // The 8-byte entry-count field sits right before the 24-byte entries.
+        let field = bytes.len() - 24 - 8;
+        for corrupt in [u64::MAX, 1 << 40, 2u64] {
+            bytes[field..field + 8].copy_from_slice(&corrupt.to_le_bytes());
+            assert_eq!(
+                MemoryRaceLog::from_bytes(&bytes),
+                None,
+                "count = {corrupt} must be rejected"
+            );
+        }
     }
 }

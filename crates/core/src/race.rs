@@ -216,7 +216,11 @@ pub fn analyze(histories: &[ThreadHistory<'_>], max_race_pairs: usize) -> RaceAn
                                         &states[&e.remote_thread].interval_instr_offset;
                                     (
                                         e.remote_thread,
-                                        global_instr(remote_offsets, e.remote_interval, e.remote_ic),
+                                        global_instr(
+                                            remote_offsets,
+                                            e.remote_interval,
+                                            e.remote_ic,
+                                        ),
                                     )
                                 })
                                 .collect()
@@ -264,10 +268,12 @@ pub fn analyze(histories: &[ThreadHistory<'_>], max_race_pairs: usize) -> RaceAn
     for e in &edges {
         let local_offsets = &states[&e.local_thread].interval_instr_offset;
         let remote_offsets = &states[&e.remote_thread].interval_instr_offset;
-        hb.entry((e.remote_thread, e.local_thread)).or_default().push((
-            global_instr(remote_offsets, e.remote_interval, e.remote_ic),
-            global_instr(local_offsets, e.local_interval, e.local_ic),
-        ));
+        hb.entry((e.remote_thread, e.local_thread))
+            .or_default()
+            .push((
+                global_instr(remote_offsets, e.remote_interval, e.remote_ic),
+                global_instr(local_offsets, e.local_interval, e.local_ic),
+            ));
     }
 
     let ordered = |a: &GlobalOp, b: &GlobalOp, states: &BTreeMap<ThreadId, ThreadState>| -> bool {

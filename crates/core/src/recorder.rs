@@ -20,8 +20,6 @@
 //!    the finished FLL + MRL pair, which the machine pushes into the
 //!    [`LogStore`] (the memory-backed circular region of §4.7).
 
-use std::collections::BTreeMap;
-
 use bugnet_cpu::ArchState;
 use bugnet_types::{
     Addr, BugNetConfig, ByteSize, CheckpointId, InstrCount, ProcessId, ThreadId, Timestamp, Word,
@@ -77,6 +75,11 @@ pub struct ThreadRecorder {
     next_checkpoint: CheckpointId,
     current: Option<IntervalState>,
     intervals_completed: u64,
+    /// Dictionary recycled between intervals: the paper's hardware clears the
+    /// CAM at each checkpoint rather than rebuilding it, and reusing the
+    /// allocation (entry array + hash index) keeps `begin_interval` off the
+    /// allocator on the hot recording path.
+    spare_dictionary: Option<ValueDictionary>,
 }
 
 impl ThreadRecorder {
@@ -91,6 +94,7 @@ impl ThreadRecorder {
             next_checkpoint: CheckpointId(0),
             current: None,
             intervals_completed: 0,
+            spare_dictionary: None,
         }
     }
 
@@ -155,13 +159,24 @@ impl ThreadRecorder {
             checkpoint,
             timestamp,
         };
-        self.current = Some(IntervalState {
-            header,
-            encoder: FllEncoder::new(self.codec),
-            dictionary: ValueDictionary::new(
+        let dictionary = match self.spare_dictionary.take() {
+            Some(mut dict) => {
+                dict.clear();
+                dict
+            }
+            None => ValueDictionary::new(
                 self.cfg.dictionary_entries,
                 self.cfg.dictionary_counter_bits,
             ),
+        };
+        // Reserve room for a plausible record count up front; logging roughly
+        // one first load per 64 instructions is typical for the paper's
+        // workloads, and the clamp keeps tiny test intervals cheap.
+        let expected_records = (self.cfg.checkpoint_interval / 64).clamp(32, 64 * 1024);
+        self.current = Some(IntervalState {
+            header,
+            encoder: FllEncoder::with_record_capacity(self.codec, expected_records),
+            dictionary,
             mrl: MrlBuilder::new(mrl_header, &self.cfg),
             skipped_since_log: 0,
             loads_executed: 0,
@@ -266,6 +281,7 @@ impl ThreadRecorder {
     ) -> Option<CheckpointLogs> {
         let mut state = self.current.take()?;
         state.digest.record_final_state(final_state);
+        self.spare_dictionary = Some(state.dictionary);
         let (stream, payload) = state.encoder.finish();
         let fll = FirstLoadLog::new(
             state.header,
@@ -287,18 +303,41 @@ impl ThreadRecorder {
     }
 }
 
+/// Per-thread slice of the log region. Each shard is independent of the
+/// others — one writer thread appends to one shard — which is what makes the
+/// store ready for parallel interval flushing.
+#[derive(Debug)]
+struct ThreadShard {
+    thread: ThreadId,
+    /// Retained logs, oldest first.
+    logs: Vec<CheckpointLogs>,
+    /// Cached sum of FLL sizes of `logs`, in bits.
+    fll_bits: u64,
+    /// Cached sum of MRL sizes of `logs`, in bits.
+    mrl_bits: u64,
+    /// Cached sum of committed instructions of `logs` (the replay window).
+    instructions: u64,
+}
+
 /// The memory-backed circular log region (paper §4.7).
 ///
 /// Completed FLL/MRL pairs are appended here; when the configured capacity is
 /// exceeded, the logs of the globally oldest checkpoint (by timestamp) are
 /// discarded, exactly like the hardware overwriting the oldest logs in
 /// memory. The retained logs determine the replay window of each thread.
+///
+/// Internally the store is a flat array of per-thread shards (sorted by
+/// thread id) with running size totals, so `push` is O(1) plus the rare
+/// eviction, instead of re-summing every retained log on each append as a
+/// map-of-vectors implementation must.
 #[derive(Debug)]
 pub struct LogStore {
     fll_capacity: ByteSize,
     mrl_capacity: ByteSize,
-    per_thread: BTreeMap<ThreadId, Vec<CheckpointLogs>>,
+    shards: Vec<ThreadShard>,
     evicted_checkpoints: u64,
+    total_fll_bits: u64,
+    total_mrl_bits: u64,
 }
 
 impl LogStore {
@@ -307,18 +346,46 @@ impl LogStore {
         LogStore {
             fll_capacity: cfg.fll_region,
             mrl_capacity: cfg.mrl_region,
-            per_thread: BTreeMap::new(),
+            shards: Vec::new(),
             evicted_checkpoints: 0,
+            total_fll_bits: 0,
+            total_mrl_bits: 0,
         }
+    }
+
+    fn shard_index(&self, thread: ThreadId) -> Result<usize, usize> {
+        self.shards.binary_search_by_key(&thread, |s| s.thread)
     }
 
     /// Appends the logs of a completed interval and applies the eviction
     /// policy.
     pub fn push(&mut self, logs: CheckpointLogs) {
-        self.per_thread
-            .entry(logs.fll.header.thread)
-            .or_default()
-            .push(logs);
+        let thread = logs.fll.header.thread;
+        let fll_bits = logs.fll.size().bits();
+        let mrl_bits = logs.mrl.size().bits();
+        let instructions = logs.fll.instructions;
+        let shard = match self.shard_index(thread) {
+            Ok(i) => &mut self.shards[i],
+            Err(i) => {
+                self.shards.insert(
+                    i,
+                    ThreadShard {
+                        thread,
+                        logs: Vec::new(),
+                        fll_bits: 0,
+                        mrl_bits: 0,
+                        instructions: 0,
+                    },
+                );
+                &mut self.shards[i]
+            }
+        };
+        shard.logs.push(logs);
+        shard.fll_bits += fll_bits;
+        shard.mrl_bits += mrl_bits;
+        shard.instructions += instructions;
+        self.total_fll_bits += fll_bits;
+        self.total_mrl_bits += mrl_bits;
         self.evict_to_capacity();
     }
 
@@ -333,14 +400,23 @@ impl LogStore {
             // checkpoint a thread has (keep at least one per thread so a
             // crash is always replayable).
             let victim = self
-                .per_thread
+                .shards
                 .iter()
-                .filter(|(_, q)| q.len() > 1)
-                .min_by_key(|(_, q)| q.first().map(|l| l.fll.header.timestamp))
-                .map(|(t, _)| *t);
+                .enumerate()
+                .filter(|(_, s)| s.logs.len() > 1)
+                .min_by_key(|(_, s)| s.logs.first().map(|l| l.fll.header.timestamp))
+                .map(|(i, _)| i);
             match victim {
-                Some(thread) => {
-                    self.per_thread.get_mut(&thread).expect("victim exists").remove(0);
+                Some(i) => {
+                    let shard = &mut self.shards[i];
+                    let evicted = shard.logs.remove(0);
+                    let fll_bits = evicted.fll.size().bits();
+                    let mrl_bits = evicted.mrl.size().bits();
+                    shard.fll_bits -= fll_bits;
+                    shard.mrl_bits -= mrl_bits;
+                    shard.instructions -= evicted.fll.instructions;
+                    self.total_fll_bits -= fll_bits;
+                    self.total_mrl_bits -= mrl_bits;
                     self.evicted_checkpoints += 1;
                 }
                 None => return,
@@ -350,24 +426,21 @@ impl LogStore {
 
     /// Logs currently retained for `thread`, oldest first.
     pub fn thread_logs(&self, thread: ThreadId) -> &[CheckpointLogs] {
-        self.per_thread
-            .get(&thread)
-            .map(|q| q.as_slice())
-            .unwrap_or(&[])
+        match self.shard_index(thread) {
+            Ok(i) => &self.shards[i].logs,
+            Err(_) => &[],
+        }
     }
 
     /// All retained logs of a thread as an owned, contiguous vector (oldest
     /// first). Used when dumping logs after a fault.
     pub fn dump_thread(&self, thread: ThreadId) -> Vec<CheckpointLogs> {
-        self.per_thread
-            .get(&thread)
-            .map(|q| q.iter().cloned().collect())
-            .unwrap_or_default()
+        self.thread_logs(thread).to_vec()
     }
 
-    /// Threads that have at least one retained checkpoint.
+    /// Threads that have at least one retained checkpoint, in id order.
     pub fn threads(&self) -> Vec<ThreadId> {
-        self.per_thread.keys().copied().collect()
+        self.shards.iter().map(|s| s.thread).collect()
     }
 
     /// Number of checkpoints discarded to stay within capacity.
@@ -377,28 +450,20 @@ impl LogStore {
 
     /// Total size of retained FLLs.
     pub fn total_fll_size(&self) -> ByteSize {
-        self.per_thread
-            .values()
-            .flatten()
-            .map(|l| l.fll.size())
-            .sum()
+        ByteSize::from_bits(self.total_fll_bits)
     }
 
     /// Total size of retained MRLs.
     pub fn total_mrl_size(&self) -> ByteSize {
-        self.per_thread
-            .values()
-            .flatten()
-            .map(|l| l.mrl.size())
-            .sum()
+        ByteSize::from_bits(self.total_mrl_bits)
     }
 
     /// Replay window (retained committed instructions) of a thread.
     pub fn replay_window(&self, thread: ThreadId) -> u64 {
-        self.per_thread
-            .get(&thread)
-            .map(|q| q.iter().map(|l| l.fll.instructions).sum())
-            .unwrap_or(0)
+        match self.shard_index(thread) {
+            Ok(i) => self.shards[i].instructions,
+            Err(_) => 0,
+        }
     }
 }
 
@@ -429,7 +494,9 @@ mod tests {
         assert!(!r.record_committed_instruction());
         r.record_load(Addr::new(0x1000), Word::new(5), true);
         r.record_load(Addr::new(0x1000), Word::new(5), false);
-        let logs = r.end_interval(TerminationCause::Interrupt, &arch()).unwrap();
+        let logs = r
+            .end_interval(TerminationCause::Interrupt, &arch())
+            .unwrap();
         assert!(!r.is_recording());
         assert_eq!(logs.fll.records(), 1);
         assert_eq!(logs.fll.loads_executed, 2);
@@ -458,7 +525,9 @@ mod tests {
             let _ = i;
         }
         r.record_load(Addr::new(0x2000), Word::new(2), true);
-        let logs = r.end_interval(TerminationCause::IntervalFull, &arch()).unwrap();
+        let logs = r
+            .end_interval(TerminationCause::IntervalFull, &arch())
+            .unwrap();
         let records = logs.fll.decode_records().unwrap();
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].skipped, 0);
@@ -488,7 +557,9 @@ mod tests {
             checkpoint: CheckpointId(4),
             instructions: InstrCount(55),
         });
-        let logs = r.end_interval(TerminationCause::IntervalFull, &arch()).unwrap();
+        let logs = r
+            .end_interval(TerminationCause::IntervalFull, &arch())
+            .unwrap();
         assert_eq!(logs.mrl.entries().len(), 1);
         assert_eq!(logs.mrl.entries()[0].local_ic, InstrCount(1));
         assert_eq!(logs.mrl.entries()[0].remote.thread, ThreadId(1));
@@ -498,7 +569,9 @@ mod tests {
     #[test]
     fn end_without_begin_is_none() {
         let mut r = recorder(10);
-        assert!(r.end_interval(TerminationCause::ProgramExit, &arch()).is_none());
+        assert!(r
+            .end_interval(TerminationCause::ProgramExit, &arch())
+            .is_none());
     }
 
     #[test]
@@ -532,7 +605,8 @@ mod tests {
             r.record_load(Addr::new(0x1000 + i as u64 * 4), Word::new(i as u32), true);
             r.record_committed_instruction();
         }
-        r.end_interval(TerminationCause::IntervalFull, &arch()).unwrap()
+        r.end_interval(TerminationCause::IntervalFull, &arch())
+            .unwrap()
     }
 
     #[test]
@@ -559,7 +633,10 @@ mod tests {
             store.push(small_logs(0, t, 50));
         }
         assert!(store.evicted_checkpoints() > 0);
-        assert!(store.total_fll_size() <= ByteSize::from_bytes(600) || store.thread_logs(ThreadId(0)).len() == 1);
+        assert!(
+            store.total_fll_size() <= ByteSize::from_bytes(600)
+                || store.thread_logs(ThreadId(0)).len() == 1
+        );
         // The newest checkpoint is always retained.
         let retained = store.thread_logs(ThreadId(0));
         assert_eq!(retained.last().unwrap().fll.header.timestamp, Timestamp(5));

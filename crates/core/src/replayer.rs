@@ -270,13 +270,26 @@ impl Replayer {
             memory: SparseMemory::new(),
             reader: fll.records_reader(),
             pending: None,
-            dictionary: ValueDictionary::new(codec.dictionary_entries, codec.dictionary_counter_bits),
+            dictionary: ValueDictionary::new(
+                codec.dictionary_entries,
+                codec.dictionary_counter_bits,
+            ),
             loads_since_log: 0,
             loads_from_log: 0,
             loads_from_memory: 0,
             digest: ExecutionDigest::new(),
             current_ic: 0,
-            trace: if self.capture_trace { Some(Vec::new()) } else { None },
+            // Loads dominate the trace; pre-size it so tracing a whole
+            // interval does not reallocate per operation. `loads_executed`
+            // comes from the log, which may be corrupt — clamp the hint so a
+            // bad value cannot trigger a huge up-front allocation.
+            trace: if self.capture_trace {
+                Some(Vec::with_capacity(
+                    fll.loads_executed.min(fll.instructions).min(1 << 22) as usize,
+                ))
+            } else {
+                None
+            },
             error: None,
             checkpoint: fll.header.checkpoint,
         };

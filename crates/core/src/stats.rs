@@ -89,7 +89,8 @@ impl LogSizeReport {
 
     /// Dictionary compression ratio of the record payload (Figure 6's metric).
     pub fn compression_ratio(&self) -> f64 {
-        self.fll_uncompressed_payload_size.ratio_to(self.fll_payload_size)
+        self.fll_uncompressed_payload_size
+            .ratio_to(self.fll_payload_size)
     }
 
     /// Average FLL bytes per committed instruction.
@@ -105,7 +106,9 @@ impl LogSizeReport {
     /// the observed bytes/instruction rate. Used to report paper-scale
     /// numbers from scaled-down runs.
     pub fn extrapolate_fll_to(&self, instructions: u64) -> ByteSize {
-        ByteSize::from_bytes((self.fll_bytes_per_instruction() * instructions as f64).round() as u64)
+        ByteSize::from_bytes(
+            (self.fll_bytes_per_instruction() * instructions as f64).round() as u64,
+        )
     }
 
     /// Combined FLL + MRL size.
@@ -130,7 +133,11 @@ mod tests {
         );
         r.begin_interval(ArchState::default(), Timestamp(0));
         for i in 0..loads {
-            let value = if hits { Word::new(7) } else { Word::new(i as u32) };
+            let value = if hits {
+                Word::new(7)
+            } else {
+                Word::new(i as u32)
+            };
             r.record_load(Addr::new(0x1000 + i * 4), value, true);
             r.record_committed_instruction();
         }

@@ -366,7 +366,10 @@ mod tests {
         b.load(Reg::R4, Reg::R3, 8);
         b.halt();
         let (_, _, event) = run_program(b);
-        assert_eq!(event, StepEvent::Faulted(Fault::InvalidAddress(Addr::new(8))));
+        assert_eq!(
+            event,
+            StepEvent::Faulted(Fault::InvalidAddress(Addr::new(8)))
+        );
     }
 
     #[test]

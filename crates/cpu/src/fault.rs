@@ -79,6 +79,8 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(Fault::DivideByZero.to_string(), "integer divide by zero");
-        assert!(Fault::InvalidPc(Addr::new(4)).to_string().contains("invalid code"));
+        assert!(Fault::InvalidPc(Addr::new(4))
+            .to_string()
+            .contains("invalid code"));
     }
 }

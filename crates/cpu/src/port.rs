@@ -99,7 +99,10 @@ mod tests {
         let mut port = SparseMemoryPort::new();
         port.store(Addr::new(0x1000), Word::new(3));
         assert_eq!(port.load(Addr::new(0x1000)), Word::new(3));
-        assert_eq!(port.atomic_swap(Addr::new(0x1000), Word::new(5)), Word::new(3));
+        assert_eq!(
+            port.atomic_swap(Addr::new(0x1000), Word::new(5)),
+            Word::new(3)
+        );
         assert_eq!(port.load(Addr::new(0x1000)), Word::new(5));
     }
 

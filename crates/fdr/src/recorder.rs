@@ -183,7 +183,9 @@ impl FdrRecorder {
         FdrLogReport {
             instructions: self.instructions,
             cache_checkpoint_log: ByteSize::from_bytes(self.cache_checkpoint_entries * entry_bytes),
-            memory_checkpoint_log: ByteSize::from_bytes(self.memory_checkpoint_entries * entry_bytes),
+            memory_checkpoint_log: ByteSize::from_bytes(
+                self.memory_checkpoint_entries * entry_bytes,
+            ),
             interrupt_log: ByteSize::from_bytes(self.interrupts * self.cfg.interrupt_entry_bytes),
             input_log: ByteSize::from_bytes(self.input_words * self.cfg.input_entry_bytes),
             dma_log: ByteSize::from_bytes(self.dma_bytes),

@@ -75,7 +75,10 @@ impl ProgramBuilder {
     /// Overrides the data segment base address (must be word aligned).
     pub fn data_base(&mut self, base: Addr) -> &mut Self {
         assert!(base.is_word_aligned());
-        assert!(self.data.is_empty(), "set the data base before allocating data");
+        assert!(
+            self.data.is_empty(),
+            "set the data base before allocating data"
+        );
         self.data_base = base;
         self
     }
@@ -239,7 +242,8 @@ impl ProgramBuilder {
     /// Panics if any referenced label was never bound or the program is empty.
     pub fn build(mut self) -> Program {
         for (idx, label) in std::mem::take(&mut self.fixups) {
-            let target = self.labels[label.0].unwrap_or_else(|| panic!("label {label:?} never bound"));
+            let target =
+                self.labels[label.0].unwrap_or_else(|| panic!("label {label:?} never bound"));
             match &mut self.code[idx] {
                 Instr::Branch { target: t, .. }
                 | Instr::Jump { target: t }
@@ -255,7 +259,8 @@ impl ProgramBuilder {
                 words: self.data,
             }]
         };
-        let mut program = Program::new(self.name, self.code, self.code_base, self.entry_index, data);
+        let mut program =
+            Program::new(self.name, self.code, self.code_base, self.entry_index, data);
         for (name, addr) in self.symbols {
             program.add_symbol(name, addr);
         }

@@ -89,7 +89,9 @@ pub fn encode(instr: Instr) -> u64 {
         Instr::Halt => pack(OP_HALT, z, z, z, 0, 0),
         Instr::Li { rd, imm } => pack(OP_LI, rd, z, z, 0, imm),
         Instr::Alu { op, rd, rs1, rs2 } => pack(OP_ALU, rd, rs1, rs2, alu_funct(op), 0),
-        Instr::AluImm { op, rd, rs1, imm } => pack(OP_ALU_IMM, rd, rs1, z, alu_funct(op), imm as u32),
+        Instr::AluImm { op, rd, rs1, imm } => {
+            pack(OP_ALU_IMM, rd, rs1, z, alu_funct(op), imm as u32)
+        }
         Instr::Load { rd, base, offset } => pack(OP_LOAD, rd, base, z, 0, offset as u32),
         Instr::Store { rs, base, offset } => pack(OP_STORE, z, base, rs, 0, offset as u32),
         Instr::AtomicSwap { rd, rs, base } => pack(OP_AMOSWAP, rd, base, rs, 0, 0),

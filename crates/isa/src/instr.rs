@@ -374,7 +374,11 @@ mod tests {
         assert!(!Instr::Nop.is_load());
         assert!(Instr::Halt.is_control());
         assert!(Instr::Jump { target: 3 }.is_control());
-        assert!(!Instr::Li { rd: Reg::R3, imm: 0 }.is_control());
+        assert!(!Instr::Li {
+            rd: Reg::R3,
+            imm: 0
+        }
+        .is_control());
     }
 
     #[test]
@@ -398,6 +402,12 @@ mod tests {
             offset: -8,
         };
         assert_eq!(i.to_string(), "lw r5, -8(r6)");
-        assert_eq!(Instr::Syscall { code: SyscallCode::Exit }.to_string(), "syscall exit");
+        assert_eq!(
+            Instr::Syscall {
+                code: SyscallCode::Exit
+            }
+            .to_string(),
+            "syscall exit"
+        );
     }
 }

@@ -71,9 +71,15 @@ impl Program {
             (entry_index as usize) < code.len(),
             "entry index {entry_index} out of range"
         );
-        assert!(code_base.is_word_aligned(), "code base must be word aligned");
+        assert!(
+            code_base.is_word_aligned(),
+            "code base must be word aligned"
+        );
         for seg in &data {
-            assert!(seg.base.is_word_aligned(), "data segment must be word aligned");
+            assert!(
+                seg.base.is_word_aligned(),
+                "data segment must be word aligned"
+            );
         }
         Program {
             name: name.into(),
@@ -151,7 +157,7 @@ impl Program {
     pub fn index_of_pc(&self, pc: Addr) -> Option<u32> {
         let raw = pc.raw();
         let base = self.code_base.raw();
-        if raw < base || (raw - base) % 4 != 0 {
+        if raw < base || !(raw - base).is_multiple_of(4) {
             return None;
         }
         let index = (raw - base) / 4;
@@ -204,7 +210,13 @@ mod tests {
     fn tiny() -> Program {
         Program::new(
             "tiny",
-            vec![Instr::Li { rd: Reg::R3, imm: 1 }, Instr::Halt],
+            vec![
+                Instr::Li {
+                    rd: Reg::R3,
+                    imm: 1,
+                },
+                Instr::Halt,
+            ],
             Addr::new(DEFAULT_CODE_BASE),
             0,
             vec![DataSegment {
@@ -227,7 +239,13 @@ mod tests {
     #[test]
     fn fetch_returns_instruction() {
         let p = tiny();
-        assert_eq!(p.fetch(p.entry_pc()), Some(Instr::Li { rd: Reg::R3, imm: 1 }));
+        assert_eq!(
+            p.fetch(p.entry_pc()),
+            Some(Instr::Li {
+                rd: Reg::R3,
+                imm: 1
+            })
+        );
         assert_eq!(p.fetch(Addr::new(0)), None);
     }
 

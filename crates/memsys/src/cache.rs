@@ -110,13 +110,11 @@ impl CacheLevel {
         let tick = self.tick;
         let set = self.set_index(block_addr);
         let tag = self.tag(block_addr);
-        self.sets[set]
+        let entry = self.sets[set]
             .iter_mut()
-            .find(|e| e.valid && e.tag == tag)
-            .map(|e| {
-                e.lru = tick;
-                e
-            })
+            .find(|e| e.valid && e.tag == tag)?;
+        entry.lru = tick;
+        Some(entry)
     }
 
     fn contains(&self, block_addr: Addr) -> bool {
@@ -256,7 +254,10 @@ impl CacheHierarchy {
             } else {
                 self.stats.l2_misses += 1;
                 // Allocate in the L2 as well (inclusive hierarchy).
-                if let Some(evicted) = self.l2.insert(block, vec![false; self.l2.cfg.words_per_block()]) {
+                if let Some(evicted) = self
+                    .l2
+                    .insert(block, vec![false; self.l2.cfg.words_per_block()])
+                {
                     self.stats.l2_evictions += 1;
                     // Back-invalidate the L1 copy: its bits are lost with the
                     // L2 block, per the paper.
@@ -356,7 +357,10 @@ mod tests {
         assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::MustLog);
         assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::AlreadyCovered);
         // A different word in the same block is still a first load.
-        assert_eq!(c.touch(Addr::new(0x1004), AccessKind::Load), FirstAccess::MustLog);
+        assert_eq!(
+            c.touch(Addr::new(0x1004), AccessKind::Load),
+            FirstAccess::MustLog
+        );
     }
 
     #[test]
@@ -413,7 +417,7 @@ mod tests {
         assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::MustLog);
         c.touch(Addr::new(128), AccessKind::Load);
         c.touch(Addr::new(256), AccessKind::Load); // evicts block 0 from L1
-        // Bits survived in the L2, so this is not logged again.
+                                                   // Bits survived in the L2, so this is not logged again.
         assert_eq!(c.touch(a, AccessKind::Load), FirstAccess::AlreadyCovered);
     }
 

@@ -185,9 +185,18 @@ mod tests {
     #[test]
     fn private_access_generates_no_replies() {
         let mut d = dir();
-        assert!(d.access(C0, Addr::new(0x100), AccessKind::Load).replies.is_empty());
-        assert!(d.access(C0, Addr::new(0x100), AccessKind::Store).replies.is_empty());
-        assert!(d.access(C0, Addr::new(0x100), AccessKind::Load).replies.is_empty());
+        assert!(d
+            .access(C0, Addr::new(0x100), AccessKind::Load)
+            .replies
+            .is_empty());
+        assert!(d
+            .access(C0, Addr::new(0x100), AccessKind::Store)
+            .replies
+            .is_empty());
+        assert!(d
+            .access(C0, Addr::new(0x100), AccessKind::Load)
+            .replies
+            .is_empty());
         assert_eq!(d.reply_messages(), 0);
     }
 
@@ -239,7 +248,10 @@ mod tests {
             }]
         );
         // Second store by the same new owner is silent.
-        assert!(d.access(C1, Addr::new(0x300), AccessKind::Store).replies.is_empty());
+        assert!(d
+            .access(C1, Addr::new(0x300), AccessKind::Store)
+            .replies
+            .is_empty());
     }
 
     #[test]

@@ -133,10 +133,7 @@ mod tests {
         pairs.sort();
         assert_eq!(
             pairs,
-            vec![
-                (Addr::new(4), Word::new(1)),
-                (Addr::new(8), Word::new(2))
-            ]
+            vec![(Addr::new(4), Word::new(1)), (Addr::new(8), Word::new(2))]
         );
         mem.clear();
         assert_eq!(mem.populated_words(), 0);

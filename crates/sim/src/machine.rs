@@ -9,11 +9,11 @@ use bugnet_core::{estimate_overhead, OverheadInputs, OverheadReport};
 use bugnet_cpu::{Cpu, Fault, MemoryPort, StepEvent};
 use bugnet_fdr::{FdrConfig, FdrLogReport, FdrRecorder};
 use bugnet_isa::{Program, SyscallCode};
+use bugnet_memsys::dma::DmaTransfer;
 use bugnet_memsys::{
     AccessKind, CacheHierarchy, CacheStats, CoherenceAction, Directory, DmaEngine, FirstAccess,
     SparseMemory,
 };
-use bugnet_memsys::dma::DmaTransfer;
 use bugnet_types::{
     Addr, BugNetConfig, ByteSize, CoreId, MachineConfig, ProcessId, SplitMix64, ThreadId,
     Timestamp, Word,
@@ -385,8 +385,7 @@ impl Machine {
         // any core, so a descheduled lock holder always runs again.
         let candidate = (0..self.threads.len())
             .filter(|&t| {
-                !self.threads[t].finished
-                    && !self.cores.iter().any(|c| c.active_thread == Some(t))
+                !self.threads[t].finished && !self.cores.iter().any(|c| c.active_thread == Some(t))
             })
             .min_by_key(|&t| self.threads[t].last_scheduled)?;
         self.cores[core].active_thread = Some(candidate);
@@ -507,8 +506,8 @@ impl Machine {
 
             match event {
                 StepEvent::Committed => {
-                    let interval_full = self.recording()
-                        && self.recorders[thread].record_committed_instruction();
+                    let interval_full =
+                        self.recording() && self.recorders[thread].record_committed_instruction();
                     if interval_full {
                         self.restart_interval(thread, core, TerminationCause::IntervalFull);
                     }
@@ -519,8 +518,7 @@ impl Machine {
                             fdr.on_interrupt();
                         }
                         let period = self.cfg.timer_interrupt_period.unwrap_or(u64::MAX);
-                        self.threads[thread].next_timer =
-                            icount.saturating_add(period.max(1));
+                        self.threads[thread].next_timer = icount.saturating_add(period.max(1));
                         self.restart_interval(thread, core, TerminationCause::Interrupt);
                     }
                 }
@@ -694,8 +692,7 @@ impl MemoryPort for MachinePort<'_> {
         }
         let m = &mut *self.machine;
         let value = m.memory.read(addr);
-        let first =
-            m.cores[self.core].caches.touch(addr, AccessKind::Load) == FirstAccess::MustLog;
+        let first = m.cores[self.core].caches.touch(addr, AccessKind::Load) == FirstAccess::MustLog;
         if m.recording() {
             m.recorders[self.thread].record_load(addr, value, first);
         }
@@ -764,9 +761,13 @@ mod tests {
             .bugnet(bugnet_cfg(1_000_000))
             .build_with_workload(&workload);
         let outcome = machine.run_to_completion();
-        assert!(outcome.interrupts >= 4, "interrupts = {}", outcome.interrupts);
+        assert!(
+            outcome.interrupts >= 4,
+            "interrupts = {}",
+            outcome.interrupts
+        );
         let report = machine.log_report();
-        assert!(report.intervals as u64 >= outcome.interrupts);
+        assert!(report.intervals >= outcome.interrupts);
     }
 
     #[test]
@@ -796,7 +797,10 @@ mod tests {
         let outcome = machine.run_to_completion();
         assert!(outcome.threads.iter().all(|t| t.halted));
         let report = machine.log_report();
-        assert!(report.mrl_entries > 0, "expected coherence traffic to be logged");
+        assert!(
+            report.mrl_entries > 0,
+            "expected coherence traffic to be logged"
+        );
     }
 
     #[test]

@@ -43,9 +43,10 @@ impl VerificationReport {
     /// (digests equal and, where applicable, faults reproduced).
     pub fn all_verified(&self) -> bool {
         !self.intervals.is_empty()
-            && self.intervals.iter().all(|i| {
-                i.digest_match && i.fault_reproduced.unwrap_or(true)
-            })
+            && self
+                .intervals
+                .iter()
+                .all(|i| i.digest_match && i.fault_reproduced.unwrap_or(true))
     }
 
     /// Total instructions covered by the verified intervals.
@@ -106,9 +107,7 @@ impl Machine {
             };
             let replayer = Replayer::new(program);
             let logs = store.dump_thread(thread);
-            report
-                .intervals
-                .extend(verify_thread(&replayer, &logs)?);
+            report.intervals.extend(verify_thread(&replayer, &logs)?);
         }
         Ok(report)
     }
@@ -190,8 +189,7 @@ mod tests {
         let faulting = report
             .intervals
             .iter()
-            .filter(|i| i.thread == ThreadId(0))
-            .next_back()
+            .rfind(|i| i.thread == ThreadId(0))
             .unwrap();
         assert_eq!(faulting.fault_reproduced, Some(true));
     }

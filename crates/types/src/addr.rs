@@ -51,7 +51,7 @@ impl Addr {
 
     /// Whether this address is aligned to a word boundary.
     pub const fn is_word_aligned(self) -> bool {
-        self.0 % WORD_BYTES == 0
+        self.0.is_multiple_of(WORD_BYTES)
     }
 
     /// Address advanced by `bytes`.

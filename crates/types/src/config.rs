@@ -135,7 +135,10 @@ impl CacheLevelConfig {
     /// a multiple of `associativity * block_bytes`, or if any field is zero.
     pub fn new(size_bytes: u64, associativity: usize, block_bytes: u64) -> Self {
         assert!(size_bytes > 0 && associativity > 0 && block_bytes > 0);
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert_eq!(
             size_bytes % (associativity as u64 * block_bytes),
             0,

@@ -44,7 +44,11 @@ pub struct CheckpointId(pub u32);
 impl CheckpointId {
     /// The next checkpoint identifier, wrapping at `1 << bits`.
     pub fn next_wrapping(self, bits: u32) -> CheckpointId {
-        let mask = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let mask = if bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        };
         CheckpointId((self.0.wrapping_add(1)) & mask)
     }
 }

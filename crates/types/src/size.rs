@@ -165,7 +165,9 @@ mod tests {
             2.0
         );
         assert_eq!(ByteSize::ZERO.ratio_to(ByteSize::ZERO), 1.0);
-        assert!(ByteSize::from_bits(1).ratio_to(ByteSize::ZERO).is_infinite());
+        assert!(ByteSize::from_bits(1)
+            .ratio_to(ByteSize::ZERO)
+            .is_infinite());
     }
 
     #[test]

@@ -82,24 +82,150 @@ impl BugSpec {
     pub fn all() -> Vec<BugSpec> {
         use BugClass::*;
         vec![
-            BugSpec { name: "bc-1.06", source_location: "storage.c:176", description: "misuse of bounds variable corrupts heap objects", class: HeapCorruption, paper_window: 591, multithreaded: false },
-            BugSpec { name: "gzip-1.2.4", source_location: "gzip.c:1009", description: "1024-byte input filename overflows global variable", class: GlobalBufferOverflow, paper_window: 32_209, multithreaded: false },
-            BugSpec { name: "ncompress-4.2.4", source_location: "compress42.c:886", description: "1024-byte input filename corrupts stack return address", class: StackReturnOverflow, paper_window: 17_966, multithreaded: false },
-            BugSpec { name: "polymorph-0.4.0", source_location: "polymorph.c:193,200", description: "2048-byte input filename corrupts stack return address", class: StackReturnOverflow, paper_window: 6_208, multithreaded: false },
-            BugSpec { name: "tar-1.13.25", source_location: "prepargs.c:92", description: "incorrect loop bounds leads to heap object overflow", class: HeapCorruption, paper_window: 6_634, multithreaded: false },
-            BugSpec { name: "ghostscript-8.12", source_location: "ttinterp.c:5108, ttobjs.c:279", description: "a dangling pointer results in a memory corruption", class: DanglingPointer, paper_window: 18_030_519, multithreaded: false },
-            BugSpec { name: "gnuplot-3.7.1-1", source_location: "pslatex.trm:189", description: "null pointer dereference due to not setting a file name", class: NullPointerDereference, paper_window: 782, multithreaded: false },
-            BugSpec { name: "gnuplot-3.7.1-2", source_location: "plot.c:622", description: "a buffer overflow corrupts the stack return address", class: StackReturnOverflow, paper_window: 131_751, multithreaded: false },
-            BugSpec { name: "tidy-34132-1", source_location: "istack.c:31", description: "null pointer dereference", class: NullPointerDereference, paper_window: 2_537_326, multithreaded: false },
-            BugSpec { name: "tidy-34132-2", source_location: "parser.c:3505", description: "memory corruption", class: HeapCorruption, paper_window: 13, multithreaded: false },
-            BugSpec { name: "tidy-34132-3", source_location: "parser.c", description: "memory corruption", class: HeapCorruption, paper_window: 59, multithreaded: false },
-            BugSpec { name: "xv-3.10a-1", source_location: "xvbmp.c:168", description: "incorrect bound checking leads to stack buffer overflow", class: StackReturnOverflow, paper_window: 44_557, multithreaded: false },
-            BugSpec { name: "xv-3.10a-2", source_location: "xvbrowse.c:956, xvdir.c:1200", description: "a long file name results in a buffer overflow", class: GlobalBufferOverflow, paper_window: 7_543_600, multithreaded: false },
-            BugSpec { name: "gaim-0.82.1", source_location: "gtkdialogs.c:759,820,862,901", description: "buddy list remove operations cause null pointer dereference", class: NullPointerDereference, paper_window: 74_590, multithreaded: true },
-            BugSpec { name: "napster-1.5.2", source_location: "nap.c:1391", description: "dangling pointer corrupts memory when resizing terminal", class: DanglingPointer, paper_window: 189_391, multithreaded: true },
-            BugSpec { name: "python-2.1.1-1", source_location: "audioop.c:939,966", description: "arithmetic computation results in buffer overflow", class: ArithmeticOverflow, paper_window: 92, multithreaded: true },
-            BugSpec { name: "python-2.1.1-2", source_location: "sysmodule.c:76", description: "a null pointer dereference leads to a crash", class: NullPointerDereference, paper_window: 941, multithreaded: true },
-            BugSpec { name: "w3m-0.3.2.2", source_location: "istream.c:445", description: "null (obsolete) function pointer dereference causes a crash", class: NullFunctionPointer, paper_window: 79_309, multithreaded: true },
+            BugSpec {
+                name: "bc-1.06",
+                source_location: "storage.c:176",
+                description: "misuse of bounds variable corrupts heap objects",
+                class: HeapCorruption,
+                paper_window: 591,
+                multithreaded: false,
+            },
+            BugSpec {
+                name: "gzip-1.2.4",
+                source_location: "gzip.c:1009",
+                description: "1024-byte input filename overflows global variable",
+                class: GlobalBufferOverflow,
+                paper_window: 32_209,
+                multithreaded: false,
+            },
+            BugSpec {
+                name: "ncompress-4.2.4",
+                source_location: "compress42.c:886",
+                description: "1024-byte input filename corrupts stack return address",
+                class: StackReturnOverflow,
+                paper_window: 17_966,
+                multithreaded: false,
+            },
+            BugSpec {
+                name: "polymorph-0.4.0",
+                source_location: "polymorph.c:193,200",
+                description: "2048-byte input filename corrupts stack return address",
+                class: StackReturnOverflow,
+                paper_window: 6_208,
+                multithreaded: false,
+            },
+            BugSpec {
+                name: "tar-1.13.25",
+                source_location: "prepargs.c:92",
+                description: "incorrect loop bounds leads to heap object overflow",
+                class: HeapCorruption,
+                paper_window: 6_634,
+                multithreaded: false,
+            },
+            BugSpec {
+                name: "ghostscript-8.12",
+                source_location: "ttinterp.c:5108, ttobjs.c:279",
+                description: "a dangling pointer results in a memory corruption",
+                class: DanglingPointer,
+                paper_window: 18_030_519,
+                multithreaded: false,
+            },
+            BugSpec {
+                name: "gnuplot-3.7.1-1",
+                source_location: "pslatex.trm:189",
+                description: "null pointer dereference due to not setting a file name",
+                class: NullPointerDereference,
+                paper_window: 782,
+                multithreaded: false,
+            },
+            BugSpec {
+                name: "gnuplot-3.7.1-2",
+                source_location: "plot.c:622",
+                description: "a buffer overflow corrupts the stack return address",
+                class: StackReturnOverflow,
+                paper_window: 131_751,
+                multithreaded: false,
+            },
+            BugSpec {
+                name: "tidy-34132-1",
+                source_location: "istack.c:31",
+                description: "null pointer dereference",
+                class: NullPointerDereference,
+                paper_window: 2_537_326,
+                multithreaded: false,
+            },
+            BugSpec {
+                name: "tidy-34132-2",
+                source_location: "parser.c:3505",
+                description: "memory corruption",
+                class: HeapCorruption,
+                paper_window: 13,
+                multithreaded: false,
+            },
+            BugSpec {
+                name: "tidy-34132-3",
+                source_location: "parser.c",
+                description: "memory corruption",
+                class: HeapCorruption,
+                paper_window: 59,
+                multithreaded: false,
+            },
+            BugSpec {
+                name: "xv-3.10a-1",
+                source_location: "xvbmp.c:168",
+                description: "incorrect bound checking leads to stack buffer overflow",
+                class: StackReturnOverflow,
+                paper_window: 44_557,
+                multithreaded: false,
+            },
+            BugSpec {
+                name: "xv-3.10a-2",
+                source_location: "xvbrowse.c:956, xvdir.c:1200",
+                description: "a long file name results in a buffer overflow",
+                class: GlobalBufferOverflow,
+                paper_window: 7_543_600,
+                multithreaded: false,
+            },
+            BugSpec {
+                name: "gaim-0.82.1",
+                source_location: "gtkdialogs.c:759,820,862,901",
+                description: "buddy list remove operations cause null pointer dereference",
+                class: NullPointerDereference,
+                paper_window: 74_590,
+                multithreaded: true,
+            },
+            BugSpec {
+                name: "napster-1.5.2",
+                source_location: "nap.c:1391",
+                description: "dangling pointer corrupts memory when resizing terminal",
+                class: DanglingPointer,
+                paper_window: 189_391,
+                multithreaded: true,
+            },
+            BugSpec {
+                name: "python-2.1.1-1",
+                source_location: "audioop.c:939,966",
+                description: "arithmetic computation results in buffer overflow",
+                class: ArithmeticOverflow,
+                paper_window: 92,
+                multithreaded: true,
+            },
+            BugSpec {
+                name: "python-2.1.1-2",
+                source_location: "sysmodule.c:76",
+                description: "a null pointer dereference leads to a crash",
+                class: NullPointerDereference,
+                paper_window: 941,
+                multithreaded: true,
+            },
+            BugSpec {
+                name: "w3m-0.3.2.2",
+                source_location: "istream.c:445",
+                description: "null (obsolete) function pointer dereference causes a crash",
+                class: NullFunctionPointer,
+                paper_window: 79_309,
+                multithreaded: true,
+            },
         ]
     }
 

@@ -206,7 +206,9 @@ impl SpecProfile {
             if init_rng.chance(self.frequent_value_fraction) {
                 frequent[init_rng.next_range(frequent.len() as u64) as usize]
             } else {
-                (i as u32).wrapping_mul(2654435761).wrapping_add(seed_offset as u32)
+                (i as u32)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(seed_offset as u32)
             }
         });
         b.symbol("working_set", ws);

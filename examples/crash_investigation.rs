@@ -20,7 +20,10 @@ fn main() {
         .into_iter()
         .find(|b| b.name == "gzip-1.2.4")
         .expect("gzip row exists");
-    println!("deploying {} ({}: {})", spec.name, spec.source_location, spec.description);
+    println!(
+        "deploying {} ({}: {})",
+        spec.name, spec.source_location, spec.description
+    );
     let workload = spec.build(1.0);
 
     // --- Production site: continuous recording until the crash. ------------
@@ -64,6 +67,10 @@ fn main() {
         last.instructions,
         replays.iter().map(|r| r.instructions).sum::<u64>()
     );
-    assert_eq!(Some(pc), crashed.fault_pc, "replay lands on the recorded faulting instruction");
+    assert_eq!(
+        Some(pc),
+        crashed.fault_pc,
+        "replay lands on the recorded faulting instruction"
+    );
     println!("determinism verified: the developer can now step backwards from the crash.");
 }

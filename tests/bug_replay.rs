@@ -37,8 +37,7 @@ fn all_table1_bugs_crash_and_replay_to_the_faulting_instruction() {
         let faulting_interval = verification
             .intervals
             .iter()
-            .filter(|i| i.thread == ThreadId(0))
-            .next_back()
+            .rfind(|i| i.thread == ThreadId(0))
             .unwrap();
         assert_eq!(
             faulting_interval.fault_reproduced,
@@ -106,10 +105,17 @@ fn fault_classes_cover_the_papers_variety() {
             spec.class,
             BugClass::NullFunctionPointer | BugClass::StackReturnOverflow
         ) {
-            assert!(matches!(fault, bugnet::cpu::Fault::InvalidPc(_)), "{}", spec.name);
+            assert!(
+                matches!(fault, bugnet::cpu::Fault::InvalidPc(_)),
+                "{}",
+                spec.name
+            );
         }
     }
-    assert!(observed.len() >= 3, "expected several distinct fault classes");
+    assert!(
+        observed.len() >= 3,
+        "expected several distinct fault classes"
+    );
 }
 
 #[test]

@@ -63,7 +63,10 @@ fn race_analysis_schedule_covers_every_traced_operation() {
         .build_with_workload(&mt::locked_counter(2, 400));
     machine.run_to_completion();
     let analysis = machine.race_analysis(256).unwrap();
-    assert!(!analysis.edges.is_empty(), "lock handoffs must create edges");
+    assert!(
+        !analysis.edges.is_empty(),
+        "lock handoffs must create edges"
+    );
     // Schedule completeness: count ops per thread and compare with per-thread
     // subsequences of the schedule (which must be in program order).
     use std::collections::HashMap;
