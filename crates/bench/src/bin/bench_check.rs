@@ -1,0 +1,149 @@
+//! Bench-regression gate for CI.
+//!
+//! Compares a fresh `throughput` harness run against the committed
+//! `BENCH_baseline.json` and fails (exit code 1) when any rate metric
+//! regressed by more than the tolerance factor. The tolerance defaults to
+//! 2.5x — generous on purpose, so shared-runner noise never trips the gate
+//! but a genuine algorithmic regression (the kind that costs an order of
+//! magnitude) always does. Improvements and new metrics never fail.
+//!
+//! ```text
+//! cargo run --release -p bugnet_bench --bin throughput > current.json
+//! cargo run --release -p bugnet_bench --bin bench_check -- \
+//!     --baseline BENCH_baseline.json --current current.json [--tolerance 2.5]
+//! ```
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+/// Parses the flat JSON objects the throughput harness emits: string or
+/// numeric values, one `"key": value` pair per entry, no nesting. Returns
+/// only the numeric pairs.
+fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (key, value) = part
+            .split_once(':')
+            .ok_or_else(|| format!("malformed entry `{part}`"))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value = value.trim();
+        if let Ok(num) = value.parse::<f64>() {
+            out.push((key, num));
+        }
+        // Non-numeric values ("harness": "throughput", booleans) are metadata.
+    }
+    Ok(out)
+}
+
+fn load_metrics(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_flat_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Rate metrics are the gated ones; scale metadata (loads, interval sizes)
+/// varies with harness options and is ignored.
+fn is_rate_metric(key: &str) -> bool {
+    key.ends_with("_per_sec")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut current_path = String::new();
+    let mut tolerance = 2.5f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" if i + 1 < args.len() => {
+                baseline_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--current" if i + 1 < args.len() => {
+                current_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--tolerance" if i + 1 < args.len() => {
+                match args[i + 1].parse::<f64>() {
+                    Ok(t) if t >= 1.0 => tolerance = t,
+                    _ => {
+                        eprintln!("bench_check: --tolerance must be a number >= 1.0");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "bench_check: unexpected argument `{other}`\n\
+                     usage: bench_check --baseline <FILE> --current <FILE> [--tolerance <X>]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if current_path.is_empty() {
+        eprintln!("bench_check: --current <FILE> is required");
+        return ExitCode::from(2);
+    }
+
+    let (baseline, current) = match (load_metrics(&baseline_path), load_metrics(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "{:<34} {:>16} {:>16} {:>8}  verdict",
+        "metric", "baseline", "current", "ratio"
+    );
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (key, base) in baseline.iter().filter(|(k, _)| is_rate_metric(k)) {
+        let Some((_, cur)) = current.iter().find(|(k, _)| k == key) else {
+            println!("{key:<34} {base:>16.0} {:>16} {:>8}  MISSING", "-", "-");
+            regressions += 1;
+            continue;
+        };
+        compared += 1;
+        // Ratio > 1 means the current run is slower than the baseline.
+        let ratio = if *cur > 0.0 {
+            base / cur
+        } else {
+            f64::INFINITY
+        };
+        let verdict = if ratio > tolerance {
+            regressions += 1;
+            "REGRESSED"
+        } else if ratio < 1.0 {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!("{key:<34} {base:>16.0} {cur:>16.0} {ratio:>8.2}  {verdict}");
+    }
+    if compared == 0 {
+        eprintln!("bench_check: no rate metrics to compare");
+        return ExitCode::from(2);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_check: {regressions} metric(s) regressed beyond {tolerance}x \
+             (or went missing) vs {baseline_path}"
+        );
+        return ExitCode::from(1);
+    }
+    println!("bench_check: all {compared} rate metrics within {tolerance}x of baseline");
+    ExitCode::SUCCESS
+}

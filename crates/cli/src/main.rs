@@ -1,0 +1,303 @@
+//! `bugnet` — the BugNet crash-dump toolkit.
+//!
+//! The end-to-end workflow of the paper (§4.8, §5): a production machine
+//! continuously records; on a crash the OS dumps the retained First-Load and
+//! Memory Race Logs to a directory; the developer ships that directory to
+//! their desk and replays it offline, landing exactly on the faulting
+//! instruction. This binary drives each step against the simulator:
+//!
+//! ```text
+//! bugnet dump    --workload bug:gzip-1.2.4:1000 --out crash/   # record
+//! bugnet info    crash/                                        # inspect
+//! bugnet verify  crash/                                        # checksums
+//! bugnet replay  crash/                                        # reproduce
+//! ```
+//!
+//! Exit codes: 0 on success, 1 when a dump fails verification or replay
+//! diverges from the recording, 2 on usage errors.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bugnet_core::dump::{verify_dump, CrashDump};
+use bugnet_sim::MachineBuilder;
+use bugnet_types::{BugNetConfig, ByteSize, ThreadId};
+use bugnet_workloads::registry;
+
+mod report;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args = Args::new(&args);
+    let Some(command) = args.next_positional() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "dump" => cmd_dump(&mut args),
+        "info" | "inspect" => cmd_info(&mut args),
+        "verify" => cmd_verify(&mut args),
+        "replay" => cmd_replay(&mut args),
+        "workloads" => cmd_workloads(&mut args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::usage(format!("unknown command `{other}`"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bugnet: {}", e.message);
+            if e.code == 2 {
+                eprintln!("\n{USAGE}");
+            }
+            ExitCode::from(e.code)
+        }
+    }
+}
+
+const USAGE: &str = "\
+bugnet — record, inspect, verify and replay BugNet crash dumps
+
+USAGE:
+    bugnet dump --workload <SPEC> --out <DIR> [--interval <N>] [--dict <N>]
+                [--max-instructions <N>]
+        Record a workload on the simulated machine and write the retained
+        log window to <DIR> as a crash-dump directory. Faults dump
+        automatically at crash time, exactly like the paper's OS trigger.
+
+    bugnet info <DIR>
+        Decode the manifest and print per-thread, per-checkpoint log
+        statistics (records, sizes, dictionary hits, compression ratios).
+
+    bugnet verify <DIR>
+        Full integrity pass: magics, versions, frame checksums, manifest
+        cross-checks and a decode of every first-load record.
+
+    bugnet replay <DIR> [--workload <SPEC>]
+        Rebuild the recorded program images (from the manifest's workload
+        spec, or an explicit override), replay every retained interval and
+        compare against the recorded execution digests.
+
+    bugnet workloads
+        List the workload spec strings `dump` accepts.
+
+WORKLOAD SPECS:
+    spec:<profile>:<instructions>:<threads>   e.g. spec:gzip:30000:1
+    bug:<name>:<scale_milli>                  e.g. bug:gzip-1.2.4:1000
+    mt:<kernel>:<params...>                   e.g. mt:racy_counter:2:400";
+
+/// Error carrying the process exit code (1 = data problem, 2 = usage).
+struct CliError {
+    message: String,
+    code: u8,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    fn data(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+/// Minimal argument cursor: positionals in order, `--flag value` anywhere.
+struct Args {
+    remaining: Vec<String>,
+}
+
+impl Args {
+    fn new(args: &[String]) -> Self {
+        Args {
+            remaining: args.to_vec(),
+        }
+    }
+
+    /// Removes and returns `--name <value>`, if present.
+    fn option(&mut self, name: &str) -> Result<Option<String>, CliError> {
+        let Some(i) = self.remaining.iter().position(|a| a == name) else {
+            return Ok(None);
+        };
+        if i + 1 >= self.remaining.len() {
+            return Err(CliError::usage(format!("{name} needs a value")));
+        }
+        let value = self.remaining.remove(i + 1);
+        self.remaining.remove(i);
+        Ok(Some(value))
+    }
+
+    /// Removes and returns `--name <value>` parsed as an integer.
+    fn option_u64(&mut self, name: &str) -> Result<Option<u64>, CliError> {
+        match self.option(name)? {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| CliError::usage(format!("{name} expects a number, got `{v}`"))),
+        }
+    }
+
+    /// Removes and returns the next positional (non-`--`) argument.
+    fn next_positional(&mut self) -> Option<String> {
+        let i = self.remaining.iter().position(|a| !a.starts_with("--"))?;
+        Some(self.remaining.remove(i))
+    }
+
+    /// Fails on anything left unconsumed.
+    fn finish(&self) -> Result<(), CliError> {
+        match self.remaining.first() {
+            None => Ok(()),
+            Some(extra) => Err(CliError::usage(format!("unexpected argument `{extra}`"))),
+        }
+    }
+}
+
+fn dump_dir_arg(args: &mut Args) -> Result<PathBuf, CliError> {
+    args.next_positional()
+        .map(PathBuf::from)
+        .ok_or_else(|| CliError::usage("missing <DIR> argument"))
+}
+
+fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
+    let spec = args
+        .option("--workload")?
+        .ok_or_else(|| CliError::usage("dump requires --workload <SPEC>"))?;
+    let out = args
+        .option("--out")?
+        .map(PathBuf::from)
+        .ok_or_else(|| CliError::usage("dump requires --out <DIR>"))?;
+    let interval = args.option_u64("--interval")?.unwrap_or(100_000);
+    let dict = args.option_u64("--dict")?.unwrap_or(64) as usize;
+    let max_instructions = args.option_u64("--max-instructions")?.unwrap_or(u64::MAX);
+    args.finish()?;
+
+    let workload = registry::resolve(&spec).map_err(CliError::usage)?;
+    let cfg = BugNetConfig::default()
+        .with_checkpoint_interval(interval)
+        .with_dictionary_entries(dict);
+    let mut machine = MachineBuilder::new()
+        .bugnet(cfg)
+        .workload_spec(&spec)
+        .dump_on_crash(&out)
+        .build_with_workload(&workload);
+    let outcome = machine.run(max_instructions);
+
+    println!(
+        "recorded `{spec}`: {} instructions, {} syscalls, {} interrupts, {} context switches",
+        outcome.total_committed(),
+        outcome.syscalls,
+        outcome.interrupts,
+        outcome.context_switches
+    );
+    let manifest = match machine.crash_dump() {
+        // A fault fired mid-run and the machine already dumped, OS-style.
+        Some(Ok(manifest)) => {
+            let fault = outcome.faulted_thread().expect("dump implies a fault");
+            println!(
+                "crash detected on {}: {} at pc {} — dump written at crash time",
+                fault.thread,
+                fault.fault.expect("faulted"),
+                fault.fault_pc.expect("faulted"),
+            );
+            manifest.clone()
+        }
+        Some(Err(e)) => return Err(CliError::data(format!("automatic crash dump failed: {e}"))),
+        // Clean run: archive the retained window explicitly.
+        None => machine
+            .write_crash_dump(&out)
+            .map_err(|e| CliError::data(e.to_string()))?,
+    };
+    println!(
+        "dump written to {}: {} thread(s), {} checkpoint(s), {} FLL + {} MRL",
+        out.display(),
+        manifest.threads.len(),
+        manifest.total_checkpoints(),
+        manifest.total_fll_size(),
+        manifest.total_mrl_size(),
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &mut Args) -> Result<(), CliError> {
+    let dir = dump_dir_arg(args)?;
+    args.finish()?;
+    let dump = CrashDump::load(&dir).map_err(|e| CliError::data(e.to_string()))?;
+    report::print_info(&dir, &dump);
+    Ok(())
+}
+
+fn cmd_verify(args: &mut Args) -> Result<(), CliError> {
+    let dir = dump_dir_arg(args)?;
+    args.finish()?;
+    let report = verify_dump(&dir).map_err(|e| CliError::data(format!("FAILED: {e}")))?;
+    println!(
+        "OK: {} thread(s), {} checkpoint(s), {} first-load records decoded, \
+         {} race entries, {} FLL + {} MRL payload",
+        report.threads,
+        report.checkpoints,
+        report.records_decoded,
+        report.mrl_entries,
+        ByteSize::from_bytes(report.fll_bytes),
+        ByteSize::from_bytes(report.mrl_bytes),
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
+    let dir = dump_dir_arg(args)?;
+    let override_spec = args.option("--workload")?;
+    args.finish()?;
+    let dump = CrashDump::load(&dir).map_err(|e| CliError::data(e.to_string()))?;
+    let spec = override_spec.unwrap_or_else(|| dump.manifest.workload.clone());
+    let workload = registry::resolve(&spec).map_err(|e| {
+        CliError::data(format!(
+            "cannot rebuild workload `{spec}`: {e}; pass --workload <SPEC> to override"
+        ))
+    })?;
+    let programs: Vec<_> = workload.threads.iter().map(|t| t.program.clone()).collect();
+    let report = dump
+        .replay(|thread: ThreadId| programs.get(thread.0 as usize).cloned())
+        .map_err(|e| CliError::data(format!("replay failed: {e}")))?;
+    if report.intervals.is_empty() && report.unreplayable_threads.is_empty() {
+        return Err(CliError::data(
+            "dump contains no checkpoints to replay (empty archive)",
+        ));
+    }
+    report::print_replay(&dump.manifest, &report);
+    if report.all_match() {
+        Ok(())
+    } else {
+        Err(CliError::data(format!(
+            "replay DIVERGED on {} of {} interval(s)",
+            report.divergences().len(),
+            report.intervals.len()
+        )))
+    }
+}
+
+fn cmd_workloads(args: &mut Args) -> Result<(), CliError> {
+    args.finish()?;
+    println!("spec profiles (spec:<name>:<instructions>:<threads>):");
+    for name in registry::known_profiles() {
+        println!("  spec:{name}:30000:1");
+    }
+    println!("table-1 bugs (bug:<name>:<scale_milli>, 1000 = paper window):");
+    for name in registry::known_bugs() {
+        println!("  bug:{name}:1000");
+    }
+    println!("multithreaded kernels:");
+    println!("  mt:locked_counter:<threads>:<increments>");
+    println!("  mt:racy_counter:<threads>:<increments>");
+    println!("  mt:producer_consumer:<items>");
+    Ok(())
+}

@@ -17,14 +17,15 @@
 //!
 //! The rank-ordered entry array is shadowed by a `HashMap` from value to
 //! rank, kept in sync on every swap, insert and eviction, so the per-load
-//! encode/observe path is O(1) instead of a linear scan of the table. A
-//! histogram of counter values additionally locates the smallest live counter
-//! without scanning, so evictions only walk the tail of the array to find the
-//! lowest-positioned minimum. The observable rank/eviction semantics are
-//! identical to a linear-scan implementation (see the differential test in
-//! `tests/properties.rs`).
+//! encode/observe path is O(1) instead of a linear scan of the table. For
+//! evictions, a per-counter-value set of occupied positions locates the
+//! lowest-positioned entry with the smallest live counter directly — no tail
+//! scan of the entry array, even under adversarial no-locality streams with
+//! large dictionaries (the encode path's last formerly-O(n) piece). The
+//! observable rank/eviction semantics are identical to a linear-scan
+//! implementation (see the differential test in `tests/properties.rs`).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use bugnet_types::Word;
 
@@ -46,8 +47,10 @@ pub struct ValueDictionary {
     entries: Vec<Entry>,
     /// Value → rank shadow index; `index[entries[i].value] == i` always.
     index: HashMap<Word, u32>,
-    /// `counter_histogram[c]` = number of entries whose counter equals `c`.
-    counter_histogram: Vec<u32>,
+    /// `positions[c]` = the set of ranks whose counter equals `c`, so the
+    /// eviction victim (largest rank among the smallest live counter) is a
+    /// `next_back()` away instead of a tail scan of the entry array.
+    positions: Vec<BTreeSet<u32>>,
     capacity: usize,
     counter_max: u8,
     lookups: u64,
@@ -56,8 +59,8 @@ pub struct ValueDictionary {
 
 impl PartialEq for ValueDictionary {
     fn eq(&self, other: &Self) -> bool {
-        // The entry array is the canonical state; the index and histogram are
-        // derived from it.
+        // The entry array is the canonical state; the index and the
+        // per-counter position sets are derived from it.
         self.entries == other.entries
             && self.capacity == other.capacity
             && self.counter_max == other.counter_max
@@ -91,7 +94,7 @@ impl ValueDictionary {
         ValueDictionary {
             entries: Vec::with_capacity(capacity),
             index: HashMap::with_capacity(capacity),
-            counter_histogram: vec![0; counter_max as usize + 1],
+            positions: vec![BTreeSet::new(); counter_max as usize + 1],
             capacity,
             counter_max,
             lookups: 0,
@@ -119,7 +122,9 @@ impl ValueDictionary {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.index.clear();
-        self.counter_histogram.fill(0);
+        for set in &mut self.positions {
+            set.clear();
+        }
     }
 
     /// The rank (index) of `value` if present. Does **not** update the table
@@ -166,14 +171,22 @@ impl ValueDictionary {
         let bumped = old.saturating_add(1).min(self.counter_max);
         if bumped != old {
             self.entries[i].counter = bumped;
-            self.counter_histogram[old as usize] -= 1;
-            self.counter_histogram[bumped as usize] += 1;
+            self.positions[old as usize].remove(&(i as u32));
+            self.positions[bumped as usize].insert(i as u32);
         }
         if i > 0 && bumped >= self.entries[i - 1].counter {
+            let above = self.entries[i - 1].counter;
             self.entries.swap(i - 1, i);
             // Keep the shadow index in sync with the swap.
             self.index.insert(self.entries[i - 1].value, (i - 1) as u32);
             self.index.insert(self.entries[i].value, i as u32);
+            // Equal counters swap within one position set: nothing to move.
+            if above != bumped {
+                self.positions[bumped as usize].remove(&(i as u32));
+                self.positions[bumped as usize].insert((i - 1) as u32);
+                self.positions[above as usize].remove(&((i - 1) as u32));
+                self.positions[above as usize].insert(i as u32);
+            }
         }
     }
 
@@ -185,32 +198,30 @@ impl ValueDictionary {
             let rank = self.entries.len() as u32;
             self.entries.push(Entry { value, counter: 1 });
             self.index.insert(value, rank);
-            self.counter_histogram[1] += 1;
+            self.positions[1].insert(rank);
         } else {
             let victim = self.victim_position();
             let old = self.entries[victim];
             self.index.remove(&old.value);
-            self.counter_histogram[old.counter as usize] -= 1;
+            self.positions[old.counter as usize].remove(&(victim as u32));
             self.entries[victim] = Entry { value, counter: 1 };
             self.index.insert(value, victim as u32);
-            self.counter_histogram[1] += 1;
+            self.positions[1].insert(victim as u32);
         }
     }
 
     /// Largest index whose counter equals the smallest live counter value.
-    /// The histogram pinpoints that counter value without a scan; the
-    /// backward search stops at the first (lowest-positioned) match, which
-    /// under frequent-value locality sits near the tail of the table.
+    /// The position sets answer this directly: find the smallest non-empty
+    /// counter class (at most `counter_max + 1 ≤ 256` probes, 8 for the
+    /// paper's 3-bit counters) and take its last member — no scan over the
+    /// entry array, whatever the dictionary size or value stream.
     fn victim_position(&self) -> usize {
-        let min_counter = self
-            .counter_histogram
+        let set = self
+            .positions
             .iter()
-            .position(|&n| n > 0)
-            .expect("table is full, some counter value is live") as u8;
-        self.entries
-            .iter()
-            .rposition(|e| e.counter == min_counter)
-            .expect("histogram says min_counter is live")
+            .find(|s| !s.is_empty())
+            .expect("table is full, some counter value is live");
+        *set.iter().next_back().expect("set is non-empty") as usize
     }
 
     /// `(lookups, hits)` observed through [`ValueDictionary::encode`].
@@ -243,8 +254,8 @@ mod tests {
         ValueDictionary::new(cap, 3)
     }
 
-    /// The shadow index and counter histogram must always be derivable from
-    /// the entry array.
+    /// The shadow index and per-counter position sets must always be
+    /// derivable from the entry array.
     fn check_invariants(d: &ValueDictionary) {
         assert_eq!(d.index.len(), d.entries.len());
         for (i, e) in d.entries.iter().enumerate() {
@@ -254,11 +265,11 @@ mod tests {
                 "index desync at {i}"
             );
         }
-        let mut hist = vec![0u32; d.counter_max as usize + 1];
-        for e in &d.entries {
-            hist[e.counter as usize] += 1;
+        let mut sets = vec![BTreeSet::new(); d.counter_max as usize + 1];
+        for (i, e) in d.entries.iter().enumerate() {
+            sets[e.counter as usize].insert(i as u32);
         }
-        assert_eq!(hist, d.counter_histogram, "histogram desync");
+        assert_eq!(sets, d.positions, "position-set desync");
     }
 
     #[test]

@@ -1,0 +1,1247 @@
+//! The on-disk crash-dump directory format (paper §4.8).
+//!
+//! When the OS detects a fault it dumps the retained window of First-Load
+//! Logs and Memory Race Logs to stable storage; the resulting directory is
+//! the *portable artifact* a developer ships to the vendor and replays
+//! offline. This module defines that format and the strict, checksum-guarded
+//! reader for it.
+//!
+//! A dump directory contains:
+//!
+//! * `manifest.bnd` — magic (`BUGNETDP`), format version, the recorder
+//!   configuration, the workload identity string, the fault that triggered
+//!   the dump (if any), and a per-thread table (checkpoint counts, replay
+//!   window, byte totals, per-interval execution digests). The whole file is
+//!   covered by a trailing FNV-1a checksum.
+//! * `thread-<id>.fll` / `thread-<id>.mrl` — one file pair per thread, each a
+//!   small header (magic, version, thread id, frame count) followed by
+//!   length-prefixed frames. Every frame is one serialized
+//!   [`FirstLoadLog`]/[`MemoryRaceLog`] (via the existing
+//!   [`FirstLoadLog::to_bytes`] bulk paths) followed by its own FNV-1a
+//!   checksum.
+//!
+//! Loading validates everything it reads — magics, versions, bounds, frame
+//!   checksums, manifest/file cross-consistency, FLL/MRL pairing — and
+//! returns a typed [`DumpError`] on any corruption; it never panics on bad
+//! input and never silently accepts a flipped bit.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use bugnet_isa::Program;
+use bugnet_types::{Addr, BugNetConfig, ByteSize, CheckpointId, InstrCount, ThreadId, Timestamp};
+
+use crate::digest::{fnv1a, ExecutionDigest};
+use crate::fll::FirstLoadLog;
+use crate::mrl::MemoryRaceLog;
+use crate::recorder::LogStore;
+use crate::replayer::{ReplayError, Replayer};
+
+/// Magic bytes opening the manifest file.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"BUGNETDP";
+/// Magic bytes opening a per-thread FLL file.
+pub const FLL_FILE_MAGIC: [u8; 4] = *b"BNFL";
+/// Magic bytes opening a per-thread MRL file.
+pub const MRL_FILE_MAGIC: [u8; 4] = *b"BNMR";
+/// Current crash-dump format version.
+pub const DUMP_VERSION: u32 = 1;
+/// File name of the manifest inside a dump directory.
+pub const MANIFEST_FILE: &str = "manifest.bnd";
+
+/// Upper bound on string fields in the manifest (workload id, fault text).
+const MAX_STRING_BYTES: u32 = 4096;
+/// Upper bound on the number of threads a manifest may declare.
+const MAX_THREADS: u32 = 4096;
+/// Upper bound on checkpoints per thread a manifest may declare.
+const MAX_CHECKPOINTS: u32 = 1 << 20;
+
+/// Error produced when writing or reading a crash dump.
+#[derive(Debug)]
+pub enum DumpError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// Path the operation targeted.
+        path: String,
+        /// The I/O error.
+        source: io::Error,
+    },
+    /// A file did not start with the expected magic bytes.
+    BadMagic {
+        /// Offending file (relative to the dump directory).
+        file: String,
+    },
+    /// The file declares a format version this reader does not understand.
+    UnsupportedVersion {
+        /// Offending file.
+        file: String,
+        /// Declared version.
+        version: u32,
+    },
+    /// A file ended before its declared content did.
+    Truncated {
+        /// Offending file.
+        file: String,
+    },
+    /// A file contains bytes after its declared content.
+    TrailingBytes {
+        /// Offending file.
+        file: String,
+    },
+    /// A checksum over a manifest body or log frame did not match.
+    ChecksumMismatch {
+        /// Offending file.
+        file: String,
+        /// Frame index within the file, `None` for the manifest body.
+        frame: Option<u32>,
+        /// Checksum stored in the file.
+        expected: u64,
+        /// Checksum recomputed over the bytes read.
+        actual: u64,
+    },
+    /// A frame passed its checksum but its payload failed to decode, or a
+    /// declared field is outside its sanity bound.
+    CorruptLog {
+        /// Offending file.
+        file: String,
+        /// Frame index within the file.
+        frame: u32,
+        /// What failed to decode.
+        detail: String,
+    },
+    /// Two structurally valid parts of the dump contradict each other
+    /// (manifest vs. log file, or FLL vs. MRL pairing).
+    Inconsistent {
+        /// Offending file.
+        file: String,
+        /// The contradiction.
+        detail: String,
+    },
+    /// A dump was requested from a machine with no recorder attached.
+    NoRecorder,
+}
+
+impl fmt::Display for DumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DumpError::Io { path, source } => write!(f, "i/o error on {path}: {source}"),
+            DumpError::BadMagic { file } => write!(f, "{file}: bad magic bytes"),
+            DumpError::UnsupportedVersion { file, version } => {
+                write!(f, "{file}: unsupported dump format version {version}")
+            }
+            DumpError::Truncated { file } => write!(f, "{file}: truncated"),
+            DumpError::TrailingBytes { file } => {
+                write!(f, "{file}: trailing bytes after declared content")
+            }
+            DumpError::ChecksumMismatch {
+                file,
+                frame,
+                expected,
+                actual,
+            } => match frame {
+                Some(i) => write!(
+                    f,
+                    "{file}: frame {i} checksum mismatch (stored {expected:#018x}, computed {actual:#018x})"
+                ),
+                None => write!(
+                    f,
+                    "{file}: manifest checksum mismatch (stored {expected:#018x}, computed {actual:#018x})"
+                ),
+            },
+            DumpError::CorruptLog {
+                file,
+                frame,
+                detail,
+            } => write!(f, "{file}: frame {frame} is corrupt: {detail}"),
+            DumpError::Inconsistent { file, detail } => write!(f, "{file}: inconsistent: {detail}"),
+            DumpError::NoRecorder => f.write_str("machine has no BugNet recorder attached"),
+        }
+    }
+}
+
+impl Error for DumpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DumpError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(path: &Path, source: io::Error) -> DumpError {
+    DumpError::Io {
+        path: path.display().to_string(),
+        source,
+    }
+}
+
+/// Compact copy of an interval's [`ExecutionDigest`], stored in the manifest
+/// so an offline replay can check it reproduced the recorded execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestSummary {
+    /// Order-sensitive FNV hash over loads, stores and the final state.
+    pub hash: u64,
+    /// Committed loads in the interval.
+    pub loads: u64,
+    /// Committed stores in the interval.
+    pub stores: u64,
+    /// Committed instructions in the interval.
+    pub instructions: u64,
+}
+
+impl From<&ExecutionDigest> for DigestSummary {
+    fn from(d: &ExecutionDigest) -> Self {
+        DigestSummary {
+            hash: d.value(),
+            loads: d.loads(),
+            stores: d.stores(),
+            instructions: d.instructions(),
+        }
+    }
+}
+
+impl DigestSummary {
+    /// Whether a replayed digest matches this recorded summary exactly.
+    pub fn matches(&self, d: &ExecutionDigest) -> bool {
+        self == &DigestSummary::from(d)
+    }
+}
+
+/// The fault that triggered a dump, as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpFault {
+    /// Thread that faulted.
+    pub thread: ThreadId,
+    /// Program counter of the faulting instruction.
+    pub pc: Addr,
+    /// Committed instructions of the faulting thread at the fault.
+    pub icount: InstrCount,
+    /// Human-readable fault description (e.g. "integer divide by zero").
+    pub description: String,
+}
+
+/// Per-thread entry of the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadManifest {
+    /// The thread.
+    pub thread: ThreadId,
+    /// Number of retained checkpoint intervals (= frames in each log file).
+    pub checkpoints: u32,
+    /// Replay window: committed instructions across the retained intervals.
+    pub instructions: u64,
+    /// Total serialized FLL payload bytes in `thread-<id>.fll`.
+    pub fll_bytes: u64,
+    /// Total serialized MRL payload bytes in `thread-<id>.mrl`.
+    pub mrl_bytes: u64,
+    /// Recorded execution digest of each interval, oldest first.
+    pub digests: Vec<DigestSummary>,
+}
+
+impl ThreadManifest {
+    /// File name of this thread's FLL file inside the dump directory.
+    pub fn fll_file(&self) -> String {
+        format!("thread-{}.fll", self.thread.0)
+    }
+
+    /// File name of this thread's MRL file inside the dump directory.
+    pub fn mrl_file(&self) -> String {
+        format!("thread-{}.mrl", self.thread.0)
+    }
+}
+
+/// Metadata the dumping site provides when writing a dump.
+#[derive(Debug, Clone)]
+pub struct DumpMeta {
+    /// Workload identity string (see `bugnet_workloads::registry`), so an
+    /// offline replayer can rebuild the recorded program image.
+    pub workload: String,
+    /// Recorder configuration in effect when the logs were captured.
+    pub config: BugNetConfig,
+    /// Machine clock when the dump was taken.
+    pub created: Timestamp,
+    /// The fault that triggered the dump, if any.
+    pub fault: Option<DumpFault>,
+    /// Checkpoints the log store discarded before the dump to stay within
+    /// its capacity (context for "how much history is missing").
+    pub evicted_checkpoints: u64,
+}
+
+/// The decoded manifest of a crash-dump directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DumpManifest {
+    /// Format version of the dump.
+    pub version: u32,
+    /// Machine clock when the dump was taken.
+    pub created: Timestamp,
+    /// Workload identity string.
+    pub workload: String,
+    /// Recorder configuration in effect when the logs were captured.
+    pub config: BugNetConfig,
+    /// The fault that triggered the dump, if any.
+    pub fault: Option<DumpFault>,
+    /// Checkpoints discarded before the dump due to capacity.
+    pub evicted_checkpoints: u64,
+    /// Per-thread log tables, in thread-id order.
+    pub threads: Vec<ThreadManifest>,
+}
+
+impl DumpManifest {
+    /// Total retained checkpoints across all threads.
+    pub fn total_checkpoints(&self) -> u64 {
+        self.threads.iter().map(|t| u64::from(t.checkpoints)).sum()
+    }
+
+    /// Total serialized FLL bytes across all threads.
+    pub fn total_fll_size(&self) -> ByteSize {
+        ByteSize::from_bytes(self.threads.iter().map(|t| t.fll_bytes).sum())
+    }
+
+    /// Total serialized MRL bytes across all threads.
+    pub fn total_mrl_size(&self) -> ByteSize {
+        ByteSize::from_bytes(self.threads.iter().map(|t| t.mrl_bytes).sum())
+    }
+
+    /// Loads and validates the manifest of a dump directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DumpError`] if the file is missing, corrupt, truncated or
+    /// declares out-of-bounds structure.
+    pub fn load(dir: &Path) -> Result<Self, DumpError> {
+        let path = dir.join(MANIFEST_FILE);
+        let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+        Self::decode(&bytes)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, DumpError> {
+        let file = MANIFEST_FILE.to_string();
+        let truncated = || DumpError::Truncated {
+            file: MANIFEST_FILE.to_string(),
+        };
+        // The trailing 8 bytes are the checksum over everything before them.
+        if bytes.len() < MANIFEST_MAGIC.len() + 8 {
+            return Err(truncated());
+        }
+        let (body, stored) = bytes.split_at(bytes.len() - 8);
+        let expected = u64::from_le_bytes(stored.try_into().expect("8 bytes"));
+        let actual = fnv1a(body);
+        if expected != actual {
+            return Err(DumpError::ChecksumMismatch {
+                file,
+                frame: None,
+                expected,
+                actual,
+            });
+        }
+        let mut r = ByteReader::new(body);
+        if r.take(MANIFEST_MAGIC.len()).ok_or_else(truncated)? != MANIFEST_MAGIC {
+            return Err(DumpError::BadMagic {
+                file: MANIFEST_FILE.to_string(),
+            });
+        }
+        let version = r.u32().ok_or_else(truncated)?;
+        if version != DUMP_VERSION {
+            return Err(DumpError::UnsupportedVersion {
+                file: MANIFEST_FILE.to_string(),
+                version,
+            });
+        }
+        let created = Timestamp(r.u64().ok_or_else(truncated)?);
+        let config = decode_config(&mut r).ok_or_else(truncated)?;
+        let workload = r.string(MAX_STRING_BYTES).map_err(|e| e.into_error())?;
+        let fault = match r.u8().ok_or_else(truncated)? {
+            0 => None,
+            1 => Some(DumpFault {
+                thread: ThreadId(r.u32().ok_or_else(truncated)?),
+                pc: Addr::new(r.u64().ok_or_else(truncated)?),
+                icount: InstrCount(r.u64().ok_or_else(truncated)?),
+                description: r.string(MAX_STRING_BYTES).map_err(|e| e.into_error())?,
+            }),
+            tag => {
+                return Err(DumpError::CorruptLog {
+                    file: MANIFEST_FILE.to_string(),
+                    frame: 0,
+                    detail: format!("invalid fault-presence tag {tag}"),
+                })
+            }
+        };
+        let evicted_checkpoints = r.u64().ok_or_else(truncated)?;
+        let thread_count = r.u32().ok_or_else(truncated)?;
+        if thread_count > MAX_THREADS {
+            return Err(DumpError::CorruptLog {
+                file: MANIFEST_FILE.to_string(),
+                frame: 0,
+                detail: format!("declared thread count {thread_count} exceeds {MAX_THREADS}"),
+            });
+        }
+        let mut threads = Vec::with_capacity(thread_count as usize);
+        let mut previous: Option<ThreadId> = None;
+        for _ in 0..thread_count {
+            let thread = ThreadId(r.u32().ok_or_else(truncated)?);
+            if previous.is_some_and(|p| p >= thread) {
+                return Err(DumpError::Inconsistent {
+                    file: MANIFEST_FILE.to_string(),
+                    detail: format!("thread table not strictly ordered at {thread}"),
+                });
+            }
+            previous = Some(thread);
+            let checkpoints = r.u32().ok_or_else(truncated)?;
+            if checkpoints > MAX_CHECKPOINTS {
+                return Err(DumpError::CorruptLog {
+                    file: MANIFEST_FILE.to_string(),
+                    frame: 0,
+                    detail: format!("thread {thread} declares {checkpoints} checkpoints"),
+                });
+            }
+            let instructions = r.u64().ok_or_else(truncated)?;
+            let fll_bytes = r.u64().ok_or_else(truncated)?;
+            let mrl_bytes = r.u64().ok_or_else(truncated)?;
+            let mut digests = Vec::with_capacity(checkpoints as usize);
+            for _ in 0..checkpoints {
+                digests.push(DigestSummary {
+                    hash: r.u64().ok_or_else(truncated)?,
+                    loads: r.u64().ok_or_else(truncated)?,
+                    stores: r.u64().ok_or_else(truncated)?,
+                    instructions: r.u64().ok_or_else(truncated)?,
+                });
+            }
+            threads.push(ThreadManifest {
+                thread,
+                checkpoints,
+                instructions,
+                fll_bytes,
+                mrl_bytes,
+                digests,
+            });
+        }
+        if !r.is_exhausted() {
+            return Err(DumpError::TrailingBytes {
+                file: MANIFEST_FILE.to_string(),
+            });
+        }
+        Ok(DumpManifest {
+            version,
+            created,
+            workload,
+            config,
+            fault,
+            evicted_checkpoints,
+            threads,
+        })
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Vec::with_capacity(256 + self.threads.len() * 64);
+        w.extend_from_slice(&MANIFEST_MAGIC);
+        put_u32(&mut w, self.version);
+        put_u64(&mut w, self.created.0);
+        encode_config(&mut w, &self.config);
+        put_string(&mut w, &self.workload);
+        match &self.fault {
+            None => w.push(0),
+            Some(fault) => {
+                w.push(1);
+                put_u32(&mut w, fault.thread.0);
+                put_u64(&mut w, fault.pc.raw());
+                put_u64(&mut w, fault.icount.0);
+                put_string(&mut w, &fault.description);
+            }
+        }
+        put_u64(&mut w, self.evicted_checkpoints);
+        put_u32(&mut w, self.threads.len() as u32);
+        for t in &self.threads {
+            put_u32(&mut w, t.thread.0);
+            put_u32(&mut w, t.checkpoints);
+            put_u64(&mut w, t.instructions);
+            put_u64(&mut w, t.fll_bytes);
+            put_u64(&mut w, t.mrl_bytes);
+            for d in &t.digests {
+                put_u64(&mut w, d.hash);
+                put_u64(&mut w, d.loads);
+                put_u64(&mut w, d.stores);
+                put_u64(&mut w, d.instructions);
+            }
+        }
+        let checksum = fnv1a(&w);
+        put_u64(&mut w, checksum);
+        w
+    }
+}
+
+fn encode_config(w: &mut Vec<u8>, cfg: &BugNetConfig) {
+    put_u64(w, cfg.checkpoint_interval);
+    put_u64(w, cfg.dictionary_entries as u64);
+    put_u32(w, cfg.dictionary_counter_bits);
+    put_u32(w, cfg.reduced_lcount_bits);
+    put_u32(w, cfg.checkpoint_id_bits);
+    put_u32(w, cfg.thread_id_bits);
+    put_u64(w, cfg.checkpoint_buffer.bytes());
+    put_u64(w, cfg.memory_race_buffer.bytes());
+    put_u64(w, cfg.fll_region.bytes());
+    put_u64(w, cfg.mrl_region.bytes());
+    put_u64(w, cfg.target_replay_window);
+    w.push(u8::from(cfg.netzer_reduction));
+}
+
+fn decode_config(r: &mut ByteReader<'_>) -> Option<BugNetConfig> {
+    Some(BugNetConfig {
+        checkpoint_interval: r.u64()?,
+        dictionary_entries: r.u64()? as usize,
+        dictionary_counter_bits: r.u32()?,
+        reduced_lcount_bits: r.u32()?,
+        checkpoint_id_bits: r.u32()?,
+        thread_id_bits: r.u32()?,
+        checkpoint_buffer: ByteSize::from_bytes(r.u64()?),
+        memory_race_buffer: ByteSize::from_bytes(r.u64()?),
+        fll_region: ByteSize::from_bytes(r.u64()?),
+        mrl_region: ByteSize::from_bytes(r.u64()?),
+        target_replay_window: r.u64()?,
+        netzer_reduction: r.u8()? != 0,
+    })
+}
+
+/// One retained checkpoint interval loaded back from a dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DumpedCheckpoint {
+    /// The interval's First-Load Log.
+    pub fll: FirstLoadLog,
+    /// The interval's Memory Race Log.
+    pub mrl: MemoryRaceLog,
+    /// The execution digest recorded for the interval.
+    pub digest: DigestSummary,
+}
+
+/// All retained intervals of one thread loaded back from a dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadDump {
+    /// The thread.
+    pub thread: ThreadId,
+    /// Retained intervals, oldest first.
+    pub checkpoints: Vec<DumpedCheckpoint>,
+}
+
+/// A fully loaded and validated crash-dump directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashDump {
+    /// The decoded manifest.
+    pub manifest: DumpManifest,
+    /// Per-thread logs, in thread-id order.
+    pub threads: Vec<ThreadDump>,
+}
+
+/// Writes the retained window of `store` to `dir` as a crash-dump directory.
+///
+/// The directory is created if needed; existing dump files in it are
+/// overwritten. Returns the manifest that was written.
+///
+/// # Errors
+///
+/// Returns [`DumpError::Io`] if any file cannot be written.
+pub fn write_dump(
+    dir: &Path,
+    meta: &DumpMeta,
+    store: &LogStore,
+) -> Result<DumpManifest, DumpError> {
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let mut threads = Vec::new();
+    for thread in store.threads() {
+        let logs = store.thread_logs(thread);
+        let mut fll_file = Vec::new();
+        let mut mrl_file = Vec::new();
+        let mut fll_bytes = 0u64;
+        let mut mrl_bytes = 0u64;
+        let mut digests = Vec::with_capacity(logs.len());
+        begin_log_file(&mut fll_file, FLL_FILE_MAGIC, thread, logs.len() as u32);
+        begin_log_file(&mut mrl_file, MRL_FILE_MAGIC, thread, logs.len() as u32);
+        for entry in logs {
+            fll_bytes += put_frame(&mut fll_file, &entry.fll.to_bytes());
+            mrl_bytes += put_frame(&mut mrl_file, &entry.mrl.to_bytes());
+            digests.push(DigestSummary::from(&entry.digest));
+        }
+        let t = ThreadManifest {
+            thread,
+            checkpoints: logs.len() as u32,
+            instructions: store.replay_window(thread),
+            fll_bytes,
+            mrl_bytes,
+            digests,
+        };
+        let fll_path = dir.join(t.fll_file());
+        fs::write(&fll_path, &fll_file).map_err(|e| io_err(&fll_path, e))?;
+        let mrl_path = dir.join(t.mrl_file());
+        fs::write(&mrl_path, &mrl_file).map_err(|e| io_err(&mrl_path, e))?;
+        threads.push(t);
+    }
+    let manifest = DumpManifest {
+        version: DUMP_VERSION,
+        created: meta.created,
+        workload: meta.workload.clone(),
+        config: meta.config.clone(),
+        fault: meta.fault.clone(),
+        evicted_checkpoints: meta.evicted_checkpoints,
+        threads,
+    };
+    let path = dir.join(MANIFEST_FILE);
+    fs::write(&path, manifest.encode()).map_err(|e| io_err(&path, e))?;
+    Ok(manifest)
+}
+
+fn begin_log_file(w: &mut Vec<u8>, magic: [u8; 4], thread: ThreadId, frames: u32) {
+    w.extend_from_slice(&magic);
+    put_u32(w, DUMP_VERSION);
+    put_u32(w, thread.0);
+    put_u32(w, frames);
+}
+
+/// Appends one length-prefixed, checksummed frame; returns the payload size.
+fn put_frame(w: &mut Vec<u8>, payload: &[u8]) -> u64 {
+    put_u32(w, payload.len() as u32);
+    w.extend_from_slice(payload);
+    put_u64(w, fnv1a(payload));
+    payload.len() as u64
+}
+
+/// Reads the frames of one per-thread log file, validating its header, every
+/// frame checksum, and that the file ends exactly after the last frame.
+fn read_log_file(
+    dir: &Path,
+    file: &str,
+    magic: [u8; 4],
+    expect: &ThreadManifest,
+) -> Result<Vec<Vec<u8>>, DumpError> {
+    let path = dir.join(file);
+    let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+    let truncated = || DumpError::Truncated { file: file.into() };
+    let mut r = ByteReader::new(&bytes);
+    if r.take(4).ok_or_else(truncated)? != magic {
+        return Err(DumpError::BadMagic { file: file.into() });
+    }
+    let version = r.u32().ok_or_else(truncated)?;
+    if version != DUMP_VERSION {
+        return Err(DumpError::UnsupportedVersion {
+            file: file.into(),
+            version,
+        });
+    }
+    let thread = ThreadId(r.u32().ok_or_else(truncated)?);
+    if thread != expect.thread {
+        return Err(DumpError::Inconsistent {
+            file: file.into(),
+            detail: format!("file claims {thread}, manifest expects {}", expect.thread),
+        });
+    }
+    let frames = r.u32().ok_or_else(truncated)?;
+    if frames != expect.checkpoints {
+        return Err(DumpError::Inconsistent {
+            file: file.into(),
+            detail: format!(
+                "file holds {frames} frames, manifest expects {}",
+                expect.checkpoints
+            ),
+        });
+    }
+    let mut payloads = Vec::with_capacity(frames as usize);
+    for i in 0..frames {
+        let len = r.u32().ok_or_else(truncated)? as usize;
+        let payload = r.take(len).ok_or_else(truncated)?.to_vec();
+        let expected = r.u64().ok_or_else(truncated)?;
+        let actual = fnv1a(&payload);
+        if expected != actual {
+            return Err(DumpError::ChecksumMismatch {
+                file: file.into(),
+                frame: Some(i),
+                expected,
+                actual,
+            });
+        }
+        payloads.push(payload);
+    }
+    if !r.is_exhausted() {
+        return Err(DumpError::TrailingBytes { file: file.into() });
+    }
+    Ok(payloads)
+}
+
+impl CrashDump {
+    /// Loads a complete crash dump from `dir`, validating checksums, bounds,
+    /// manifest/file consistency and FLL/MRL pairing, and decoding every log.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`DumpError`] describing the first problem found.
+    pub fn load(dir: &Path) -> Result<Self, DumpError> {
+        let manifest = DumpManifest::load(dir)?;
+        let mut threads = Vec::with_capacity(manifest.threads.len());
+        for t in &manifest.threads {
+            let fll_file = t.fll_file();
+            let mrl_file = t.mrl_file();
+            let fll_frames = read_log_file(dir, &fll_file, FLL_FILE_MAGIC, t)?;
+            let mrl_frames = read_log_file(dir, &mrl_file, MRL_FILE_MAGIC, t)?;
+            check_payload_total(&fll_file, &fll_frames, t.fll_bytes)?;
+            check_payload_total(&mrl_file, &mrl_frames, t.mrl_bytes)?;
+            let mut checkpoints = Vec::with_capacity(fll_frames.len());
+            let mut instructions = 0u64;
+            for (i, (fll_bytes, mrl_bytes)) in fll_frames.iter().zip(&mrl_frames).enumerate() {
+                let fll =
+                    FirstLoadLog::from_bytes(fll_bytes).map_err(|e| DumpError::CorruptLog {
+                        file: fll_file.clone(),
+                        frame: i as u32,
+                        detail: e.to_string(),
+                    })?;
+                let mrl =
+                    MemoryRaceLog::from_bytes(mrl_bytes).ok_or_else(|| DumpError::CorruptLog {
+                        file: mrl_file.clone(),
+                        frame: i as u32,
+                        detail: "memory race log failed to decode".into(),
+                    })?;
+                if fll.header.thread != t.thread {
+                    return Err(DumpError::Inconsistent {
+                        file: fll_file.clone(),
+                        detail: format!(
+                            "frame {i} belongs to {}, expected {}",
+                            fll.header.thread, t.thread
+                        ),
+                    });
+                }
+                if mrl.header.checkpoint != fll.header.checkpoint
+                    || mrl.header.thread != fll.header.thread
+                {
+                    return Err(DumpError::Inconsistent {
+                        file: mrl_file.clone(),
+                        detail: format!(
+                            "frame {i} pairs {} {} with FLL {} {}",
+                            mrl.header.thread,
+                            mrl.header.checkpoint,
+                            fll.header.thread,
+                            fll.header.checkpoint
+                        ),
+                    });
+                }
+                // Checked: frames are attacker-controlled (FNV is not a MAC),
+                // and an overflowing sum must not panic or wrap past the
+                // manifest cross-check below.
+                instructions = instructions.checked_add(fll.instructions).ok_or_else(|| {
+                    DumpError::Inconsistent {
+                        file: fll_file.clone(),
+                        detail: "declared per-interval instruction counts overflow".into(),
+                    }
+                })?;
+                checkpoints.push(DumpedCheckpoint {
+                    fll,
+                    mrl,
+                    digest: t.digests[i],
+                });
+            }
+            if instructions != t.instructions {
+                return Err(DumpError::Inconsistent {
+                    file: fll_file.clone(),
+                    detail: format!(
+                        "logs cover {instructions} instructions, manifest declares {}",
+                        t.instructions
+                    ),
+                });
+            }
+            threads.push(ThreadDump {
+                thread: t.thread,
+                checkpoints,
+            });
+        }
+        Ok(CrashDump { manifest, threads })
+    }
+
+    /// The logs of one thread, if retained in the dump.
+    pub fn thread(&self, thread: ThreadId) -> Option<&ThreadDump> {
+        self.threads.iter().find(|t| t.thread == thread)
+    }
+
+    /// Replays every retained interval of every thread against the program
+    /// images supplied by `program_of` and checks each replay against the
+    /// recorded digest. Threads for which `program_of` returns `None` are
+    /// reported as unreplayable rather than failing the whole dump.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ReplayError`] from an interval that cannot be
+    /// replayed at all (corrupt stream, bad initial state, divergent length).
+    pub fn replay(
+        &self,
+        mut program_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
+    ) -> Result<DumpReplayReport, ReplayError> {
+        let mut report = DumpReplayReport::default();
+        for t in &self.threads {
+            let Some(program) = program_of(t.thread) else {
+                report.unreplayable_threads.push(t.thread);
+                continue;
+            };
+            let replayer = Replayer::new(program);
+            for cp in &t.checkpoints {
+                let replayed = replayer.replay_interval(&cp.fll)?;
+                let fault_reproduced = cp.fll.fault.map(|expected| {
+                    replayed
+                        .observed_fault
+                        .map(|(pc, _)| pc == expected.pc)
+                        .unwrap_or(false)
+                });
+                report.intervals.push(DumpIntervalReplay {
+                    thread: t.thread,
+                    checkpoint: cp.fll.header.checkpoint,
+                    instructions: replayed.instructions,
+                    loads_from_log: replayed.loads_from_log,
+                    loads_from_memory: replayed.loads_from_memory,
+                    digest_match: cp.digest.matches(&replayed.digest),
+                    fault_reproduced,
+                });
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn check_payload_total(file: &str, frames: &[Vec<u8>], declared: u64) -> Result<(), DumpError> {
+    let actual: u64 = frames.iter().map(|f| f.len() as u64).sum();
+    if actual != declared {
+        return Err(DumpError::Inconsistent {
+            file: file.into(),
+            detail: format!("frames total {actual} payload bytes, manifest declares {declared}"),
+        });
+    }
+    Ok(())
+}
+
+/// Result of replaying one interval out of a dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DumpIntervalReplay {
+    /// Thread the interval belongs to.
+    pub thread: ThreadId,
+    /// Checkpoint identifier.
+    pub checkpoint: CheckpointId,
+    /// Instructions replayed.
+    pub instructions: u64,
+    /// Loads whose value came from the log.
+    pub loads_from_log: u64,
+    /// Loads regenerated from the replayed memory image.
+    pub loads_from_memory: u64,
+    /// Whether the replay digest matched the digest recorded in the dump.
+    pub digest_match: bool,
+    /// For fault-terminated intervals: whether the fault reproduced at the
+    /// recorded program counter.
+    pub fault_reproduced: Option<bool>,
+}
+
+/// Result of replaying a whole dump.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DumpReplayReport {
+    /// Per-interval results, grouped by thread, oldest interval first.
+    pub intervals: Vec<DumpIntervalReplay>,
+    /// Threads whose program image could not be reconstructed.
+    pub unreplayable_threads: Vec<ThreadId>,
+}
+
+impl DumpReplayReport {
+    /// Whether every interval replayed to the recorded digest (and fault,
+    /// where applicable) and every thread was replayable.
+    pub fn all_match(&self) -> bool {
+        !self.intervals.is_empty()
+            && self.unreplayable_threads.is_empty()
+            && self
+                .intervals
+                .iter()
+                .all(|i| i.digest_match && i.fault_reproduced.unwrap_or(true))
+    }
+
+    /// Intervals that diverged from the recording.
+    pub fn divergences(&self) -> Vec<&DumpIntervalReplay> {
+        self.intervals
+            .iter()
+            .filter(|i| !(i.digest_match && i.fault_reproduced.unwrap_or(true)))
+            .collect()
+    }
+
+    /// Total instructions replayed.
+    pub fn instructions(&self) -> u64 {
+        self.intervals.iter().map(|i| i.instructions).sum()
+    }
+}
+
+/// Summary statistics of a verified dump.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DumpVerifyReport {
+    /// Threads in the dump.
+    pub threads: usize,
+    /// Retained checkpoint intervals across all threads.
+    pub checkpoints: u64,
+    /// Serialized FLL payload bytes.
+    pub fll_bytes: u64,
+    /// Serialized MRL payload bytes.
+    pub mrl_bytes: u64,
+    /// First-load records across all FLLs.
+    pub records: u64,
+    /// Records that individually decoded during the deep pass.
+    pub records_decoded: u64,
+    /// Ordering edges across all MRLs.
+    pub mrl_entries: u64,
+}
+
+/// Loads a dump and additionally decodes every FLL record stream, i.e. the
+/// full checksum + decode pass behind `bugnet verify`.
+///
+/// # Errors
+///
+/// Returns a typed [`DumpError`] describing the first problem found.
+pub fn verify_dump(dir: &Path) -> Result<DumpVerifyReport, DumpError> {
+    let dump = CrashDump::load(dir)?;
+    let mut report = DumpVerifyReport {
+        threads: dump.threads.len(),
+        ..DumpVerifyReport::default()
+    };
+    for (t, m) in dump.threads.iter().zip(&dump.manifest.threads) {
+        report.checkpoints += t.checkpoints.len() as u64;
+        report.fll_bytes += m.fll_bytes;
+        report.mrl_bytes += m.mrl_bytes;
+        for (i, cp) in t.checkpoints.iter().enumerate() {
+            report.records += cp.fll.records();
+            report.mrl_entries += cp.mrl.entries().len() as u64;
+            let decoded = cp.fll.decode_records().map_err(|e| DumpError::CorruptLog {
+                file: m.fll_file(),
+                frame: i as u32,
+                detail: e.to_string(),
+            })?;
+            report.records_decoded += decoded.len() as u64;
+        }
+    }
+    Ok(report)
+}
+
+// --- little-endian byte plumbing -----------------------------------------
+
+fn put_u32(w: &mut Vec<u8>, v: u32) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(w: &mut Vec<u8>, v: u64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_string(w: &mut Vec<u8>, s: &str) {
+    // The loader rejects strings over MAX_STRING_BYTES; never write one a
+    // dump's own loader would refuse — truncate at a char boundary instead.
+    let mut end = s.len().min(MAX_STRING_BYTES as usize);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    let s = &s[..end];
+    put_u32(w, s.len() as u32);
+    w.extend_from_slice(s.as_bytes());
+}
+
+/// Error cause while reading a manifest string.
+enum StringError {
+    Truncated,
+    TooLong(u32),
+    NotUtf8,
+}
+
+impl StringError {
+    fn into_error(self) -> DumpError {
+        match self {
+            StringError::Truncated => DumpError::Truncated {
+                file: MANIFEST_FILE.to_string(),
+            },
+            StringError::TooLong(len) => DumpError::CorruptLog {
+                file: MANIFEST_FILE.to_string(),
+                frame: 0,
+                detail: format!("string of {len} bytes exceeds limit {MAX_STRING_BYTES}"),
+            },
+            StringError::NotUtf8 => DumpError::CorruptLog {
+                file: MANIFEST_FILE.to_string(),
+                frame: 0,
+                detail: "string is not valid UTF-8".into(),
+            },
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self, max: u32) -> Result<String, StringError> {
+        let len = self.u32().ok_or(StringError::Truncated)?;
+        if len > max {
+            return Err(StringError::TooLong(len));
+        }
+        let bytes = self.take(len as usize).ok_or(StringError::Truncated)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| StringError::NotUtf8)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fll::TerminationCause;
+    use crate::recorder::ThreadRecorder;
+    use bugnet_cpu::ArchState;
+    use bugnet_types::{ProcessId, Word};
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bugnet-dump-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store_with_logs(threads: u32, checkpoints: usize) -> LogStore {
+        let cfg = BugNetConfig::default().with_checkpoint_interval(1_000);
+        let mut store = LogStore::new(&cfg);
+        for t in 0..threads {
+            let mut rec = ThreadRecorder::new(cfg.clone(), ProcessId(1), ThreadId(t));
+            for c in 0..checkpoints {
+                rec.begin_interval(ArchState::default(), Timestamp((t as u64) * 100 + c as u64));
+                for i in 0..20u32 {
+                    rec.record_load(
+                        Addr::new(0x1000 + u64::from(i) * 4),
+                        Word::new(i % 5),
+                        i % 3 == 0,
+                    );
+                    rec.record_committed_instruction();
+                }
+                let logs = rec
+                    .end_interval(TerminationCause::IntervalFull, &ArchState::default())
+                    .unwrap();
+                store.push(logs);
+            }
+        }
+        store
+    }
+
+    fn meta() -> DumpMeta {
+        DumpMeta {
+            workload: "test:unit".into(),
+            config: BugNetConfig::default().with_checkpoint_interval(1_000),
+            created: Timestamp(42),
+            fault: Some(DumpFault {
+                thread: ThreadId(0),
+                pc: Addr::new(0x40_0010),
+                icount: InstrCount(19),
+                description: "integer divide by zero".into(),
+            }),
+            evicted_checkpoints: 3,
+        }
+    }
+
+    #[test]
+    fn dump_round_trips_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let store = store_with_logs(2, 3);
+        let written = write_dump(&dir, &meta(), &store).unwrap();
+        assert_eq!(written.threads.len(), 2);
+        assert_eq!(written.total_checkpoints(), 6);
+
+        let dump = CrashDump::load(&dir).unwrap();
+        assert_eq!(dump.manifest, written);
+        assert_eq!(dump.manifest.workload, "test:unit");
+        assert_eq!(dump.manifest.created, Timestamp(42));
+        assert_eq!(dump.manifest.evicted_checkpoints, 3);
+        let fault = dump.manifest.fault.as_ref().unwrap();
+        assert_eq!(fault.description, "integer divide by zero");
+        for (td, t) in dump.threads.iter().zip(store.threads()) {
+            assert_eq!(td.thread, t);
+            let original = store.thread_logs(t);
+            assert_eq!(td.checkpoints.len(), original.len());
+            for (cp, orig) in td.checkpoints.iter().zip(original) {
+                assert_eq!(cp.fll, orig.fll);
+                assert_eq!(cp.mrl, orig.mrl);
+                assert!(cp.digest.matches(&orig.digest));
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_reports_stats() {
+        let dir = temp_dir("verify");
+        let store = store_with_logs(1, 2);
+        write_dump(&dir, &meta(), &store).unwrap();
+        let report = verify_dump(&dir).unwrap();
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.checkpoints, 2);
+        assert!(report.records > 0);
+        assert_eq!(report.records, report.records_decoded);
+        assert!(report.fll_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_an_io_error() {
+        let dir = temp_dir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        let err = CrashDump::load(&dir).unwrap_err();
+        assert!(matches!(err, DumpError::Io { .. }), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_bit_flip_is_a_checksum_mismatch() {
+        let dir = temp_dir("manifest-flip");
+        let store = store_with_logs(1, 1);
+        write_dump(&dir, &meta(), &store).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let err = CrashDump::load(&dir).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DumpError::ChecksumMismatch { .. } | DumpError::BadMagic { .. }
+            ),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn log_frame_bit_flip_is_a_checksum_mismatch() {
+        let dir = temp_dir("frame-flip");
+        let store = store_with_logs(1, 1);
+        let manifest = write_dump(&dir, &meta(), &store).unwrap();
+        let path = dir.join(manifest.threads[0].fll_file());
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte (past the 16-byte header + 4-byte length).
+        bytes[24] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = CrashDump::load(&dir).unwrap_err();
+        assert!(
+            matches!(err, DumpError::ChecksumMismatch { frame: Some(0), .. }),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_files_are_rejected() {
+        let dir = temp_dir("truncate");
+        let store = store_with_logs(1, 2);
+        let manifest = write_dump(&dir, &meta(), &store).unwrap();
+        for file in [
+            MANIFEST_FILE.to_string(),
+            manifest.threads[0].fll_file(),
+            manifest.threads[0].mrl_file(),
+        ] {
+            let path = dir.join(&file);
+            let original = fs::read(&path).unwrap();
+            fs::write(&path, &original[..original.len() - 3]).unwrap();
+            let err = CrashDump::load(&dir).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DumpError::Truncated { .. } | DumpError::ChecksumMismatch { .. }
+                ),
+                "truncating {file}: {err}"
+            );
+            fs::write(&path, &original).unwrap();
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let dir = temp_dir("trailing");
+        let store = store_with_logs(1, 1);
+        let manifest = write_dump(&dir, &meta(), &store).unwrap();
+        let path = dir.join(manifest.threads[0].fll_file());
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.push(0xAB);
+        fs::write(&path, &bytes).unwrap();
+        let err = CrashDump::load(&dir).unwrap_err();
+        assert!(matches!(err, DumpError::TrailingBytes { .. }), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let dir = temp_dir("version");
+        let store = store_with_logs(1, 1);
+        write_dump(&dir, &meta(), &store).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        // Re-seal the checksum so the version check itself is exercised.
+        let body_len = bytes.len() - 8;
+        let checksum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let err = CrashDump::load(&dir).unwrap_err();
+        assert!(
+            matches!(err, DumpError::UnsupportedVersion { version: 99, .. }),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_workload_string_is_truncated_not_unloadable() {
+        let dir = temp_dir("longstring");
+        let store = store_with_logs(1, 1);
+        let mut m = meta();
+        m.workload = "x".repeat(MAX_STRING_BYTES as usize + 100) + "é";
+        write_dump(&dir, &m, &store).unwrap();
+        // The dump written at crash time must load back by its own loader.
+        let dump = CrashDump::load(&dir).unwrap();
+        assert_eq!(dump.manifest.workload.len(), MAX_STRING_BYTES as usize);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_display_names_the_file() {
+        let err = DumpError::ChecksumMismatch {
+            file: "thread-0.fll".into(),
+            frame: Some(2),
+            expected: 1,
+            actual: 2,
+        };
+        let text = err.to_string();
+        assert!(text.contains("thread-0.fll"));
+        assert!(text.contains("frame 2"));
+        assert!(DumpError::NoRecorder.to_string().contains("recorder"));
+    }
+}

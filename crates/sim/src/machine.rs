@@ -1,7 +1,9 @@
 //! The simulated machine: cores, caches, coherence, OS-lite and recorders.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use bugnet_core::dump::{self, DumpError, DumpFault, DumpManifest, DumpMeta};
 use bugnet_core::fll::TerminationCause;
 use bugnet_core::recorder::{CheckpointLogs, LogStore, ThreadRecorder};
 use bugnet_core::stats::LogSizeReport;
@@ -31,6 +33,8 @@ pub struct MachineBuilder {
     bugnet: Option<BugNetConfig>,
     fdr: Option<FdrConfig>,
     cores_explicit: bool,
+    dump_dir: Option<PathBuf>,
+    workload_spec: Option<String>,
 }
 
 impl MachineBuilder {
@@ -65,6 +69,23 @@ impl MachineBuilder {
         self
     }
 
+    /// Makes the machine write a crash-dump directory to `dir` as soon as a
+    /// thread faults (the OS behaviour of paper §4.8). Requires a BugNet
+    /// recorder to be attached; the result is available from
+    /// [`Machine::crash_dump`] after the run.
+    pub fn dump_on_crash(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dump_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the workload identity string recorded in crash-dump manifests
+    /// (see `bugnet_workloads::registry`), so offline replay can rebuild the
+    /// recorded program images. Defaults to the workload's display name.
+    pub fn workload_spec(mut self, spec: impl Into<String>) -> Self {
+        self.workload_spec = Some(spec.into());
+        self
+    }
+
     /// Builds the machine and loads the workload.
     ///
     /// The machine gets at least as many cores as the workload has threads
@@ -75,7 +96,10 @@ impl MachineBuilder {
         if !self.cores_explicit && machine_cfg.cores < workload.thread_count() {
             machine_cfg.cores = workload.thread_count();
         }
-        Machine::new(machine_cfg, self.bugnet, self.fdr, workload)
+        let mut machine = Machine::new(machine_cfg, self.bugnet, self.fdr, workload);
+        machine.workload_spec = self.workload_spec.unwrap_or_else(|| workload.name.clone());
+        machine.dump_dir = self.dump_dir;
+        machine
     }
 }
 
@@ -171,6 +195,9 @@ pub struct Machine {
     syscalls: u64,
     context_switches: u64,
     total_committed: u64,
+    workload_spec: String,
+    dump_dir: Option<PathBuf>,
+    crash_dump: Option<Result<DumpManifest, DumpError>>,
 }
 
 impl Machine {
@@ -228,6 +255,9 @@ impl Machine {
             syscalls: 0,
             context_switches: 0,
             total_committed: 0,
+            workload_spec: String::new(),
+            dump_dir: None,
+            crash_dump: None,
             memory,
             cfg,
         }
@@ -314,6 +344,67 @@ impl Machine {
                 ipc: 1.0,
             },
         )
+    }
+
+    /// The workload identity string recorded in crash-dump manifests.
+    pub fn workload_spec(&self) -> &str {
+        &self.workload_spec
+    }
+
+    /// Result of the automatic crash dump, if one was attempted: the written
+    /// manifest, or the [`DumpError`] that prevented it.
+    pub fn crash_dump(&self) -> Option<&Result<DumpManifest, DumpError>> {
+        self.crash_dump.as_ref()
+    }
+
+    /// Directory the automatic crash dump writes to, if configured.
+    pub fn crash_dump_dir(&self) -> Option<&Path> {
+        self.dump_dir.as_deref()
+    }
+
+    /// Writes the retained log window of every thread to `dir` as an on-disk
+    /// crash-dump directory (paper §4.8). The manifest records the recorder
+    /// configuration, the workload identity string and the first fault
+    /// observed, if any. Callable at any point — after a crash for the
+    /// paper's scenario, or after a clean run to archive the logs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumpError::NoRecorder`] when no BugNet recorder is attached,
+    /// or [`DumpError::Io`] when the directory cannot be written.
+    pub fn write_crash_dump(&self, dir: &Path) -> Result<DumpManifest, DumpError> {
+        let store = self.log_store.as_ref().ok_or(DumpError::NoRecorder)?;
+        let fault = self.threads.iter().find_map(|t| {
+            t.fault.map(|(fault, pc)| DumpFault {
+                thread: t.id,
+                pc,
+                icount: bugnet_types::InstrCount(t.cpu.as_ref().map(|c| c.icount().0).unwrap_or(0)),
+                description: fault.to_string(),
+            })
+        });
+        let meta = DumpMeta {
+            workload: self.workload_spec.clone(),
+            config: self
+                .bugnet_cfg
+                .clone()
+                .expect("log store implies a recorder config"),
+            created: Timestamp(self.clock),
+            fault,
+            evicted_checkpoints: store.evicted_checkpoints(),
+        };
+        dump::write_dump(dir, &meta, store)
+    }
+
+    /// The OS-side dump trigger: on the first fault, write the crash dump to
+    /// the configured directory (at most once per machine).
+    fn auto_dump_on_fault(&mut self) {
+        let Some(dir) = self.dump_dir.clone() else {
+            return;
+        };
+        if self.crash_dump.is_some() || !self.threads.iter().any(|t| t.fault.is_some()) {
+            return;
+        }
+        self.crash_dump = Some(self.write_crash_dump(&dir));
     }
 
     /// All retained logs of every thread (oldest first per thread).
@@ -615,6 +706,7 @@ impl Machine {
             }
         }
         self.finalize_open_intervals();
+        self.auto_dump_on_fault();
         self.outcome()
     }
 
@@ -786,6 +878,60 @@ mod tests {
         let store = machine.log_store().unwrap();
         let logs = store.thread_logs(ThreadId(0));
         assert!(logs.last().unwrap().fll.fault.is_some());
+    }
+
+    #[test]
+    fn fault_triggers_an_automatic_crash_dump() {
+        use bugnet_core::dump::CrashDump;
+        let dir = std::env::temp_dir().join(format!("bugnet-autodump-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = BugSpec::all()[0];
+        let workload = spec.build(1.0);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(1_000_000))
+            .dump_on_crash(&dir)
+            .workload_spec("bug:bc-1.06:1000")
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+        let manifest = machine
+            .crash_dump()
+            .expect("dump attempted")
+            .as_ref()
+            .expect("dump written");
+        assert_eq!(manifest.workload, "bug:bc-1.06:1000");
+        let fault = manifest.fault.as_ref().expect("fault recorded");
+        assert_eq!(fault.thread, ThreadId(0));
+        // The dump on disk loads back and replays to the recorded digests.
+        let dump = CrashDump::load(&dir).unwrap();
+        assert_eq!(dump.manifest, *manifest);
+        let report = dump
+            .replay(|t| machine.program_of(t))
+            .expect("dump replays");
+        assert!(report.all_match(), "{:?}", report.divergences());
+        let last = report.intervals.last().unwrap();
+        assert_eq!(last.fault_reproduced, Some(true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn no_dump_without_fault_or_recorder() {
+        let dir = std::env::temp_dir().join(format!("bugnet-nodump-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let workload = SpecProfile::gzip().build_workload(5_000, 1);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(5_000))
+            .dump_on_crash(&dir)
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+        assert!(machine.crash_dump().is_none(), "clean run must not dump");
+        assert!(!dir.exists());
+        // And an explicit dump without a recorder is a typed error.
+        let mut bare = MachineBuilder::new().build_with_workload(&workload);
+        bare.run_to_completion();
+        assert!(matches!(
+            bare.write_crash_dump(&dir),
+            Err(bugnet_core::dump::DumpError::NoRecorder)
+        ));
     }
 
     #[test]

@@ -16,12 +16,17 @@
 //!   root-cause-to-crash distances follow the paper.
 //! * [`mt`] — small multithreaded kernels (locked counter, producer/consumer,
 //!   racy counter) used to exercise Memory Race Logs and the race analysis.
+//! * [`registry`] — workload spec strings (`spec:gzip:30000:1`,
+//!   `bug:gzip-1.2.4:1000`, ...) so crash dumps can name the recorded
+//!   workload and offline replay can rebuild the identical program images.
 
 pub mod bugs;
 pub mod mt;
+pub mod registry;
 pub mod spec;
 pub mod workload;
 
 pub use bugs::{BugClass, BugSpec};
+pub use registry::WorkloadSpec;
 pub use spec::SpecProfile;
 pub use workload::{ThreadSpec, Workload};

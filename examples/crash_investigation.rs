@@ -1,34 +1,33 @@
-//! Crash investigation: the paper's motivating scenario.
+//! Crash investigation: the paper's motivating scenario, end to end through
+//! a real on-disk crash dump.
 //!
 //! A production machine continuously records a buggy application (here: the
 //! synthetic reproduction of the `gzip-1.2.4` global-buffer-overflow bug from
-//! Table 1). When the program crashes, the OS dumps the First-Load Logs, the
-//! developer replays them on their own machine, and lands exactly on the
-//! faulting instruction — with the whole pre-crash window available for
-//! inspection.
+//! Table 1). When the program crashes, the OS writes the retained First-Load
+//! Logs to a crash-dump *directory* — the portable artifact of the paper.
+//! The developer receives that directory, rebuilds the program image from the
+//! manifest's workload spec, and replays the dump offline, landing exactly on
+//! the faulting instruction with the whole pre-crash window available.
 //!
 //! Run with: `cargo run --release --example crash_investigation`
 
-use bugnet::core::Replayer;
+use bugnet::core::dump::CrashDump;
 use bugnet::sim::MachineBuilder;
 use bugnet::types::{BugNetConfig, ThreadId};
-use bugnet::workloads::bugs::BugSpec;
+use bugnet::workloads::registry;
 
 fn main() {
-    // The buggy application (root-cause-to-crash distance follows Table 1).
-    let spec = BugSpec::all()
-        .into_iter()
-        .find(|b| b.name == "gzip-1.2.4")
-        .expect("gzip row exists");
-    println!(
-        "deploying {} ({}: {})",
-        spec.name, spec.source_location, spec.description
-    );
-    let workload = spec.build(1.0);
+    let workload_spec = "bug:gzip-1.2.4:1000"; // the paper's window, 1:1
+    let dump_dir = std::env::temp_dir().join("bugnet-crash-investigation");
+    let _ = std::fs::remove_dir_all(&dump_dir);
 
     // --- Production site: continuous recording until the crash. ------------
+    let workload = registry::resolve(workload_spec).expect("known workload");
+    println!("deploying `{workload_spec}` with continuous recording");
     let mut machine = MachineBuilder::new()
         .bugnet(BugNetConfig::default().with_checkpoint_interval(100_000))
+        .workload_spec(workload_spec)
+        .dump_on_crash(&dump_dir)
         .build_with_workload(&workload);
     let outcome = machine.run_to_completion();
     let crashed = outcome.faulted_thread().expect("the defect fires");
@@ -38,39 +37,50 @@ fn main() {
         crashed.fault_pc.unwrap(),
         crashed.committed
     );
+
+    // The OS dumped the retained logs at fault time (paper §4.8).
+    let manifest = machine
+        .crash_dump()
+        .expect("dump attempted on fault")
+        .as_ref()
+        .expect("dump written");
     println!(
-        "root-cause-to-crash window: {} instructions (paper reports {})",
-        outcome.bug_window().unwrap(),
-        spec.paper_window
+        "crash dump written to {}: {} checkpoint(s), {} of FLL data",
+        dump_dir.display(),
+        manifest.total_checkpoints(),
+        manifest.total_fll_size()
     );
 
-    // The OS dumps the retained logs for the crashed thread.
-    let store = machine.log_store().expect("recorder attached");
-    let logs = store.dump_thread(ThreadId(0));
-    let total: u64 = logs.iter().map(|l| l.fll.size().bytes()).sum();
+    // --- Developer site: nothing but the dump directory. -------------------
+    // Load (checksums + structural validation), then rebuild the recorded
+    // program image from the manifest's workload spec string.
+    let dump = CrashDump::load(&dump_dir).expect("dump is intact");
+    let fault = dump.manifest.fault.as_ref().expect("fault in manifest");
     println!(
-        "logs shipped to the developer: {} checkpoints, {} bytes of FLL data",
-        logs.len(),
-        total
+        "manifest says: {} on {} at pc {}",
+        fault.description, fault.thread, fault.pc
     );
+    let rebuilt = registry::resolve(&dump.manifest.workload).expect("same binary");
+    let programs: Vec<_> = rebuilt.threads.iter().map(|t| t.program.clone()).collect();
 
-    // --- Developer site: deterministic replay from the logs alone. ---------
-    let program = machine.program_of(ThreadId(0)).expect("same binary");
-    let replayer = Replayer::new(program);
-    let replays = replayer.replay_thread(&logs).expect("logs replay");
-    let last = replays.last().expect("at least one interval");
-    let (pc, fault) = last.observed_fault.expect("crash reproduced");
-    println!(
-        "replay reproduced the crash: {} at pc {} ({} instructions replayed in the final interval, {} total)",
-        fault,
-        pc,
-        last.instructions,
-        replays.iter().map(|r| r.instructions).sum::<u64>()
+    // Deterministic replay from the dump alone.
+    let replay = dump
+        .replay(|t: ThreadId| programs.get(t.0 as usize).cloned())
+        .expect("logs replay");
+    assert!(
+        replay.all_match(),
+        "replay diverged: {:?}",
+        replay.divergences()
     );
-    assert_eq!(
-        Some(pc),
-        crashed.fault_pc,
-        "replay lands on the recorded faulting instruction"
+    let last = replay.intervals.last().expect("at least one interval");
+    assert_eq!(last.fault_reproduced, Some(true));
+    println!(
+        "replay reproduced the crash deterministically: {} instructions replayed \
+         across {} interval(s), fault at the recorded pc",
+        replay.instructions(),
+        replay.intervals.len()
     );
     println!("determinism verified: the developer can now step backwards from the crash.");
+
+    let _ = std::fs::remove_dir_all(&dump_dir);
 }

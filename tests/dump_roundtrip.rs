@@ -1,0 +1,210 @@
+//! End-to-end tests of the on-disk crash-dump workflow, including the
+//! corruption guarantee: *any* bit flip or truncation in *any* dump file
+//! must surface as a typed [`DumpError`] — never a panic and never a replay
+//! of wrong data.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bugnet::core::dump::{verify_dump, CrashDump, DumpError};
+use bugnet::sim::MachineBuilder;
+use bugnet::types::{BugNetConfig, SplitMix64, ThreadId};
+use bugnet::workloads::registry;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bugnet-it-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Records `spec` on the simulated machine and dumps the retained window.
+fn record_dump(spec: &str, dir: &Path, interval: u64) {
+    let workload = registry::resolve(spec).expect("spec resolves");
+    let mut machine = MachineBuilder::new()
+        .bugnet(BugNetConfig::default().with_checkpoint_interval(interval))
+        .workload_spec(spec)
+        .dump_on_crash(dir)
+        .build_with_workload(&workload);
+    machine.run_to_completion();
+    if machine.crash_dump().is_none() {
+        machine.write_crash_dump(dir).expect("dump writes");
+    }
+}
+
+/// Loads, verifies and replays a dump; returns whether everything checked
+/// out. Any [`DumpError`] is fine for the corruption tests — what is *not*
+/// fine is a panic, or a clean load followed by a divergent replay going
+/// unnoticed.
+fn load_verify_replay(spec: &str, dir: &Path) -> Result<bool, DumpError> {
+    let report = verify_dump(dir)?;
+    assert!(report.checkpoints > 0);
+    let dump = CrashDump::load(dir)?;
+    let workload = registry::resolve(&dump.manifest.workload)
+        .or_else(|_| registry::resolve(spec))
+        .expect("workload resolvable");
+    let programs: Vec<_> = workload.threads.iter().map(|t| t.program.clone()).collect();
+    match dump.replay(|t: ThreadId| programs.get(t.0 as usize).cloned()) {
+        Ok(replay) => Ok(replay.all_match()),
+        // A replay-level decode failure on corrupt input is a detected error.
+        Err(_) => Ok(false),
+    }
+}
+
+#[test]
+fn recorded_workload_round_trips_through_disk_and_replays() {
+    let spec = "spec:gzip:30000:1";
+    let dir = temp_dir("roundtrip");
+    record_dump(spec, &dir, 5_000);
+
+    let report = verify_dump(&dir).expect("verify passes");
+    assert!(
+        report.checkpoints >= 4,
+        "checkpoints = {}",
+        report.checkpoints
+    );
+    assert_eq!(report.records, report.records_decoded);
+
+    let dump = CrashDump::load(&dir).expect("load passes");
+    assert_eq!(dump.manifest.workload, spec);
+    assert!(dump.manifest.fault.is_none());
+
+    assert!(
+        load_verify_replay(spec, &dir).expect("clean dump"),
+        "replay must reproduce the recorded execution"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crashing_workload_dump_reproduces_the_fault_from_disk() {
+    let spec = "bug:gzip-1.2.4:1000";
+    let dir = temp_dir("crash");
+    record_dump(spec, &dir, 100_000);
+
+    let dump = CrashDump::load(&dir).expect("load passes");
+    let fault = dump.manifest.fault.as_ref().expect("fault in manifest");
+    assert_eq!(fault.thread, ThreadId(0));
+
+    let workload = registry::resolve(spec).unwrap();
+    let programs: Vec<_> = workload.threads.iter().map(|t| t.program.clone()).collect();
+    let replay = dump
+        .replay(|t: ThreadId| programs.get(t.0 as usize).cloned())
+        .expect("replay runs");
+    assert!(replay.all_match(), "{:?}", replay.divergences());
+    let last = replay.intervals.last().unwrap();
+    assert_eq!(last.fault_reproduced, Some(true));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn multithreaded_dump_round_trips() {
+    let spec = "mt:racy_counter:2:400";
+    let dir = temp_dir("mt");
+    record_dump(spec, &dir, 50_000);
+    let dump = CrashDump::load(&dir).expect("load passes");
+    assert_eq!(dump.threads.len(), 2);
+    assert!(
+        load_verify_replay(spec, &dir).expect("clean dump"),
+        "both threads must replay to their digests"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn seeded_bit_flips_always_yield_typed_errors() {
+    let spec = "spec:crafty:20000:1";
+    let dir = temp_dir("bitflip");
+    record_dump(spec, &dir, 4_000);
+
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert!(files.len() >= 3, "manifest + fll + mrl expected");
+
+    let mut rng = SplitMix64::new(0xB17_F11B5);
+    let mut detected = 0u32;
+    for file in &files {
+        let original = fs::read(file).unwrap();
+        for _ in 0..16 {
+            let bit = rng.next_range(original.len() as u64 * 8);
+            let mut corrupt = original.clone();
+            corrupt[(bit / 8) as usize] ^= 1 << (bit % 8);
+            fs::write(file, &corrupt).unwrap();
+            // Every byte of every file is checksum- or structure-covered, so
+            // a flip must be *detected*: either a typed DumpError or a
+            // reported divergence — and never a panic.
+            match load_verify_replay(spec, &dir) {
+                Err(_) => detected += 1,
+                Ok(all_match) => {
+                    assert!(
+                        !all_match,
+                        "bit {bit} of {} flipped silently and replay still matched",
+                        file.display()
+                    );
+                    detected += 1;
+                }
+            }
+        }
+        fs::write(file, &original).unwrap();
+        // The restored dump is intact again.
+        assert!(load_verify_replay(spec, &dir).expect("restored dump loads"));
+    }
+    assert_eq!(detected, files.len() as u32 * 16);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncations_always_yield_typed_errors() {
+    let spec = "spec:parser:15000:1";
+    let dir = temp_dir("truncation");
+    record_dump(spec, &dir, 4_000);
+
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    let mut rng = SplitMix64::new(0x7121C473);
+    for file in &files {
+        let original = fs::read(file).unwrap();
+        let mut cuts = vec![0usize, 1, original.len() / 2, original.len() - 1];
+        for _ in 0..8 {
+            cuts.push(rng.next_range(original.len() as u64) as usize);
+        }
+        for cut in cuts {
+            fs::write(file, &original[..cut]).unwrap();
+            let err = load_verify_replay(spec, &dir).expect_err("truncated dump must be rejected");
+            // Must be a *typed* structural error, surfaced without panicking.
+            assert!(
+                matches!(
+                    err,
+                    DumpError::Truncated { .. }
+                        | DumpError::ChecksumMismatch { .. }
+                        | DumpError::BadMagic { .. }
+                        | DumpError::TrailingBytes { .. }
+                        | DumpError::Inconsistent { .. }
+                        | DumpError::CorruptLog { .. }
+                        | DumpError::Io { .. }
+                ),
+                "truncating {} to {cut} bytes: unexpected {err}",
+                file.display()
+            );
+        }
+        fs::write(file, &original).unwrap();
+    }
+    // Deleting a log file the manifest references is also a typed error.
+    let fll = files
+        .iter()
+        .find(|f| f.extension().is_some_and(|e| e == "fll"))
+        .unwrap();
+    let original = fs::read(fll).unwrap();
+    fs::remove_file(fll).unwrap();
+    assert!(matches!(
+        load_verify_replay(spec, &dir).unwrap_err(),
+        DumpError::Io { .. }
+    ));
+    fs::write(fll, &original).unwrap();
+    fs::remove_dir_all(&dir).unwrap();
+}
