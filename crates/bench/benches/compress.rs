@@ -1,0 +1,151 @@
+//! Criterion microbenchmarks for the back-end LZ codec.
+//!
+//! The hash-chain compressor is benchmarked against a naive reference that
+//! finds matches by scanning the whole window linearly (the textbook LZ77
+//! formulation), so the value of the hash-chain match finder is visible in
+//! one run: `naive_* / hash_chain_*` is the throughput ratio. Both produce
+//! valid token streams for the same format; the naive one is only feasible
+//! on small inputs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bugnet_compress::lz::{self, MIN_MATCH};
+use bugnet_compress::{codec, CodecId};
+
+/// SplitMix64 kept local so the bench is self-contained.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A log-like payload: runs of zeros (arch state), small repeated tokens
+/// (dictionary ranks) and occasional noise (full 32-bit values).
+fn log_like_payload(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Rng(seed);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        match rng.next() % 4 {
+            0 => out.extend(std::iter::repeat_n(0u8, (rng.next() % 64) as usize + 8)),
+            1 | 2 => out.extend((0..(rng.next() % 96) + 8).map(|_| (rng.next() % 16) as u8)),
+            _ => out.extend((0..(rng.next() % 32) + 4).map(|_| rng.next() as u8)),
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// The naive baseline: for every position, scan the entire window backwards
+/// for the longest match. O(n * window); correct but slow.
+fn naive_compress(raw: &[u8], window: usize) -> Vec<u8> {
+    let n = raw.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    while i + MIN_MATCH <= n {
+        let from = i.saturating_sub(window);
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        for c in from..i {
+            let mut len = 0;
+            while i + len < n && raw[c + len] == raw[i + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_off = i - c;
+            }
+        }
+        if best_len < MIN_MATCH {
+            i += 1;
+            continue;
+        }
+        // Emit with the same token layout as the real codec.
+        let lit = i - lit_start;
+        let ml = best_len - MIN_MATCH;
+        out.push(((lit.min(15) as u8) << 4) | ml.min(15) as u8);
+        if lit >= 15 {
+            let mut v = lit - 15;
+            while v >= 255 {
+                out.push(255);
+                v -= 255;
+            }
+            out.push(v as u8);
+        }
+        out.extend_from_slice(&raw[lit_start..i]);
+        out.extend_from_slice(&(best_off as u16).to_le_bytes());
+        if ml >= 15 {
+            let mut v = ml - 15;
+            while v >= 255 {
+                out.push(255);
+                v -= 255;
+            }
+            out.push(v as u8);
+        }
+        i += best_len;
+        lit_start = i;
+    }
+    let lit = n - lit_start;
+    if lit > 0 {
+        out.push((lit.min(15) as u8) << 4);
+        if lit >= 15 {
+            let mut v = lit - 15;
+            while v >= 255 {
+                out.push(255);
+                v -= 255;
+            }
+            out.push(v as u8);
+        }
+        out.extend_from_slice(&raw[lit_start..]);
+    }
+    out
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lz");
+    for &size in &[4 * 1024usize, 64 * 1024] {
+        let payload = log_like_payload(size, 0xC0DE);
+        // Both implementations must express the same format: the naive
+        // stream has to decode back to the payload.
+        let naive = naive_compress(&payload, 4 * 1024);
+        assert_eq!(lz::decompress(&naive, payload.len()).unwrap(), payload);
+
+        group.bench_with_input(
+            BenchmarkId::new("hash_chain_compress", size),
+            &payload,
+            |b, p| b.iter(|| black_box(lz::compress(black_box(p)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_compress_4k_window", size),
+            &payload,
+            |b, p| b.iter(|| black_box(naive_compress(black_box(p), 4 * 1024))),
+        );
+        let encoded = lz::compress(&payload);
+        group.bench_with_input(
+            BenchmarkId::new("decompress", size),
+            &(encoded, payload.len()),
+            |b, (e, n)| b.iter(|| black_box(lz::decompress(black_box(e), *n).unwrap())),
+        );
+        let lz77 = codec(CodecId::Lz77);
+        group.bench_with_input(
+            BenchmarkId::new("codec_roundtrip", size),
+            &payload,
+            |b, p| {
+                b.iter(|| {
+                    let e = lz77.compress(black_box(p));
+                    black_box(lz77.decompress(&e, p.len()).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

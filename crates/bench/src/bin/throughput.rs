@@ -21,17 +21,31 @@
 //! * `machine_record_instrs_per_sec` / `machine_replay_instrs_per_sec` —
 //!   whole simulated machine running the gzip profile with the recorder
 //!   attached, then replaying and verifying every interval.
+//! * `mt_recorder_loads_per_sec` — aggregate rate of several
+//!   `ThreadRecorder`s driven concurrently from real OS threads (the
+//!   multi-thread recording mode; `mt_threads` reports the thread count).
+//! * `lz_compress_mbytes_per_sec` / `lz_decompress_mbytes_per_sec` /
+//!   `lz_fll_compression_ratio` / `lz_reference_compression_ratio` — the
+//!   back-end LZ codec over the recorded FLL frames and a deterministic
+//!   strongly-compressible reference payload (the compression-ratio section
+//!   next to the paper's Fig. 2). Ratios are gated by `bench_check`
+//!   alongside the rates; the reference ratio sits far above the 2.5x
+//!   tolerance, so a codec that stops compressing fails CI.
 
 use std::time::Instant;
 
 use bugnet_bench::ExperimentOptions;
+use bugnet_compress::{codec, CodecId};
 use bugnet_core::bitstream::{BitReader, BitWriter};
-use bugnet_core::fll::TerminationCause;
+use bugnet_core::fll::{FirstLoadLog, TerminationCause};
 use bugnet_core::recorder::ThreadRecorder;
 use bugnet_core::{Replayer, ValueDictionary};
 use bugnet_sim::MachineBuilder;
 use bugnet_types::{Addr, BugNetConfig, ProcessId, SplitMix64, ThreadId, Timestamp, Word};
 use bugnet_workloads::spec::SpecProfile;
+
+/// OS threads driven by the multi-thread recorder mode.
+const MT_THREADS: usize = 4;
 
 struct Metric {
     name: &'static str,
@@ -46,8 +60,8 @@ fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
 
 /// Synthetic load stream with the paper's frequent-value locality profile:
 /// (address, value, is_first_load).
-fn load_stream(len: usize) -> Vec<(Addr, Word, bool)> {
-    let mut rng = SplitMix64::new(0x70AD);
+fn load_stream_seeded(len: usize, seed: u64) -> Vec<(Addr, Word, bool)> {
+    let mut rng = SplitMix64::new(seed);
     (0..len)
         .map(|i| {
             let value = if rng.chance(0.5) {
@@ -61,28 +75,34 @@ fn load_stream(len: usize) -> Vec<(Addr, Word, bool)> {
         .collect()
 }
 
-fn bench_recorder(loads: &[(Addr, Word, bool)], interval: u64) -> (Vec<Metric>, f64) {
+fn load_stream(len: usize) -> Vec<(Addr, Word, bool)> {
+    load_stream_seeded(len, 0x70AD)
+}
+
+/// Drives one recorder over a load stream, returning the finished FLLs.
+fn record_stream(loads: &[(Addr, Word, bool)], interval: u64, thread: u32) -> Vec<FirstLoadLog> {
     let cfg = BugNetConfig::default().with_checkpoint_interval(interval);
-    let mut recorder = ThreadRecorder::new(cfg, ProcessId(1), ThreadId(0));
+    let mut recorder = ThreadRecorder::new(cfg, ProcessId(1), ThreadId(thread));
     let mut flls = Vec::new();
-    let ((), record_secs) = time(|| {
-        recorder.begin_interval(Default::default(), Timestamp(0));
-        for &(addr, value, first) in loads {
-            recorder.record_load(addr, value, first);
-            if recorder.record_committed_instruction() {
-                let logs = recorder
-                    .end_interval(TerminationCause::IntervalFull, &Default::default())
-                    .expect("interval open");
-                flls.push(logs.fll);
-                recorder.begin_interval(Default::default(), Timestamp(0));
-            }
-        }
-        if let Some(logs) =
-            recorder.end_interval(TerminationCause::ProgramExit, &Default::default())
-        {
+    recorder.begin_interval(Default::default(), Timestamp(0));
+    for &(addr, value, first) in loads {
+        recorder.record_load(addr, value, first);
+        if recorder.record_committed_instruction() {
+            let logs = recorder
+                .end_interval(TerminationCause::IntervalFull, &Default::default())
+                .expect("interval open");
             flls.push(logs.fll);
+            recorder.begin_interval(Default::default(), Timestamp(0));
         }
-    });
+    }
+    if let Some(logs) = recorder.end_interval(TerminationCause::ProgramExit, &Default::default()) {
+        flls.push(logs.fll);
+    }
+    flls
+}
+
+fn bench_recorder(loads: &[(Addr, Word, bool)], interval: u64) -> (Vec<Metric>, f64) {
+    let (flls, record_secs) = time(|| record_stream(loads, interval, 0));
 
     let total_records: u64 = flls.iter().map(|f| f.records()).sum();
     let (decoded, decode_secs) = time(|| {
@@ -105,6 +125,112 @@ fn bench_recorder(loads: &[(Addr, Word, bool)], interval: u64) -> (Vec<Metric>, 
         },
     ];
     (metrics, total_records as f64)
+}
+
+/// Multi-thread recording mode: [`MT_THREADS`] `ThreadRecorder`s on real OS
+/// threads, each over its own load stream. Reports the aggregate rate; the
+/// recorders are independent (per-thread hardware contexts), so this
+/// measures how the hot path scales when nothing is shared.
+fn bench_mt_recorder(loads_per_thread: usize, interval: u64) -> Metric {
+    let streams: Vec<Vec<(Addr, Word, bool)>> = (0..MT_THREADS)
+        .map(|t| load_stream_seeded(loads_per_thread, 0x70AD ^ ((t as u64) << 32)))
+        .collect();
+    let (recorded, secs) = time(|| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = streams
+                .iter()
+                .enumerate()
+                .map(|(t, stream)| {
+                    scope.spawn(move || record_stream(stream, interval, t as u32).len())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+    });
+    assert!(recorded > 0);
+    Metric {
+        name: "mt_recorder_loads_per_sec",
+        value: (loads_per_thread * MT_THREADS) as f64 / secs,
+    }
+}
+
+/// Deterministic, strongly-compressible reference payload (zero runs, small
+/// repeated tokens, occasional noise — the texture of serialized log
+/// frames). Its compression ratio sits well above 2.5, so the 2.5x
+/// `bench_check` tolerance on `lz_reference_compression_ratio` fires
+/// exactly when the codec stops compressing (ratio collapses towards 1.0)
+/// — the FLL ratio alone is too close to 1.0 for a multiplicative gate to
+/// ever catch a codec regression.
+fn reference_payload(len: usize) -> Vec<u8> {
+    let mut rng = SplitMix64::new(0x5EED_C0DE);
+    // A pool of recurring "records": zero runs and fixed byte phrases, the
+    // kind of redundancy a working LZ turns into long back-references.
+    let phrases: Vec<Vec<u8>> = (0..8)
+        .map(|_| (0..48).map(|_| rng.next_range(16) as u8).collect())
+        .collect();
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        match rng.next_range(8) {
+            0 => out.extend(std::iter::repeat_n(0u8, rng.next_range(96) as usize + 32)),
+            7 => out.extend((0..rng.next_range(24) + 4).map(|_| rng.next_u64() as u8)),
+            i => out.extend_from_slice(&phrases[i as usize % phrases.len()]),
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Compression-ratio section: the back-end LZ codec over serialized FLL
+/// frames. Driven with the machine benchmark's gzip-profile logs — real
+/// recorded intervals, not the synthetic stream, whose random values are
+/// incompressible by construction.
+fn bench_compression(flls: &[FirstLoadLog]) -> Vec<Metric> {
+    let frames: Vec<Vec<u8>> = flls.iter().map(|f| f.to_bytes()).collect();
+    let raw_total: usize = frames.iter().map(|f| f.len()).sum();
+    let lz = codec(CodecId::Lz77);
+    let (encoded, compress_secs) = time(|| {
+        frames
+            .iter()
+            .map(|f| lz.compress(f))
+            .collect::<Vec<Vec<u8>>>()
+    });
+    let encoded_total: usize = encoded.iter().map(|e| e.len()).sum();
+    let (decoded_total, decompress_secs) = time(|| {
+        frames
+            .iter()
+            .zip(&encoded)
+            .map(|(f, e)| lz.decompress(e, f.len()).expect("round trip").len())
+            .sum::<usize>()
+    });
+    assert_eq!(decoded_total, raw_total);
+    let reference = reference_payload(256 * 1024);
+    let reference_encoded = lz.compress(&reference);
+    assert_eq!(
+        lz.decompress(&reference_encoded, reference.len())
+            .expect("reference round trip"),
+        reference
+    );
+    vec![
+        Metric {
+            name: "lz_compress_mbytes_per_sec",
+            value: raw_total as f64 / compress_secs / 1e6,
+        },
+        Metric {
+            name: "lz_decompress_mbytes_per_sec",
+            value: raw_total as f64 / decompress_secs / 1e6,
+        },
+        Metric {
+            name: "lz_fll_compression_ratio",
+            value: raw_total as f64 / encoded_total.max(1) as f64,
+        },
+        Metric {
+            name: "lz_reference_compression_ratio",
+            value: reference.len() as f64 / reference_encoded.len().max(1) as f64,
+        },
+    ]
 }
 
 fn bench_dictionary(loads: &[(Addr, Word, bool)]) -> Metric {
@@ -169,7 +295,7 @@ fn bench_bitstream(fields: usize) -> Vec<Metric> {
     ]
 }
 
-fn bench_machine(instructions: u64, interval: u64) -> Vec<Metric> {
+fn bench_machine(instructions: u64, interval: u64) -> (Vec<Metric>, Vec<FirstLoadLog>) {
     let workload = SpecProfile::gzip().build_workload(instructions, 1);
     let mut machine = MachineBuilder::new()
         .bugnet(BugNetConfig::default().with_checkpoint_interval(interval))
@@ -192,7 +318,7 @@ fn bench_machine(instructions: u64, interval: u64) -> Vec<Metric> {
             .sum::<u64>()
     });
 
-    vec![
+    let metrics = vec![
         Metric {
             name: "machine_record_instrs_per_sec",
             value: committed as f64 / record_secs,
@@ -201,7 +327,8 @@ fn bench_machine(instructions: u64, interval: u64) -> Vec<Metric> {
             name: "machine_replay_instrs_per_sec",
             value: replayed as f64 / replay_secs,
         },
-    ]
+    ];
+    (metrics, logs.into_iter().map(|l| l.fll).collect())
 }
 
 fn main() {
@@ -212,22 +339,32 @@ fn main() {
     let mut metrics = Vec::new();
     let (recorder_metrics, records) = bench_recorder(&loads, interval);
     metrics.extend(recorder_metrics);
+    metrics.push(bench_mt_recorder(
+        opts.pick(500_000, 5_000_000) as usize,
+        interval,
+    ));
     metrics.push(bench_dictionary(&loads));
     metrics.extend(bench_bitstream(opts.pick(4_000_000, 20_000_000) as usize));
-    metrics.extend(bench_machine(
-        opts.pick(200_000, 2_000_000),
-        opts.pick(50_000, 1_000_000),
-    ));
+    let (machine_metrics, machine_flls) =
+        bench_machine(opts.pick(200_000, 2_000_000), opts.pick(50_000, 1_000_000));
+    metrics.extend(machine_metrics);
+    metrics.extend(bench_compression(&machine_flls));
 
     println!("{{");
     println!("  \"harness\": \"throughput\",");
     println!("  \"paper_scale\": {},", opts.paper_scale);
     println!("  \"loads\": {},", loads.len());
     println!("  \"fll_records\": {},", records as u64);
+    println!("  \"mt_threads\": {MT_THREADS},");
     println!("  \"checkpoint_interval\": {interval},");
     for (i, m) in metrics.iter().enumerate() {
         let comma = if i + 1 == metrics.len() { "" } else { "," };
-        println!("  \"{}\": {:.0}{comma}", m.name, m.value);
+        if m.name.ends_with("_ratio") {
+            // Ratios are small numbers; rates round to integers.
+            println!("  \"{}\": {:.4}{comma}", m.name, m.value);
+        } else {
+            println!("  \"{}\": {:.0}{comma}", m.name, m.value);
+        }
     }
     println!("}}");
 }

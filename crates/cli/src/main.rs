@@ -20,7 +20,8 @@ use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bugnet_core::dump::{verify_dump, CrashDump};
+use bugnet_compress::CodecId;
+use bugnet_core::dump::CrashDump;
 use bugnet_sim::MachineBuilder;
 use bugnet_types::{BugNetConfig, ByteSize, ThreadId};
 use bugnet_workloads::registry;
@@ -63,18 +64,24 @@ bugnet — record, inspect, verify and replay BugNet crash dumps
 
 USAGE:
     bugnet dump --workload <SPEC> --out <DIR> [--interval <N>] [--dict <N>]
-                [--max-instructions <N>]
+                [--max-instructions <N>] [--codec <identity|lz>]
+                [--flush-workers <N>]
         Record a workload on the simulated machine and write the retained
         log window to <DIR> as a crash-dump directory. Faults dump
         automatically at crash time, exactly like the paper's OS trigger.
+        --codec selects the back-end frame compressor (default: lz);
+        --flush-workers seals intervals on N background threads (the dump
+        bytes are identical for any worker count).
 
     bugnet info <DIR>
         Decode the manifest and print per-thread, per-checkpoint log
-        statistics (records, sizes, dictionary hits, compression ratios).
+        statistics (records, sizes, dictionary hits, compression ratios,
+        raw vs stored bytes of the back-end codec).
 
     bugnet verify <DIR>
-        Full integrity pass: magics, versions, frame checksums, manifest
-        cross-checks and a decode of every first-load record.
+        Full integrity pass: magics, versions, frame checksums/containers,
+        manifest cross-checks and a decode of every first-load record;
+        reports per-thread raw vs compressed bytes and the overall ratio.
 
     bugnet replay <DIR> [--workload <SPEC>]
         Rebuild the recorded program images (from the manifest's workload
@@ -179,6 +186,13 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
     let interval = args.option_u64("--interval")?.unwrap_or(100_000);
     let dict = args.option_u64("--dict")?.unwrap_or(64) as usize;
     let max_instructions = args.option_u64("--max-instructions")?.unwrap_or(u64::MAX);
+    let codec = match args.option("--codec")? {
+        None => CodecId::Lz77,
+        Some(name) => CodecId::parse(&name).ok_or_else(|| {
+            CliError::usage(format!("--codec expects `identity` or `lz`, got `{name}`"))
+        })?,
+    };
+    let flush_workers = args.option_u64("--flush-workers")?.unwrap_or(0) as usize;
     args.finish()?;
 
     let workload = registry::resolve(&spec).map_err(CliError::usage)?;
@@ -187,6 +201,8 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         .with_dictionary_entries(dict);
     let mut machine = MachineBuilder::new()
         .bugnet(cfg)
+        .codec(codec)
+        .flush_workers(flush_workers)
         .workload_spec(&spec)
         .dump_on_crash(&out)
         .build_with_workload(&workload);
@@ -218,12 +234,16 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
             .map_err(|e| CliError::data(e.to_string()))?,
     };
     println!(
-        "dump written to {}: {} thread(s), {} checkpoint(s), {} FLL + {} MRL",
+        "dump written to {}: {} thread(s), {} checkpoint(s), {} FLL + {} MRL \
+         ({} stored via codec {}, ratio {:.2})",
         out.display(),
         manifest.threads.len(),
         manifest.total_checkpoints(),
         manifest.total_fll_size(),
         manifest.total_mrl_size(),
+        manifest.total_fll_stored_size() + manifest.total_mrl_stored_size(),
+        manifest.codec,
+        manifest.backend_ratio(),
     );
     Ok(())
 }
@@ -239,7 +259,10 @@ fn cmd_info(args: &mut Args) -> Result<(), CliError> {
 fn cmd_verify(args: &mut Args) -> Result<(), CliError> {
     let dir = dump_dir_arg(args)?;
     args.finish()?;
-    let report = verify_dump(&dir).map_err(|e| CliError::data(format!("FAILED: {e}")))?;
+    let dump = CrashDump::load(&dir).map_err(|e| CliError::data(format!("FAILED: {e}")))?;
+    let report = dump
+        .verify()
+        .map_err(|e| CliError::data(format!("FAILED: {e}")))?;
     println!(
         "OK: {} thread(s), {} checkpoint(s), {} first-load records decoded, \
          {} race entries, {} FLL + {} MRL payload",
@@ -249,6 +272,28 @@ fn cmd_verify(args: &mut Args) -> Result<(), CliError> {
         report.mrl_entries,
         ByteSize::from_bytes(report.fll_bytes),
         ByteSize::from_bytes(report.mrl_bytes),
+    );
+    for t in &dump.manifest.threads {
+        let raw = t.fll_bytes + t.mrl_bytes;
+        let stored = t.fll_stored_bytes + t.mrl_stored_bytes;
+        println!(
+            "  {}: {} raw -> {} stored ({:.2}x)",
+            t.thread,
+            ByteSize::from_bytes(raw),
+            ByteSize::from_bytes(stored),
+            if stored == 0 {
+                1.0
+            } else {
+                raw as f64 / stored as f64
+            },
+        );
+    }
+    println!(
+        "codec {}: {} raw -> {} stored, overall ratio {:.2}",
+        report.codec,
+        ByteSize::from_bytes(report.fll_bytes + report.mrl_bytes),
+        ByteSize::from_bytes(report.fll_stored_bytes + report.mrl_stored_bytes),
+        report.backend_ratio(),
     );
     Ok(())
 }

@@ -36,9 +36,29 @@ pub fn print_info(dir: &Path, dump: &CrashDump) {
         m.total_fll_size(),
         m.total_mrl_size()
     );
-    for t in &dump.threads {
+    println!(
+        "  codec    : {} — {} raw -> {} stored, backend ratio {:.2}",
+        m.codec,
+        m.total_fll_size() + m.total_mrl_size(),
+        m.total_fll_stored_size() + m.total_mrl_stored_size(),
+        m.backend_ratio()
+    );
+    for (t, tm) in dump.threads.iter().zip(&m.threads) {
         let window: u64 = t.checkpoints.iter().map(|c| c.fll.instructions).sum();
-        println!("  {} — replay window {} instrs:", t.thread, window);
+        let raw = tm.fll_bytes + tm.mrl_bytes;
+        let stored = tm.fll_stored_bytes + tm.mrl_stored_bytes;
+        println!(
+            "  {} — replay window {} instrs, {} raw -> {} stored ({:.2}x):",
+            t.thread,
+            window,
+            bugnet_types::ByteSize::from_bytes(raw),
+            bugnet_types::ByteSize::from_bytes(stored),
+            if stored == 0 {
+                1.0
+            } else {
+                raw as f64 / stored as f64
+            },
+        );
         println!(
             "    {:>4} {:>9} {:>9} {:>8} {:>7} {:>10} {:>10} {:>6}  end",
             "C-ID", "instrs", "loads", "records", "hits", "fll", "mrl", "ratio"

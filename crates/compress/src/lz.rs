@@ -1,0 +1,491 @@
+//! The hand-rolled LZ77-class codec.
+//!
+//! Format: a byte-oriented token stream in the LZ4 tradition. Each sequence
+//! is
+//!
+//! ```text
+//! [token][literal-length ext*][literals][offset u16 le][match-length ext*]
+//! ```
+//!
+//! where the token's high nibble is the literal count and its low nibble is
+//! the match length minus [`MIN_MATCH`]; a nibble of 15 is continued by
+//! extension bytes (each adding 0..=255, terminated by a byte < 255). The
+//! offset is a back-reference distance of 1..=65535 into the already-decoded
+//! output; matches may overlap their own output (offset < length), which is
+//! how run-length-encoded regions are expressed. A stream may end after a
+//! match, or with a final literals-only sequence whose match nibble must be
+//! zero.
+//!
+//! The compressor finds matches with a hash-chain table over 4-byte prefixes
+//! and parses greedily with one-step lazy matching: when the position right
+//! after a found match starts a strictly longer match, the current byte is
+//! emitted as a literal instead so the longer match wins. Compression is
+//! deterministic — identical input always yields identical bytes — which the
+//! parallel flush pipeline relies on to produce dumps byte-identical to
+//! serial flushing.
+
+use crate::{Codec, CodecId, DecodeError};
+
+/// Minimum match length; shorter repetitions are cheaper as literals.
+pub const MIN_MATCH: usize = 4;
+/// Maximum back-reference distance (the window size).
+pub const MAX_OFFSET: usize = 65_535;
+
+/// Number of hash buckets (2^15).
+const HASH_SIZE: usize = 1 << 15;
+/// Maximum positions examined per chain walk; bounds worst-case compress
+/// time on degenerate inputs without affecting determinism.
+const MAX_CHAIN: usize = 64;
+/// Sentinel for "no position" in the hash tables.
+const NONE: u32 = u32::MAX;
+
+/// The hand-rolled LZ77 codec. Stateless; see the module docs for the
+/// format.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lz77;
+
+impl Codec for Lz77 {
+    fn id(&self) -> CodecId {
+        CodecId::Lz77
+    }
+
+    fn compress(&self, raw: &[u8]) -> Vec<u8> {
+        compress(raw)
+    }
+
+    fn decompress(&self, encoded: &[u8], raw_len: usize) -> Result<Vec<u8>, DecodeError> {
+        decompress(encoded, raw_len)
+    }
+}
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2_654_435_761) >> (32 - 15)) as usize % HASH_SIZE
+}
+
+/// Hash-chain match finder: `head[h]` is the most recent position whose
+/// 4-byte prefix hashes to `h`, `prev[p % window]` chains to the previous
+/// such position. Positions older than [`MAX_OFFSET`] are skipped at walk
+/// time; the ring indexing is safe because a slot is only overwritten by a
+/// position a full window newer.
+struct Matcher {
+    head: Vec<u32>,
+    prev: Vec<u32>,
+    next_insert: usize,
+}
+
+impl Matcher {
+    fn new() -> Self {
+        Matcher {
+            head: vec![NONE; HASH_SIZE],
+            prev: vec![NONE; MAX_OFFSET + 1],
+            next_insert: 0,
+        }
+    }
+
+    /// Inserts every not-yet-inserted position up to and including `pos`.
+    fn insert_up_to(&mut self, raw: &[u8], pos: usize) {
+        let last = pos.min(raw.len().saturating_sub(MIN_MATCH));
+        while self.next_insert <= last {
+            let i = self.next_insert;
+            let h = hash4(&raw[i..]);
+            self.prev[i % (MAX_OFFSET + 1)] = self.head[h];
+            self.head[h] = i as u32;
+            self.next_insert += 1;
+        }
+    }
+
+    /// Longest match for the suffix at `pos`, as `(length, offset)`.
+    fn find(&self, raw: &[u8], pos: usize) -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > raw.len() {
+            return None;
+        }
+        let h = hash4(&raw[pos..]);
+        let mut candidate = self.head[h];
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        let limit = raw.len();
+        for _ in 0..MAX_CHAIN {
+            if candidate == NONE {
+                break;
+            }
+            let c = candidate as usize;
+            if c >= pos {
+                // The chain head may be `pos` itself (inserted before the
+                // search); step past it to the genuine candidates.
+                candidate = self.prev[c % (MAX_OFFSET + 1)];
+                continue;
+            }
+            if pos - c > MAX_OFFSET {
+                break;
+            }
+            let len = common_prefix(raw, c, pos, limit);
+            // Strictly-greater keeps the most recent candidate (smallest
+            // offset) on ties, which costs nothing and ages out of the
+            // window last.
+            if len > best_len {
+                best_len = len;
+                best_off = pos - c;
+            }
+            candidate = self.prev[c % (MAX_OFFSET + 1)];
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_off))
+        } else {
+            None
+        }
+    }
+}
+
+#[inline]
+fn common_prefix(raw: &[u8], a: usize, b: usize, limit: usize) -> usize {
+    let max = limit - b;
+    let mut n = 0;
+    while n < max && raw[a + n] == raw[b + n] {
+        n += 1;
+    }
+    n
+}
+
+fn put_ext(out: &mut Vec<u8>, mut v: usize) {
+    while v >= 255 {
+        out.push(255);
+        v -= 255;
+    }
+    out.push(v as u8);
+}
+
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], offset: usize, match_len: usize) {
+    debug_assert!(match_len >= MIN_MATCH && (1..=MAX_OFFSET).contains(&offset));
+    let lit = literals.len();
+    let ml = match_len - MIN_MATCH;
+    out.push(((lit.min(15) as u8) << 4) | ml.min(15) as u8);
+    if lit >= 15 {
+        put_ext(out, lit - 15);
+    }
+    out.extend_from_slice(literals);
+    out.extend_from_slice(&(offset as u16).to_le_bytes());
+    if ml >= 15 {
+        put_ext(out, ml - 15);
+    }
+}
+
+fn emit_last(out: &mut Vec<u8>, literals: &[u8]) {
+    if literals.is_empty() {
+        return;
+    }
+    let lit = literals.len();
+    out.push((lit.min(15) as u8) << 4);
+    if lit >= 15 {
+        put_ext(out, lit - 15);
+    }
+    out.extend_from_slice(literals);
+}
+
+/// Compresses `raw` into the token stream described in the module docs.
+pub fn compress(raw: &[u8]) -> Vec<u8> {
+    let n = raw.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    if n < MIN_MATCH {
+        emit_last(&mut out, raw);
+        return out;
+    }
+    let mut matcher = Matcher::new();
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    while i + MIN_MATCH <= n {
+        matcher.insert_up_to(raw, i);
+        let Some((mut len, mut off)) = matcher.find(raw, i) else {
+            i += 1;
+            continue;
+        };
+        // One-step lazy parse: prefer a strictly longer match starting one
+        // byte later, paying a single literal for it.
+        if i + 1 + MIN_MATCH <= n {
+            matcher.insert_up_to(raw, i + 1);
+            if let Some((len2, _)) = matcher.find(raw, i + 1) {
+                if len2 > len {
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        // Never let a match run into the final MIN_MATCH-1 bytes leaving an
+        // unmatchable tail shorter than its token overhead — not required
+        // for correctness, matches may end anywhere; kept simple.
+        len = len.min(n - i);
+        off = off.min(MAX_OFFSET);
+        emit_sequence(&mut out, &raw[lit_start..i], off, len);
+        matcher.insert_up_to(raw, (i + len).saturating_sub(1));
+        i += len;
+        lit_start = i;
+    }
+    emit_last(&mut out, &raw[lit_start..]);
+    out
+}
+
+fn read_ext(src: &[u8], i: &mut usize, cap: usize) -> Result<usize, DecodeError> {
+    let mut total = 0usize;
+    loop {
+        let b = *src.get(*i).ok_or(DecodeError::Truncated)?;
+        *i += 1;
+        total += b as usize;
+        if total > cap {
+            return Err(DecodeError::Overrun { declared: cap });
+        }
+        if b != 255 {
+            return Ok(total);
+        }
+    }
+}
+
+/// Decompresses a token stream that must expand to exactly `raw_len` bytes.
+///
+/// # Errors
+///
+/// Returns a typed [`DecodeError`] for any malformed stream — truncation,
+/// out-of-range offsets, overruns past the declared length, or trailing
+/// encoded bytes. Never panics on arbitrary input.
+pub fn decompress(src: &[u8], raw_len: usize) -> Result<Vec<u8>, DecodeError> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut i = 0usize;
+    while out.len() < raw_len {
+        let token_pos = i;
+        let token = *src.get(i).ok_or(DecodeError::Truncated)?;
+        i += 1;
+        let mut lit = (token >> 4) as usize;
+        if lit == 15 {
+            lit += read_ext(src, &mut i, raw_len)?;
+        }
+        if out.len() + lit > raw_len {
+            return Err(DecodeError::Overrun { declared: raw_len });
+        }
+        let literals = src.get(i..i + lit).ok_or(DecodeError::Truncated)?;
+        i += lit;
+        out.extend_from_slice(literals);
+        if i == src.len() {
+            // Final literals-only sequence: the match nibble must be clear.
+            if token & 0x0F != 0 {
+                return Err(DecodeError::BadToken {
+                    position: token_pos,
+                });
+            }
+            break;
+        }
+        let offset_bytes = src.get(i..i + 2).ok_or(DecodeError::Truncated)?;
+        i += 2;
+        let offset = u16::from_le_bytes([offset_bytes[0], offset_bytes[1]]) as usize;
+        if offset == 0 || offset > out.len() {
+            return Err(DecodeError::BadOffset {
+                offset,
+                available: out.len(),
+            });
+        }
+        let mut match_len = (token & 0x0F) as usize;
+        if match_len == 15 {
+            match_len += read_ext(src, &mut i, raw_len)?;
+        }
+        match_len += MIN_MATCH;
+        if out.len() + match_len > raw_len {
+            return Err(DecodeError::Overrun { declared: raw_len });
+        }
+        let start = out.len() - offset;
+        if offset >= match_len {
+            out.extend_from_within(start..start + match_len);
+        } else if offset == 1 {
+            // A run of one repeated byte, the overlap case LZ expresses
+            // run-length encoding with.
+            let byte = out[start];
+            out.resize(out.len() + match_len, byte);
+        } else {
+            for k in 0..match_len {
+                let byte = out[start + k];
+                out.push(byte);
+            }
+        }
+    }
+    if out.len() != raw_len {
+        return Err(DecodeError::LengthMismatch {
+            declared: raw_len,
+            produced: out.len(),
+        });
+    }
+    if i != src.len() {
+        return Err(DecodeError::BadToken { position: i });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64, self-contained so this crate stays dependency-free.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn round_trip(raw: &[u8]) -> Vec<u8> {
+        let enc = compress(raw);
+        let dec = decompress(&enc, raw.len()).expect("round trip decodes");
+        assert_eq!(dec, raw, "round trip mismatch ({} bytes)", raw.len());
+        enc
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(round_trip(b"").is_empty());
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+        round_trip(b"abcd");
+        round_trip(b"aaaa");
+    }
+
+    #[test]
+    fn all_zero_input_compresses_hard() {
+        let raw = vec![0u8; 100_000];
+        let enc = round_trip(&raw);
+        assert!(enc.len() < raw.len() / 100, "{} bytes", enc.len());
+    }
+
+    #[test]
+    fn repeated_phrase_compresses() {
+        let raw: Vec<u8> = b"the quick brown fox ".repeat(500);
+        let enc = round_trip(&raw);
+        assert!(enc.len() < raw.len() / 10, "{} bytes", enc.len());
+    }
+
+    #[test]
+    fn dictionary_heavy_stream_compresses() {
+        // Mimics a dictionary-encoded log: a few distinct small tokens.
+        let mut rng = Rng(0xD1C7);
+        let raw: Vec<u8> = (0..50_000).map(|_| (rng.next() % 16) as u8).collect();
+        let enc = round_trip(&raw);
+        assert!(enc.len() < raw.len(), "{} bytes", enc.len());
+    }
+
+    #[test]
+    fn incompressible_input_round_trips_with_bounded_expansion() {
+        let mut rng = Rng(0x1CE);
+        let raw: Vec<u8> = (0..65_000).map(|_| rng.next() as u8).collect();
+        let enc = round_trip(&raw);
+        // Worst case is one extension byte per 255 literals plus the token.
+        assert!(enc.len() < raw.len() + raw.len() / 128 + 16);
+    }
+
+    #[test]
+    fn seeded_random_structures_round_trip() {
+        // Mixtures of runs, copies and noise across many seeds and sizes.
+        for seed in 0..50u64 {
+            let mut rng = Rng(seed);
+            let len = (rng.next() % 20_000) as usize;
+            let mut raw = Vec::with_capacity(len);
+            while raw.len() < len {
+                match rng.next() % 4 {
+                    0 => {
+                        let run = (rng.next() % 600) as usize + 1;
+                        let byte = rng.next() as u8;
+                        raw.extend(std::iter::repeat_n(byte, run));
+                    }
+                    1 if !raw.is_empty() => {
+                        let take = ((rng.next() as usize) % raw.len()).max(1);
+                        let from = (rng.next() as usize) % (raw.len() - take + 1);
+                        let copy: Vec<u8> = raw[from..from + take].to_vec();
+                        raw.extend(copy);
+                    }
+                    _ => {
+                        let n = (rng.next() % 200) as usize + 1;
+                        raw.extend((0..n).map(|_| rng.next() as u8));
+                    }
+                }
+            }
+            raw.truncate(len);
+            round_trip(&raw);
+        }
+    }
+
+    #[test]
+    fn long_matches_cross_extension_boundaries() {
+        // Lengths around the 15 + k*255 extension edges.
+        for extra in [14, 15, 16, 269, 270, 271, 525] {
+            let raw = vec![7u8; MIN_MATCH + extra + 8];
+            round_trip(&raw);
+        }
+    }
+
+    #[test]
+    fn truncated_streams_are_typed_errors() {
+        let raw: Vec<u8> = b"compressible compressible compressible".repeat(40);
+        let enc = compress(&raw);
+        for cut in 0..enc.len() {
+            // Any typed error is acceptable; panics (or clean decodes) are not.
+            if let Ok(out) = decompress(&enc[..cut], raw.len()) {
+                panic!("truncation at {cut} decoded {} bytes", out.len());
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let mut rng = Rng(0xF11D);
+        let raw: Vec<u8> = (0..3_000).map(|_| (rng.next() % 7) as u8).collect();
+        let enc = compress(&raw);
+        for pos in 0..enc.len() {
+            for bit in 0..8 {
+                let mut bad = enc.clone();
+                bad[pos] ^= 1 << bit;
+                // Must return Ok (the flip may be in literal bytes, changing
+                // content but not structure) or a typed error — never panic.
+                let _ = decompress(&bad, raw.len());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_offset_and_oob_offset_are_rejected() {
+        // token: 1 literal, match_len 4 (nibble 0), offset 0.
+        let stream = [0x10, b'x', 0x00, 0x00];
+        assert!(matches!(
+            decompress(&stream, 5),
+            Err(DecodeError::BadOffset { offset: 0, .. })
+        ));
+        // offset 9 with only 1 byte produced.
+        let stream = [0x10, b'x', 0x09, 0x00];
+        assert!(matches!(
+            decompress(&stream, 5),
+            Err(DecodeError::BadOffset { offset: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn overrun_and_trailing_are_rejected() {
+        // 4-byte match would exceed a declared raw_len of 3.
+        let stream = [0x10, b'x', 0x01, 0x00];
+        assert!(matches!(
+            decompress(&stream, 3),
+            Err(DecodeError::Overrun { declared: 3 })
+        ));
+        // Declared longer than the stream produces.
+        let stream = [0x20, b'a', b'b'];
+        assert!(matches!(
+            decompress(&stream, 10),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
+        // Final literals-only token must not carry match bits.
+        let stream = [0x21, b'a', b'b'];
+        assert!(matches!(
+            decompress(&stream, 2),
+            Err(DecodeError::BadToken { .. })
+        ));
+    }
+}

@@ -15,10 +15,14 @@
 //!   covered by a trailing FNV-1a checksum.
 //! * `thread-<id>.fll` / `thread-<id>.mrl` — one file pair per thread, each a
 //!   small header (magic, version, thread id, frame count) followed by
-//!   length-prefixed frames. Every frame is one serialized
+//!   length-prefixed frames. In format v2 every frame is one serialized
 //!   [`FirstLoadLog`]/[`MemoryRaceLog`] (via the existing
-//!   [`FirstLoadLog::to_bytes`] bulk paths) followed by its own FNV-1a
-//!   checksum.
+//!   [`FirstLoadLog::to_bytes`] bulk paths) passed through a back-end codec
+//!   and wrapped in the self-describing container of [`bugnet_compress`]
+//!   (codec id, raw/encoded lengths, FNV-1a checksum of the raw payload).
+//!   The manifest records the codec and both the raw and the stored sizes,
+//!   so compression ratios are reportable without decompressing. Format v1
+//!   (raw frames, each followed by its own FNV-1a checksum) still loads.
 //!
 //! Loading validates everything it reads — magics, versions, bounds, frame
 //!   checksums, manifest/file cross-consistency, FLL/MRL pairing — and
@@ -32,6 +36,7 @@ use std::io;
 use std::path::Path;
 use std::sync::Arc;
 
+use bugnet_compress::{container_info, decode_container, CodecId, FrameError};
 use bugnet_isa::Program;
 use bugnet_types::{Addr, BugNetConfig, ByteSize, CheckpointId, InstrCount, ThreadId, Timestamp};
 
@@ -47,8 +52,13 @@ pub const MANIFEST_MAGIC: [u8; 8] = *b"BUGNETDP";
 pub const FLL_FILE_MAGIC: [u8; 4] = *b"BNFL";
 /// Magic bytes opening a per-thread MRL file.
 pub const MRL_FILE_MAGIC: [u8; 4] = *b"BNMR";
-/// Current crash-dump format version.
-pub const DUMP_VERSION: u32 = 1;
+/// Current crash-dump format version: frames pass through a back-end codec
+/// (self-describing containers) and the manifest records the codec and the
+/// raw vs stored sizes.
+pub const DUMP_VERSION: u32 = 2;
+/// The original format version: raw frames, each with its own trailing
+/// checksum. Still fully loadable.
+pub const DUMP_VERSION_V1: u32 = 1;
 /// File name of the manifest inside a dump directory.
 pub const MANIFEST_FILE: &str = "manifest.bnd";
 
@@ -232,10 +242,15 @@ pub struct ThreadManifest {
     pub checkpoints: u32,
     /// Replay window: committed instructions across the retained intervals.
     pub instructions: u64,
-    /// Total serialized FLL payload bytes in `thread-<id>.fll`.
+    /// Total serialized (uncompressed) FLL payload bytes.
     pub fll_bytes: u64,
-    /// Total serialized MRL payload bytes in `thread-<id>.mrl`.
+    /// Total serialized (uncompressed) MRL payload bytes.
     pub mrl_bytes: u64,
+    /// Total stored FLL frame bytes in `thread-<id>.fll` (container headers
+    /// plus encoded bytes). Equal to `fll_bytes` in v1 dumps.
+    pub fll_stored_bytes: u64,
+    /// Total stored MRL frame bytes in `thread-<id>.mrl`.
+    pub mrl_stored_bytes: u64,
     /// Recorded execution digest of each interval, oldest first.
     pub digests: Vec<DigestSummary>,
 }
@@ -274,6 +289,9 @@ pub struct DumpMeta {
 pub struct DumpManifest {
     /// Format version of the dump.
     pub version: u32,
+    /// Back-end codec the log frames were stored with ([`CodecId::Identity`]
+    /// for v1 dumps, which predate the codec layer).
+    pub codec: CodecId,
     /// Machine clock when the dump was taken.
     pub created: Timestamp,
     /// Workload identity string.
@@ -302,6 +320,28 @@ impl DumpManifest {
     /// Total serialized MRL bytes across all threads.
     pub fn total_mrl_size(&self) -> ByteSize {
         ByteSize::from_bytes(self.threads.iter().map(|t| t.mrl_bytes).sum())
+    }
+
+    /// Total stored (post-codec) FLL frame bytes across all threads.
+    pub fn total_fll_stored_size(&self) -> ByteSize {
+        ByteSize::from_bytes(self.threads.iter().map(|t| t.fll_stored_bytes).sum())
+    }
+
+    /// Total stored (post-codec) MRL frame bytes across all threads.
+    pub fn total_mrl_stored_size(&self) -> ByteSize {
+        ByteSize::from_bytes(self.threads.iter().map(|t| t.mrl_stored_bytes).sum())
+    }
+
+    /// Back-end compression ratio over all frames (raw / stored; 1.0 when
+    /// the dump is empty).
+    pub fn backend_ratio(&self) -> f64 {
+        let raw = (self.total_fll_size() + self.total_mrl_size()).bytes();
+        let stored = (self.total_fll_stored_size() + self.total_mrl_stored_size()).bytes();
+        if stored == 0 {
+            1.0
+        } else {
+            raw as f64 / stored as f64
+        }
     }
 
     /// Loads and validates the manifest of a dump directory.
@@ -343,12 +383,23 @@ impl DumpManifest {
             });
         }
         let version = r.u32().ok_or_else(truncated)?;
-        if version != DUMP_VERSION {
+        if version != DUMP_VERSION && version != DUMP_VERSION_V1 {
             return Err(DumpError::UnsupportedVersion {
                 file: MANIFEST_FILE.to_string(),
                 version,
             });
         }
+        // v1 predates the codec layer: frames are stored raw.
+        let codec = if version >= 2 {
+            let byte = r.u8().ok_or_else(truncated)?;
+            CodecId::from_u8(byte).ok_or_else(|| DumpError::CorruptLog {
+                file: MANIFEST_FILE.to_string(),
+                frame: 0,
+                detail: format!("unknown codec id {byte}"),
+            })?
+        } else {
+            CodecId::Identity
+        };
         let created = Timestamp(r.u64().ok_or_else(truncated)?);
         let config = decode_config(&mut r).ok_or_else(truncated)?;
         let workload = r.string(MAX_STRING_BYTES).map_err(|e| e.into_error())?;
@@ -399,6 +450,14 @@ impl DumpManifest {
             let instructions = r.u64().ok_or_else(truncated)?;
             let fll_bytes = r.u64().ok_or_else(truncated)?;
             let mrl_bytes = r.u64().ok_or_else(truncated)?;
+            let (fll_stored_bytes, mrl_stored_bytes) = if version >= 2 {
+                (
+                    r.u64().ok_or_else(truncated)?,
+                    r.u64().ok_or_else(truncated)?,
+                )
+            } else {
+                (fll_bytes, mrl_bytes)
+            };
             let mut digests = Vec::with_capacity(checkpoints as usize);
             for _ in 0..checkpoints {
                 digests.push(DigestSummary {
@@ -414,6 +473,8 @@ impl DumpManifest {
                 instructions,
                 fll_bytes,
                 mrl_bytes,
+                fll_stored_bytes,
+                mrl_stored_bytes,
                 digests,
             });
         }
@@ -424,6 +485,7 @@ impl DumpManifest {
         }
         Ok(DumpManifest {
             version,
+            codec,
             created,
             workload,
             config,
@@ -437,6 +499,9 @@ impl DumpManifest {
         let mut w = Vec::with_capacity(256 + self.threads.len() * 64);
         w.extend_from_slice(&MANIFEST_MAGIC);
         put_u32(&mut w, self.version);
+        if self.version >= 2 {
+            w.push(self.codec.as_u8());
+        }
         put_u64(&mut w, self.created.0);
         encode_config(&mut w, &self.config);
         put_string(&mut w, &self.workload);
@@ -458,6 +523,10 @@ impl DumpManifest {
             put_u64(&mut w, t.instructions);
             put_u64(&mut w, t.fll_bytes);
             put_u64(&mut w, t.mrl_bytes);
+            if self.version >= 2 {
+                put_u64(&mut w, t.fll_stored_bytes);
+                put_u64(&mut w, t.mrl_stored_bytes);
+            }
             for d in &t.digests {
                 put_u64(&mut w, d.hash);
                 put_u64(&mut w, d.loads);
@@ -532,15 +601,94 @@ pub struct CrashDump {
     pub threads: Vec<ThreadDump>,
 }
 
-/// Writes the retained window of `store` to `dir` as a crash-dump directory.
+/// Writes the retained window of `store` to `dir` as a crash-dump directory
+/// in the current (v2) format: the sealed frames the store already holds are
+/// written out verbatim, so serial and parallel flushing produce
+/// byte-identical dumps and dump time pays no compression cost.
 ///
 /// The directory is created if needed; existing dump files in it are
 /// overwritten. Returns the manifest that was written.
 ///
 /// # Errors
 ///
-/// Returns [`DumpError::Io`] if any file cannot be written.
+/// Returns [`DumpError::Io`] if any file cannot be written, or
+/// [`DumpError::Inconsistent`] if the store holds frames sealed with a codec
+/// other than its own (mixed-codec stores are not representable on disk).
 pub fn write_dump(
+    dir: &Path,
+    meta: &DumpMeta,
+    store: &LogStore,
+) -> Result<DumpManifest, DumpError> {
+    let codec = store.codec();
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let mut threads = Vec::new();
+    for thread in store.threads() {
+        let logs = store.thread_logs(thread);
+        let mut fll_file = Vec::new();
+        let mut mrl_file = Vec::new();
+        let mut fll_bytes = 0u64;
+        let mut mrl_bytes = 0u64;
+        let mut fll_stored_bytes = 0u64;
+        let mut mrl_stored_bytes = 0u64;
+        let mut digests = Vec::with_capacity(logs.len());
+        begin_log_file(&mut fll_file, FLL_FILE_MAGIC, thread, logs.len() as u32);
+        begin_log_file(&mut mrl_file, MRL_FILE_MAGIC, thread, logs.len() as u32);
+        for entry in logs {
+            if entry.codec != codec {
+                return Err(DumpError::Inconsistent {
+                    file: format!("thread-{}.fll", thread.0),
+                    detail: format!(
+                        "interval sealed with codec {} in a {} store",
+                        entry.codec, codec
+                    ),
+                });
+            }
+            fll_bytes += entry.fll_raw_bytes;
+            mrl_bytes += entry.mrl_raw_bytes;
+            fll_stored_bytes += put_frame_v2(&mut fll_file, &entry.fll_frame);
+            mrl_stored_bytes += put_frame_v2(&mut mrl_file, &entry.mrl_frame);
+            digests.push(DigestSummary::from(&entry.digest));
+        }
+        let t = ThreadManifest {
+            thread,
+            checkpoints: logs.len() as u32,
+            instructions: store.replay_window(thread),
+            fll_bytes,
+            mrl_bytes,
+            fll_stored_bytes,
+            mrl_stored_bytes,
+            digests,
+        };
+        let fll_path = dir.join(t.fll_file());
+        fs::write(&fll_path, &fll_file).map_err(|e| io_err(&fll_path, e))?;
+        let mrl_path = dir.join(t.mrl_file());
+        fs::write(&mrl_path, &mrl_file).map_err(|e| io_err(&mrl_path, e))?;
+        threads.push(t);
+    }
+    let manifest = DumpManifest {
+        version: DUMP_VERSION,
+        codec,
+        created: meta.created,
+        workload: meta.workload.clone(),
+        config: meta.config.clone(),
+        fault: meta.fault.clone(),
+        evicted_checkpoints: meta.evicted_checkpoints,
+        threads,
+    };
+    let path = dir.join(MANIFEST_FILE);
+    fs::write(&path, manifest.encode()).map_err(|e| io_err(&path, e))?;
+    Ok(manifest)
+}
+
+/// Writes a dump in the legacy v1 format (raw frames, per-frame checksums,
+/// no codec layer). Retained so the v1 loading path stays exercised by
+/// tests and so old tooling can be handed a compatible dump; new dumps
+/// should use [`write_dump`].
+///
+/// # Errors
+///
+/// Returns [`DumpError::Io`] if any file cannot be written.
+pub fn write_dump_v1(
     dir: &Path,
     meta: &DumpMeta,
     store: &LogStore,
@@ -554,11 +702,11 @@ pub fn write_dump(
         let mut fll_bytes = 0u64;
         let mut mrl_bytes = 0u64;
         let mut digests = Vec::with_capacity(logs.len());
-        begin_log_file(&mut fll_file, FLL_FILE_MAGIC, thread, logs.len() as u32);
-        begin_log_file(&mut mrl_file, MRL_FILE_MAGIC, thread, logs.len() as u32);
+        begin_log_file_v1(&mut fll_file, FLL_FILE_MAGIC, thread, logs.len() as u32);
+        begin_log_file_v1(&mut mrl_file, MRL_FILE_MAGIC, thread, logs.len() as u32);
         for entry in logs {
-            fll_bytes += put_frame(&mut fll_file, &entry.fll.to_bytes());
-            mrl_bytes += put_frame(&mut mrl_file, &entry.mrl.to_bytes());
+            fll_bytes += put_frame_v1(&mut fll_file, &entry.fll.to_bytes());
+            mrl_bytes += put_frame_v1(&mut mrl_file, &entry.mrl.to_bytes());
             digests.push(DigestSummary::from(&entry.digest));
         }
         let t = ThreadManifest {
@@ -567,6 +715,8 @@ pub fn write_dump(
             instructions: store.replay_window(thread),
             fll_bytes,
             mrl_bytes,
+            fll_stored_bytes: fll_bytes,
+            mrl_stored_bytes: mrl_bytes,
             digests,
         };
         let fll_path = dir.join(t.fll_file());
@@ -576,7 +726,8 @@ pub fn write_dump(
         threads.push(t);
     }
     let manifest = DumpManifest {
-        version: DUMP_VERSION,
+        version: DUMP_VERSION_V1,
+        codec: CodecId::Identity,
         created: meta.created,
         workload: meta.workload.clone(),
         config: meta.config.clone(),
@@ -596,22 +747,111 @@ fn begin_log_file(w: &mut Vec<u8>, magic: [u8; 4], thread: ThreadId, frames: u32
     put_u32(w, frames);
 }
 
-/// Appends one length-prefixed, checksummed frame; returns the payload size.
-fn put_frame(w: &mut Vec<u8>, payload: &[u8]) -> u64 {
+fn begin_log_file_v1(w: &mut Vec<u8>, magic: [u8; 4], thread: ThreadId, frames: u32) {
+    w.extend_from_slice(&magic);
+    put_u32(w, DUMP_VERSION_V1);
+    put_u32(w, thread.0);
+    put_u32(w, frames);
+}
+
+/// Appends one v1 frame (length prefix, raw payload, trailing checksum);
+/// returns the payload size.
+fn put_frame_v1(w: &mut Vec<u8>, payload: &[u8]) -> u64 {
     put_u32(w, payload.len() as u32);
     w.extend_from_slice(payload);
     put_u64(w, fnv1a(payload));
     payload.len() as u64
 }
 
+/// Appends one v2 frame (length prefix + self-describing container); returns
+/// the stored (container) size.
+fn put_frame_v2(w: &mut Vec<u8>, container: &[u8]) -> u64 {
+    put_u32(w, container.len() as u32);
+    w.extend_from_slice(container);
+    container.len() as u64
+}
+
+/// Payloads and size accounting decoded from one per-thread log file.
+struct LogFileContents {
+    /// Raw (decompressed) frame payloads, in frame order.
+    payloads: Vec<Vec<u8>>,
+    /// Total stored frame bytes (container sizes in v2, payload sizes in v1).
+    stored_bytes: u64,
+}
+
+/// Reads one v1 frame at the reader's position.
+fn read_frame_v1(r: &mut ByteReader<'_>, file: &str, index: u32) -> Result<Vec<u8>, DumpError> {
+    let truncated = || DumpError::Truncated { file: file.into() };
+    let len = r.u32().ok_or_else(truncated)? as usize;
+    let payload = r.take(len).ok_or_else(truncated)?.to_vec();
+    let expected = r.u64().ok_or_else(truncated)?;
+    let actual = fnv1a(&payload);
+    if expected != actual {
+        return Err(DumpError::ChecksumMismatch {
+            file: file.into(),
+            frame: Some(index),
+            expected,
+            actual,
+        });
+    }
+    Ok(payload)
+}
+
+/// Reads one v2 frame (length-prefixed container) at the reader's position;
+/// returns the decompressed payload and the stored container size.
+fn read_frame_v2(
+    r: &mut ByteReader<'_>,
+    file: &str,
+    index: u32,
+    manifest_codec: CodecId,
+) -> Result<(Vec<u8>, u64), DumpError> {
+    let truncated = || DumpError::Truncated { file: file.into() };
+    let len = r.u32().ok_or_else(truncated)? as usize;
+    let container = r.take(len).ok_or_else(truncated)?;
+    let info = container_info(container).map_err(|e| frame_error(file, index, e))?;
+    if info.codec != manifest_codec {
+        return Err(DumpError::Inconsistent {
+            file: file.into(),
+            detail: format!(
+                "frame {index} uses codec {}, manifest declares {manifest_codec}",
+                info.codec
+            ),
+        });
+    }
+    let (_, payload) = decode_container(container).map_err(|e| frame_error(file, index, e))?;
+    Ok((payload, len as u64))
+}
+
+/// Maps a container [`FrameError`] to the dump-level error vocabulary.
+fn frame_error(file: &str, index: u32, e: FrameError) -> DumpError {
+    match e {
+        FrameError::Truncated => DumpError::Truncated { file: file.into() },
+        FrameError::Checksum { expected, actual } => DumpError::ChecksumMismatch {
+            file: file.into(),
+            frame: Some(index),
+            expected,
+            actual,
+        },
+        other => DumpError::CorruptLog {
+            file: file.into(),
+            frame: index,
+            detail: other.to_string(),
+        },
+    }
+}
+
 /// Reads the frames of one per-thread log file, validating its header, every
-/// frame checksum, and that the file ends exactly after the last frame.
+/// frame (checksums in v1, containers in v2), that the file ends exactly
+/// after the last frame, and that the frame count matches the manifest even
+/// when extra well-formed frames were appended.
 fn read_log_file(
     dir: &Path,
     file: &str,
     magic: [u8; 4],
+    version: u32,
+    codec: CodecId,
     expect: &ThreadManifest,
-) -> Result<Vec<Vec<u8>>, DumpError> {
+) -> Result<LogFileContents, DumpError> {
     let path = dir.join(file);
     let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
     let truncated = || DumpError::Truncated { file: file.into() };
@@ -619,11 +859,17 @@ fn read_log_file(
     if r.take(4).ok_or_else(truncated)? != magic {
         return Err(DumpError::BadMagic { file: file.into() });
     }
-    let version = r.u32().ok_or_else(truncated)?;
-    if version != DUMP_VERSION {
+    let file_version = r.u32().ok_or_else(truncated)?;
+    if file_version != DUMP_VERSION && file_version != DUMP_VERSION_V1 {
         return Err(DumpError::UnsupportedVersion {
             file: file.into(),
-            version,
+            version: file_version,
+        });
+    }
+    if file_version != version {
+        return Err(DumpError::Inconsistent {
+            file: file.into(),
+            detail: format!("file is format v{file_version}, manifest declares v{version}"),
         });
     }
     let thread = ThreadId(r.u32().ok_or_else(truncated)?);
@@ -644,25 +890,62 @@ fn read_log_file(
         });
     }
     let mut payloads = Vec::with_capacity(frames as usize);
+    let mut stored_bytes = 0u64;
     for i in 0..frames {
-        let len = r.u32().ok_or_else(truncated)? as usize;
-        let payload = r.take(len).ok_or_else(truncated)?.to_vec();
-        let expected = r.u64().ok_or_else(truncated)?;
-        let actual = fnv1a(&payload);
-        if expected != actual {
-            return Err(DumpError::ChecksumMismatch {
-                file: file.into(),
-                frame: Some(i),
-                expected,
-                actual,
-            });
+        if file_version >= 2 {
+            let (payload, stored) = read_frame_v2(&mut r, file, i, codec)?;
+            payloads.push(payload);
+            stored_bytes += stored;
+        } else {
+            let payload = read_frame_v1(&mut r, file, i)?;
+            stored_bytes += payload.len() as u64;
+            payloads.push(payload);
         }
-        payloads.push(payload);
     }
     if !r.is_exhausted() {
+        // Distinguish "garbage after the content" from the sneakier forgery
+        // where whole well-formed frames were appended (of either framing
+        // generation): the manifest's frame count must match the frames
+        // actually present even when the extras checksum cleanly.
+        let extra = count_clean_extra_frames(&mut r, file, codec);
+        if extra > 0 {
+            return Err(DumpError::Inconsistent {
+                file: file.into(),
+                detail: format!(
+                    "file holds {} well-formed frame(s), manifest declares {frames}",
+                    u64::from(frames) + extra
+                ),
+            });
+        }
         return Err(DumpError::TrailingBytes { file: file.into() });
     }
-    Ok(payloads)
+    Ok(LogFileContents {
+        payloads,
+        stored_bytes,
+    })
+}
+
+/// Counts well-formed frames (of either framing generation) remaining after
+/// the declared content, for the frame-count consistency diagnostic.
+fn count_clean_extra_frames(r: &mut ByteReader<'_>, file: &str, codec: CodecId) -> u64 {
+    let mut extra = 0u64;
+    loop {
+        let mut v2 = *r;
+        if read_frame_v2(&mut v2, file, 0, codec).is_ok() {
+            *r = v2;
+            extra += 1;
+            continue;
+        }
+        let mut v1 = *r;
+        if read_frame_v1(&mut v1, file, 0).is_ok() {
+            *r = v1;
+            extra += 1;
+            continue;
+        }
+        // Whatever remains is not a clean frame; only fully-consumed trailing
+        // frames count.
+        return if r.is_exhausted() { extra } else { 0 };
+    }
 }
 
 impl CrashDump {
@@ -678,10 +961,28 @@ impl CrashDump {
         for t in &manifest.threads {
             let fll_file = t.fll_file();
             let mrl_file = t.mrl_file();
-            let fll_frames = read_log_file(dir, &fll_file, FLL_FILE_MAGIC, t)?;
-            let mrl_frames = read_log_file(dir, &mrl_file, MRL_FILE_MAGIC, t)?;
+            let fll = read_log_file(
+                dir,
+                &fll_file,
+                FLL_FILE_MAGIC,
+                manifest.version,
+                manifest.codec,
+                t,
+            )?;
+            let mrl = read_log_file(
+                dir,
+                &mrl_file,
+                MRL_FILE_MAGIC,
+                manifest.version,
+                manifest.codec,
+                t,
+            )?;
+            let fll_frames = fll.payloads;
+            let mrl_frames = mrl.payloads;
             check_payload_total(&fll_file, &fll_frames, t.fll_bytes)?;
             check_payload_total(&mrl_file, &mrl_frames, t.mrl_bytes)?;
+            check_stored_total(&fll_file, fll.stored_bytes, t.fll_stored_bytes)?;
+            check_stored_total(&mrl_file, mrl.stored_bytes, t.mrl_stored_bytes)?;
             let mut checkpoints = Vec::with_capacity(fll_frames.len());
             let mut instructions = 0u64;
             for (i, (fll_bytes, mrl_bytes)) in fll_frames.iter().zip(&mrl_frames).enumerate() {
@@ -811,6 +1112,16 @@ fn check_payload_total(file: &str, frames: &[Vec<u8>], declared: u64) -> Result<
     Ok(())
 }
 
+fn check_stored_total(file: &str, actual: u64, declared: u64) -> Result<(), DumpError> {
+    if actual != declared {
+        return Err(DumpError::Inconsistent {
+            file: file.into(),
+            detail: format!("frames total {actual} stored bytes, manifest declares {declared}"),
+        });
+    }
+    Ok(())
+}
+
 /// Result of replaying one interval out of a dump.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DumpIntervalReplay {
@@ -867,7 +1178,7 @@ impl DumpReplayReport {
 }
 
 /// Summary statistics of a verified dump.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DumpVerifyReport {
     /// Threads in the dump.
     pub threads: usize,
@@ -877,12 +1188,47 @@ pub struct DumpVerifyReport {
     pub fll_bytes: u64,
     /// Serialized MRL payload bytes.
     pub mrl_bytes: u64,
+    /// Stored (post-codec) FLL frame bytes.
+    pub fll_stored_bytes: u64,
+    /// Stored (post-codec) MRL frame bytes.
+    pub mrl_stored_bytes: u64,
+    /// Back-end codec of the dump.
+    pub codec: CodecId,
     /// First-load records across all FLLs.
     pub records: u64,
     /// Records that individually decoded during the deep pass.
     pub records_decoded: u64,
     /// Ordering edges across all MRLs.
     pub mrl_entries: u64,
+}
+
+impl Default for DumpVerifyReport {
+    fn default() -> Self {
+        DumpVerifyReport {
+            threads: 0,
+            checkpoints: 0,
+            fll_bytes: 0,
+            mrl_bytes: 0,
+            fll_stored_bytes: 0,
+            mrl_stored_bytes: 0,
+            codec: CodecId::Identity,
+            records: 0,
+            records_decoded: 0,
+            mrl_entries: 0,
+        }
+    }
+}
+
+impl DumpVerifyReport {
+    /// Back-end compression ratio over all frames (raw / stored).
+    pub fn backend_ratio(&self) -> f64 {
+        let stored = self.fll_stored_bytes + self.mrl_stored_bytes;
+        if stored == 0 {
+            1.0
+        } else {
+            (self.fll_bytes + self.mrl_bytes) as f64 / stored as f64
+        }
+    }
 }
 
 /// Loads a dump and additionally decodes every FLL record stream, i.e. the
@@ -892,27 +1238,42 @@ pub struct DumpVerifyReport {
 ///
 /// Returns a typed [`DumpError`] describing the first problem found.
 pub fn verify_dump(dir: &Path) -> Result<DumpVerifyReport, DumpError> {
-    let dump = CrashDump::load(dir)?;
-    let mut report = DumpVerifyReport {
-        threads: dump.threads.len(),
-        ..DumpVerifyReport::default()
-    };
-    for (t, m) in dump.threads.iter().zip(&dump.manifest.threads) {
-        report.checkpoints += t.checkpoints.len() as u64;
-        report.fll_bytes += m.fll_bytes;
-        report.mrl_bytes += m.mrl_bytes;
-        for (i, cp) in t.checkpoints.iter().enumerate() {
-            report.records += cp.fll.records();
-            report.mrl_entries += cp.mrl.entries().len() as u64;
-            let decoded = cp.fll.decode_records().map_err(|e| DumpError::CorruptLog {
-                file: m.fll_file(),
-                frame: i as u32,
-                detail: e.to_string(),
-            })?;
-            report.records_decoded += decoded.len() as u64;
+    CrashDump::load(dir)?.verify()
+}
+
+impl CrashDump {
+    /// The deep pass of [`verify_dump`] over an already-loaded dump:
+    /// decodes every FLL record stream and aggregates the size statistics,
+    /// without re-reading anything from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`DumpError`] describing the first problem found.
+    pub fn verify(&self) -> Result<DumpVerifyReport, DumpError> {
+        let mut report = DumpVerifyReport {
+            threads: self.threads.len(),
+            codec: self.manifest.codec,
+            ..DumpVerifyReport::default()
+        };
+        for (t, m) in self.threads.iter().zip(&self.manifest.threads) {
+            report.checkpoints += t.checkpoints.len() as u64;
+            report.fll_bytes += m.fll_bytes;
+            report.mrl_bytes += m.mrl_bytes;
+            report.fll_stored_bytes += m.fll_stored_bytes;
+            report.mrl_stored_bytes += m.mrl_stored_bytes;
+            for (i, cp) in t.checkpoints.iter().enumerate() {
+                report.records += cp.fll.records();
+                report.mrl_entries += cp.mrl.entries().len() as u64;
+                let decoded = cp.fll.decode_records().map_err(|e| DumpError::CorruptLog {
+                    file: m.fll_file(),
+                    frame: i as u32,
+                    detail: e.to_string(),
+                })?;
+                report.records_decoded += decoded.len() as u64;
+            }
         }
+        Ok(report)
     }
-    Ok(report)
 }
 
 // --- little-endian byte plumbing -----------------------------------------
@@ -964,7 +1325,9 @@ impl StringError {
     }
 }
 
-/// Bounds-checked little-endian reader over a byte slice.
+/// Bounds-checked little-endian reader over a byte slice. `Copy` so
+/// speculative parses (the trailing-frame diagnostic) can snapshot it.
+#[derive(Clone, Copy)]
 struct ByteReader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -1140,20 +1503,33 @@ mod tests {
     }
 
     #[test]
-    fn log_frame_bit_flip_is_a_checksum_mismatch() {
+    fn log_frame_bit_flips_are_typed_errors() {
         let dir = temp_dir("frame-flip");
         let store = store_with_logs(1, 1);
         let manifest = write_dump(&dir, &meta(), &store).unwrap();
         let path = dir.join(manifest.threads[0].fll_file());
-        let mut bytes = fs::read(&path).unwrap();
-        // Flip a payload byte (past the 16-byte header + 4-byte length).
-        bytes[24] ^= 0x01;
-        fs::write(&path, &bytes).unwrap();
-        let err = CrashDump::load(&dir).unwrap_err();
-        assert!(
-            matches!(err, DumpError::ChecksumMismatch { frame: Some(0), .. }),
-            "{err}"
-        );
+        let original = fs::read(&path).unwrap();
+        // Flip every byte past the 16-byte file header + 4-byte frame
+        // length: container header flips surface as CorruptLog/Inconsistent,
+        // encoded-payload flips as codec or checksum failures — but every
+        // flip must be caught.
+        for pos in 20..original.len() {
+            let mut bytes = original.clone();
+            bytes[pos] ^= 0x01;
+            fs::write(&path, &bytes).unwrap();
+            let err = CrashDump::load(&dir).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DumpError::ChecksumMismatch { .. }
+                        | DumpError::CorruptLog { .. }
+                        | DumpError::Inconsistent { .. }
+                        | DumpError::Truncated { .. }
+                        | DumpError::TrailingBytes { .. }
+                ),
+                "flip at {pos}: {err}"
+            );
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1228,6 +1604,104 @@ mod tests {
         // The dump written at crash time must load back by its own loader.
         let dump = CrashDump::load(&dir).unwrap();
         assert_eq!(dump.manifest.workload.len(), MAX_STRING_BYTES as usize);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_dumps_still_load_and_report_identity_codec() {
+        let dir = temp_dir("v1-compat");
+        let store = store_with_logs(2, 2);
+        let written = write_dump_v1(&dir, &meta(), &store).unwrap();
+        assert_eq!(written.version, DUMP_VERSION_V1);
+        assert_eq!(written.codec, CodecId::Identity);
+        let dump = CrashDump::load(&dir).unwrap();
+        assert_eq!(dump.manifest, written);
+        // v1 has no codec layer: stored == raw.
+        for t in &dump.manifest.threads {
+            assert_eq!(t.fll_stored_bytes, t.fll_bytes);
+            assert_eq!(t.mrl_stored_bytes, t.mrl_bytes);
+        }
+        for (td, t) in dump.threads.iter().zip(store.threads()) {
+            for (cp, orig) in td.checkpoints.iter().zip(store.thread_logs(t)) {
+                assert_eq!(cp.fll, orig.fll);
+                assert_eq!(cp.mrl, orig.mrl);
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_lz_dump_is_smaller_than_v1() {
+        let dir_v1 = temp_dir("size-v1");
+        let dir_v2 = temp_dir("size-v2");
+        let store = store_with_logs(2, 3);
+        write_dump_v1(&dir_v1, &meta(), &store).unwrap();
+        write_dump(&dir_v2, &meta(), &store).unwrap();
+        let total = |dir: &std::path::Path| -> u64 {
+            fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap().metadata().unwrap().len())
+                .sum()
+        };
+        let v1 = total(&dir_v1);
+        let v2 = total(&dir_v2);
+        assert!(
+            v2 < v1,
+            "v2 dump ({v2} bytes) must be smaller than v1 ({v1})"
+        );
+        fs::remove_dir_all(&dir_v1).unwrap();
+        fs::remove_dir_all(&dir_v2).unwrap();
+    }
+
+    #[test]
+    fn identity_codec_store_writes_loadable_v2_dumps() {
+        let cfg = BugNetConfig::default().with_checkpoint_interval(1_000);
+        let mut store = LogStore::with_codec(&cfg, CodecId::Identity);
+        let mut rec = ThreadRecorder::new(cfg, ProcessId(1), ThreadId(0));
+        rec.begin_interval(ArchState::default(), Timestamp(0));
+        for i in 0..10u32 {
+            rec.record_load(Addr::new(0x2000 + u64::from(i) * 4), Word::new(i), true);
+            rec.record_committed_instruction();
+        }
+        store.push(
+            rec.end_interval(TerminationCause::IntervalFull, &ArchState::default())
+                .unwrap(),
+        );
+        let dir = temp_dir("identity-v2");
+        let written = write_dump(&dir, &meta(), &store).unwrap();
+        assert_eq!(written.codec, CodecId::Identity);
+        let dump = CrashDump::load(&dir).unwrap();
+        assert_eq!(dump.manifest.codec, CodecId::Identity);
+        // Identity stores each frame raw plus the container header (one FLL
+        // and one MRL frame here).
+        let m = &dump.manifest.threads[0];
+        let header = bugnet_compress::CONTAINER_HEADER_BYTES as u64;
+        assert_eq!(m.fll_stored_bytes, m.fll_bytes + header);
+        assert_eq!(m.mrl_stored_bytes, m.mrl_bytes + header);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn appended_clean_frame_is_a_frame_count_inconsistency() {
+        let dir = temp_dir("extra-frame");
+        let store = store_with_logs(1, 2);
+        let manifest = write_dump(&dir, &meta(), &store).unwrap();
+        let path = dir.join(manifest.threads[0].fll_file());
+        let mut bytes = fs::read(&path).unwrap();
+        // Duplicate the first frame (length prefix + container) at the end:
+        // every byte of the addition checksums cleanly, so only the
+        // frame-count cross-check can catch it.
+        let first_len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+        let frame = bytes[16..20 + first_len].to_vec();
+        bytes.extend_from_slice(&frame);
+        fs::write(&path, &bytes).unwrap();
+        let err = CrashDump::load(&dir).unwrap_err();
+        match &err {
+            DumpError::Inconsistent { detail, .. } => {
+                assert!(detail.contains("well-formed frame"), "{err}")
+            }
+            other => panic!("expected Inconsistent, got {other}"),
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

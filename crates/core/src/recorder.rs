@@ -20,6 +20,9 @@
 //!    the finished FLL + MRL pair, which the machine pushes into the
 //!    [`LogStore`] (the memory-backed circular region of §4.7).
 
+use std::ops::Deref;
+
+use bugnet_compress::{encode_container, CodecId};
 use bugnet_cpu::ArchState;
 use bugnet_types::{
     Addr, BugNetConfig, ByteSize, CheckpointId, InstrCount, ProcessId, ThreadId, Timestamp, Word,
@@ -49,6 +52,79 @@ impl CheckpointLogs {
     /// Combined size of the FLL and MRL.
     pub fn size(&self) -> ByteSize {
         self.fll.size() + self.mrl.size()
+    }
+}
+
+/// A checkpoint interval's logs together with their serialized, compressed
+/// on-disk frames (the self-describing containers of [`bugnet_compress`]).
+///
+/// Sealing — serializing the FLL/MRL and running the back-end compressor —
+/// is the CPU-heavy part of flushing an interval, and it is a pure function
+/// of the logs and the codec. That makes it safe to run on background
+/// worker threads: parallel and serial flushing produce byte-identical
+/// frames, so the dumps they write are byte-identical too.
+///
+/// Dereferences to the underlying [`CheckpointLogs`], so readers that only
+/// care about the structured logs keep working unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SealedCheckpoint {
+    /// The structured logs (still needed for in-memory replay).
+    pub logs: CheckpointLogs,
+    /// Codec the frames were sealed with.
+    pub codec: CodecId,
+    /// Container holding the serialized, compressed FLL.
+    pub fll_frame: Vec<u8>,
+    /// Container holding the serialized, compressed MRL.
+    pub mrl_frame: Vec<u8>,
+    /// Serialized FLL payload size before compression.
+    pub fll_raw_bytes: u64,
+    /// Serialized MRL payload size before compression.
+    pub mrl_raw_bytes: u64,
+}
+
+impl SealedCheckpoint {
+    /// Serializes and compresses `logs` with `codec`.
+    pub fn seal(logs: CheckpointLogs, codec: CodecId) -> Self {
+        let fll_raw = logs.fll.to_bytes();
+        let mrl_raw = logs.mrl.to_bytes();
+        let fll_frame = encode_container(codec, &fll_raw);
+        let mrl_frame = encode_container(codec, &mrl_raw);
+        SealedCheckpoint {
+            logs,
+            codec,
+            fll_raw_bytes: fll_raw.len() as u64,
+            mrl_raw_bytes: mrl_raw.len() as u64,
+            fll_frame,
+            mrl_frame,
+        }
+    }
+
+    /// On-disk size of the FLL frame (container header + encoded bytes).
+    pub fn fll_stored_bytes(&self) -> u64 {
+        self.fll_frame.len() as u64
+    }
+
+    /// On-disk size of the MRL frame.
+    pub fn mrl_stored_bytes(&self) -> u64 {
+        self.mrl_frame.len() as u64
+    }
+
+    /// Back-end compression ratio over both frames (raw / stored).
+    pub fn stored_ratio(&self) -> f64 {
+        let stored = self.fll_stored_bytes() + self.mrl_stored_bytes();
+        if stored == 0 {
+            1.0
+        } else {
+            (self.fll_raw_bytes + self.mrl_raw_bytes) as f64 / stored as f64
+        }
+    }
+}
+
+impl Deref for SealedCheckpoint {
+    type Target = CheckpointLogs;
+
+    fn deref(&self) -> &CheckpointLogs {
+        &self.logs
     }
 }
 
@@ -309,12 +385,16 @@ impl ThreadRecorder {
 #[derive(Debug)]
 struct ThreadShard {
     thread: ThreadId,
-    /// Retained logs, oldest first.
-    logs: Vec<CheckpointLogs>,
+    /// Retained sealed logs, oldest first.
+    logs: Vec<SealedCheckpoint>,
     /// Cached sum of FLL sizes of `logs`, in bits.
     fll_bits: u64,
     /// Cached sum of MRL sizes of `logs`, in bits.
     mrl_bits: u64,
+    /// Cached sum of serialized-uncompressed frame bytes of `logs`.
+    raw_bytes: u64,
+    /// Cached sum of compressed frame bytes of `logs`.
+    stored_bytes: u64,
     /// Cached sum of committed instructions of `logs` (the replay window).
     instructions: u64,
 }
@@ -334,6 +414,7 @@ struct ThreadShard {
 pub struct LogStore {
     fll_capacity: ByteSize,
     mrl_capacity: ByteSize,
+    codec: CodecId,
     shards: Vec<ThreadShard>,
     evicted_checkpoints: u64,
     total_fll_bits: u64,
@@ -341,11 +422,18 @@ pub struct LogStore {
 }
 
 impl LogStore {
-    /// Creates a store with the capacities from `cfg`.
+    /// Creates a store with the capacities from `cfg` and the default
+    /// back-end codec (LZ).
     pub fn new(cfg: &BugNetConfig) -> Self {
+        LogStore::with_codec(cfg, CodecId::Lz77)
+    }
+
+    /// Creates a store sealing its intervals with an explicit codec.
+    pub fn with_codec(cfg: &BugNetConfig, codec: CodecId) -> Self {
         LogStore {
             fll_capacity: cfg.fll_region,
             mrl_capacity: cfg.mrl_region,
+            codec,
             shards: Vec::new(),
             evicted_checkpoints: 0,
             total_fll_bits: 0,
@@ -353,17 +441,36 @@ impl LogStore {
         }
     }
 
+    /// The back-end codec this store seals intervals with.
+    pub fn codec(&self) -> CodecId {
+        self.codec
+    }
+
     fn shard_index(&self, thread: ThreadId) -> Result<usize, usize> {
         self.shards.binary_search_by_key(&thread, |s| s.thread)
     }
 
-    /// Appends the logs of a completed interval and applies the eviction
-    /// policy.
+    /// Seals (serializes + compresses) the logs of a completed interval with
+    /// the store's codec and appends them. This is the serial flush path;
+    /// parallel flushing seals on worker threads and calls
+    /// [`LogStore::push_sealed`] instead.
     pub fn push(&mut self, logs: CheckpointLogs) {
-        let thread = logs.fll.header.thread;
-        let fll_bits = logs.fll.size().bits();
-        let mrl_bits = logs.mrl.size().bits();
-        let instructions = logs.fll.instructions;
+        let codec = self.codec;
+        self.push_sealed(SealedCheckpoint::seal(logs, codec));
+    }
+
+    /// Appends an already-sealed interval and applies the eviction policy.
+    ///
+    /// The caller must seal with this store's codec; mixed-codec stores are
+    /// rejected at dump time, not here (sealing is off the hot path, pushing
+    /// is not).
+    pub fn push_sealed(&mut self, sealed: SealedCheckpoint) {
+        let thread = sealed.fll.header.thread;
+        let fll_bits = sealed.fll.size().bits();
+        let mrl_bits = sealed.mrl.size().bits();
+        let raw_bytes = sealed.fll_raw_bytes + sealed.mrl_raw_bytes;
+        let stored_bytes = sealed.fll_stored_bytes() + sealed.mrl_stored_bytes();
+        let instructions = sealed.fll.instructions;
         let shard = match self.shard_index(thread) {
             Ok(i) => &mut self.shards[i],
             Err(i) => {
@@ -374,15 +481,19 @@ impl LogStore {
                         logs: Vec::new(),
                         fll_bits: 0,
                         mrl_bits: 0,
+                        raw_bytes: 0,
+                        stored_bytes: 0,
                         instructions: 0,
                     },
                 );
                 &mut self.shards[i]
             }
         };
-        shard.logs.push(logs);
+        shard.logs.push(sealed);
         shard.fll_bits += fll_bits;
         shard.mrl_bits += mrl_bits;
+        shard.raw_bytes += raw_bytes;
+        shard.stored_bytes += stored_bytes;
         shard.instructions += instructions;
         self.total_fll_bits += fll_bits;
         self.total_mrl_bits += mrl_bits;
@@ -414,6 +525,8 @@ impl LogStore {
                     let mrl_bits = evicted.mrl.size().bits();
                     shard.fll_bits -= fll_bits;
                     shard.mrl_bits -= mrl_bits;
+                    shard.raw_bytes -= evicted.fll_raw_bytes + evicted.mrl_raw_bytes;
+                    shard.stored_bytes -= evicted.fll_stored_bytes() + evicted.mrl_stored_bytes();
                     shard.instructions -= evicted.fll.instructions;
                     self.total_fll_bits -= fll_bits;
                     self.total_mrl_bits -= mrl_bits;
@@ -424,8 +537,9 @@ impl LogStore {
         }
     }
 
-    /// Logs currently retained for `thread`, oldest first.
-    pub fn thread_logs(&self, thread: ThreadId) -> &[CheckpointLogs] {
+    /// Sealed logs currently retained for `thread`, oldest first. The
+    /// entries dereference to their [`CheckpointLogs`].
+    pub fn thread_logs(&self, thread: ThreadId) -> &[SealedCheckpoint] {
         match self.shard_index(thread) {
             Ok(i) => &self.shards[i].logs,
             Err(_) => &[],
@@ -435,7 +549,26 @@ impl LogStore {
     /// All retained logs of a thread as an owned, contiguous vector (oldest
     /// first). Used when dumping logs after a fault.
     pub fn dump_thread(&self, thread: ThreadId) -> Vec<CheckpointLogs> {
-        self.thread_logs(thread).to_vec()
+        self.thread_logs(thread)
+            .iter()
+            .map(|s| s.logs.clone())
+            .collect()
+    }
+
+    /// Serialized-uncompressed bytes retained for `thread` (FLL + MRL).
+    pub fn raw_bytes(&self, thread: ThreadId) -> u64 {
+        match self.shard_index(thread) {
+            Ok(i) => self.shards[i].raw_bytes,
+            Err(_) => 0,
+        }
+    }
+
+    /// Compressed (container) bytes retained for `thread`.
+    pub fn stored_bytes(&self, thread: ThreadId) -> u64 {
+        match self.shard_index(thread) {
+            Ok(i) => self.shards[i].stored_bytes,
+            Err(_) => 0,
+        }
     }
 
     /// Threads that have at least one retained checkpoint, in id order.
@@ -640,6 +773,34 @@ mod tests {
         // The newest checkpoint is always retained.
         let retained = store.thread_logs(ThreadId(0));
         assert_eq!(retained.last().unwrap().fll.header.timestamp, Timestamp(5));
+    }
+
+    #[test]
+    fn sealing_round_trips_through_the_container() {
+        let logs = small_logs(0, 1, 40);
+        let sealed = SealedCheckpoint::seal(logs.clone(), CodecId::Lz77);
+        assert!(sealed.fll_stored_bytes() > 0);
+        let (codec, raw) = bugnet_compress::decode_container(&sealed.fll_frame).unwrap();
+        assert_eq!(codec, CodecId::Lz77);
+        assert_eq!(raw, logs.fll.to_bytes());
+        assert_eq!(sealed.fll_raw_bytes, raw.len() as u64);
+        // Deref keeps structured-log readers working on sealed entries.
+        assert_eq!(sealed.fll, logs.fll);
+    }
+
+    #[test]
+    fn store_tracks_raw_and_stored_bytes_per_codec() {
+        let cfg = BugNetConfig::default();
+        let mut lz = LogStore::with_codec(&cfg, CodecId::Lz77);
+        let mut identity = LogStore::with_codec(&cfg, CodecId::Identity);
+        assert_eq!(LogStore::new(&cfg).codec(), CodecId::Lz77);
+        lz.push(small_logs(0, 1, 200));
+        identity.push(small_logs(0, 1, 200));
+        assert_eq!(lz.raw_bytes(ThreadId(0)), identity.raw_bytes(ThreadId(0)));
+        assert!(lz.stored_bytes(ThreadId(0)) < identity.stored_bytes(ThreadId(0)));
+        assert!(lz.thread_logs(ThreadId(0))[0].stored_ratio() > 1.0);
+        assert_eq!(lz.raw_bytes(ThreadId(7)), 0);
+        assert_eq!(lz.stored_bytes(ThreadId(7)), 0);
     }
 
     #[test]

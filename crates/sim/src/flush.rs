@@ -1,0 +1,236 @@
+//! The parallel interval-flush pipeline.
+//!
+//! Closing a checkpoint interval produces a [`CheckpointLogs`] that must be
+//! *sealed* — serialized and run through the back-end compressor — before it
+//! lands in the [`LogStore`]. Sealing is the CPU-heavy part of a flush and a
+//! pure function of `(logs, codec)`, so this module moves it off the machine
+//! loop onto a hand-rolled pool of worker threads (no external dependencies
+//! are available offline):
+//!
+//! ```text
+//! machine loop ── submit(seq, logs) ──► worker 0..N  (seal: serialize+LZ)
+//!       ▲                                   │
+//!       └── drain: push_sealed in seq order ◄┘  (mpsc + reorder buffer)
+//! ```
+//!
+//! Every submission carries a global sequence number; the drain side holds a
+//! reorder buffer and releases sealed checkpoints to the store strictly in
+//! submission order. That makes the pipeline *observationally identical* to
+//! serial flushing — the store sees the same pushes in the same order, so
+//! eviction decisions and the dumps written from the store are byte-for-byte
+//! identical regardless of worker count or scheduling. Workers only ever
+//! race on who seals first, never on what the store sees.
+//!
+//! `LogStore`'s shards are per-thread independent, so a natural extension is
+//! per-shard stores with relaxed cross-thread ordering; the sequence-ordered
+//! drain is the conservative first step that keeps determinism trivially
+//! provable.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use bugnet_compress::CodecId;
+use bugnet_core::recorder::{CheckpointLogs, LogStore, SealedCheckpoint};
+
+/// A pool of background threads sealing finished checkpoint intervals.
+///
+/// See the module docs for the ordering guarantees. The pipeline is owned by
+/// the machine; dropping it shuts the workers down.
+#[derive(Debug)]
+pub struct FlushPipeline {
+    codec: CodecId,
+    senders: Vec<mpsc::Sender<(u64, CheckpointLogs)>>,
+    results: mpsc::Receiver<(u64, SealedCheckpoint)>,
+    workers: Vec<JoinHandle<()>>,
+    /// Sealed checkpoints that arrived ahead of their turn.
+    reorder: BTreeMap<u64, SealedCheckpoint>,
+    /// Sequence number of the next submission.
+    next_seq: u64,
+    /// Sequence number of the next checkpoint to release to the store.
+    next_release: u64,
+}
+
+impl FlushPipeline {
+    /// Spawns `workers` sealing threads (clamped to at least one) that seal
+    /// with `codec`.
+    pub fn new(workers: usize, codec: CodecId) -> Self {
+        let workers = workers.max(1);
+        let (result_tx, results) = mpsc::channel();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = mpsc::channel::<(u64, CheckpointLogs)>();
+            let result_tx = result_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("bugnet-flush-{i}"))
+                .spawn(move || {
+                    while let Ok((seq, logs)) = rx.recv() {
+                        let sealed = SealedCheckpoint::seal(logs, codec);
+                        // The receiver only disappears during shutdown, when
+                        // pending results are intentionally discarded.
+                        if result_tx.send((seq, sealed)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawning a flush worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        FlushPipeline {
+            codec,
+            senders,
+            results,
+            workers: handles,
+            reorder: BTreeMap::new(),
+            next_seq: 0,
+            next_release: 0,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Codec the workers seal with.
+    pub fn codec(&self) -> CodecId {
+        self.codec
+    }
+
+    /// Intervals submitted but not yet released to a store.
+    pub fn in_flight(&self) -> u64 {
+        self.next_seq - self.next_release
+    }
+
+    /// Hands a finished interval to the pool. Round-robin by sequence number
+    /// keeps the workers evenly loaded; ordering is restored on the drain
+    /// side, so the routing policy is pure load balancing.
+    pub fn submit(&mut self, logs: CheckpointLogs) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let worker = (seq as usize) % self.senders.len();
+        self.senders[worker]
+            .send((seq, logs))
+            .expect("flush workers outlive the pipeline");
+    }
+
+    /// Accepts one sealed result into the reorder buffer.
+    fn accept(&mut self, seq: u64, sealed: SealedCheckpoint) {
+        debug_assert!(seq >= self.next_release, "sequence released twice");
+        self.reorder.insert(seq, sealed);
+    }
+
+    /// Releases every in-order sealed checkpoint to `store`.
+    fn release_ready(&mut self, store: &mut LogStore) {
+        while let Some(sealed) = self.reorder.remove(&self.next_release) {
+            store.push_sealed(sealed);
+            self.next_release += 1;
+        }
+    }
+
+    /// Non-blocking drain: moves whatever the workers have finished into
+    /// `store`, in submission order. Called from the machine loop so the
+    /// store tracks the execution closely without ever stalling it.
+    pub fn drain_ready(&mut self, store: &mut LogStore) {
+        while let Ok((seq, sealed)) = self.results.try_recv() {
+            self.accept(seq, sealed);
+        }
+        self.release_ready(store);
+    }
+
+    /// Blocking barrier: waits until every submitted interval has been
+    /// sealed and pushed to `store`. Called before anything reads the store
+    /// (end of a run, crash-dump writing).
+    pub fn flush(&mut self, store: &mut LogStore) {
+        self.drain_ready(store);
+        while self.next_release < self.next_seq {
+            let (seq, sealed) = self
+                .results
+                .recv()
+                .expect("flush workers outlive the pipeline");
+            self.accept(seq, sealed);
+            self.release_ready(store);
+        }
+    }
+}
+
+impl Drop for FlushPipeline {
+    fn drop(&mut self) {
+        // Closing the submission channels ends the worker loops; join so no
+        // worker outlives the machine that owns the pipeline.
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugnet_core::fll::TerminationCause;
+    use bugnet_core::recorder::ThreadRecorder;
+    use bugnet_cpu::ArchState;
+    use bugnet_types::{Addr, BugNetConfig, ProcessId, ThreadId, Timestamp, Word};
+
+    fn logs(thread: u32, timestamp: u64, loads: u32) -> CheckpointLogs {
+        let mut r = ThreadRecorder::new(
+            BugNetConfig::default().with_checkpoint_interval(1_000),
+            ProcessId(1),
+            ThreadId(thread),
+        );
+        r.begin_interval(ArchState::default(), Timestamp(timestamp));
+        for i in 0..loads {
+            r.record_load(Addr::new(0x1000 + u64::from(i) * 4), Word::new(i % 7), true);
+            r.record_committed_instruction();
+        }
+        r.end_interval(TerminationCause::IntervalFull, &ArchState::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_flush_matches_serial_store_state() {
+        let cfg = BugNetConfig::default();
+        let mut serial = LogStore::with_codec(&cfg, CodecId::Lz77);
+        let mut parallel = LogStore::with_codec(&cfg, CodecId::Lz77);
+        let mut pipeline = FlushPipeline::new(4, CodecId::Lz77);
+        for i in 0..40u64 {
+            let l = logs((i % 3) as u32, i, 20 + (i as u32 % 50));
+            serial.push(l.clone());
+            pipeline.submit(l);
+        }
+        pipeline.flush(&mut parallel);
+        assert_eq!(pipeline.in_flight(), 0);
+        for t in serial.threads() {
+            assert_eq!(serial.thread_logs(t), parallel.thread_logs(t));
+            assert_eq!(serial.stored_bytes(t), parallel.stored_bytes(t));
+        }
+        assert_eq!(serial.threads(), parallel.threads());
+    }
+
+    #[test]
+    fn drain_ready_never_blocks_and_preserves_order() {
+        let cfg = BugNetConfig::default();
+        let mut store = LogStore::with_codec(&cfg, CodecId::Lz77);
+        let mut pipeline = FlushPipeline::new(2, CodecId::Lz77);
+        for i in 0..10u64 {
+            pipeline.submit(logs(0, i, 10));
+            pipeline.drain_ready(&mut store);
+        }
+        pipeline.flush(&mut store);
+        let retained = store.thread_logs(ThreadId(0));
+        assert_eq!(retained.len(), 10);
+        for (i, entry) in retained.iter().enumerate() {
+            assert_eq!(entry.fll.header.timestamp, Timestamp(i as u64));
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pipeline = FlushPipeline::new(0, CodecId::Identity);
+        assert_eq!(pipeline.workers(), 1);
+        assert_eq!(pipeline.codec(), CodecId::Identity);
+    }
+}

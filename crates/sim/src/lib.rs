@@ -9,6 +9,8 @@
 //!
 //! * [`machine`] — [`Machine`], [`MachineBuilder`], the scheduling loop and
 //!   the recording memory path.
+//! * [`flush`] — the worker-pool pipeline sealing (serializing +
+//!   compressing) finished checkpoint intervals off the machine loop.
 //! * [`verify`] — replay-based determinism verification and race analysis.
 //! * [`runner`] — one-call experiment helpers used by the bench binaries.
 //!
@@ -29,10 +31,12 @@
 //! assert!(report.all_verified());
 //! ```
 
+pub mod flush;
 pub mod machine;
 pub mod runner;
 pub mod verify;
 
+pub use flush::FlushPipeline;
 pub use machine::{Machine, MachineBuilder, RunOutcome, ThreadOutcome};
 pub use runner::{record_spec_profile, RecordedRun};
 pub use verify::VerificationReport;

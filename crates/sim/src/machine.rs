@@ -3,6 +3,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use bugnet_compress::CodecId;
 use bugnet_core::dump::{self, DumpError, DumpFault, DumpManifest, DumpMeta};
 use bugnet_core::fll::TerminationCause;
 use bugnet_core::recorder::{CheckpointLogs, LogStore, ThreadRecorder};
@@ -22,6 +23,8 @@ use bugnet_types::{
 };
 use bugnet_workloads::Workload;
 
+use crate::flush::FlushPipeline;
+
 /// How many instructions a core runs before the scheduler rotates to the next
 /// core; this is the granularity of the sequentially-consistent interleaving.
 const INTERLEAVE_BATCH: u64 = 64;
@@ -35,6 +38,8 @@ pub struct MachineBuilder {
     cores_explicit: bool,
     dump_dir: Option<PathBuf>,
     workload_spec: Option<String>,
+    codec: Option<CodecId>,
+    flush_workers: usize,
 }
 
 impl MachineBuilder {
@@ -69,6 +74,23 @@ impl MachineBuilder {
         self
     }
 
+    /// Selects the back-end codec finished intervals are sealed with before
+    /// entering the log store (and therefore the codec of any crash dump
+    /// written from it). Defaults to [`CodecId::Lz77`].
+    pub fn codec(mut self, codec: CodecId) -> Self {
+        self.codec = Some(codec);
+        self
+    }
+
+    /// Moves interval sealing (serialization + compression) onto `workers`
+    /// background threads instead of the machine loop. Zero (the default)
+    /// seals inline. Any worker count produces dumps byte-identical to
+    /// serial flushing; see [`crate::flush`] for the ordering guarantee.
+    pub fn flush_workers(mut self, workers: usize) -> Self {
+        self.flush_workers = workers;
+        self
+    }
+
     /// Makes the machine write a crash-dump directory to `dir` as soon as a
     /// thread faults (the OS behaviour of paper §4.8). Requires a BugNet
     /// recorder to be attached; the result is available from
@@ -96,9 +118,13 @@ impl MachineBuilder {
         if !self.cores_explicit && machine_cfg.cores < workload.thread_count() {
             machine_cfg.cores = workload.thread_count();
         }
-        let mut machine = Machine::new(machine_cfg, self.bugnet, self.fdr, workload);
+        let codec = self.codec.unwrap_or(CodecId::Lz77);
+        let mut machine = Machine::new(machine_cfg, self.bugnet, self.fdr, workload, codec);
         machine.workload_spec = self.workload_spec.unwrap_or_else(|| workload.name.clone());
         machine.dump_dir = self.dump_dir;
+        if self.flush_workers > 0 && machine.log_store.is_some() {
+            machine.pipeline = Some(FlushPipeline::new(self.flush_workers, codec));
+        }
         machine
     }
 }
@@ -188,6 +214,7 @@ pub struct Machine {
     bugnet_cfg: Option<BugNetConfig>,
     recorders: Vec<ThreadRecorder>,
     log_store: Option<LogStore>,
+    pipeline: Option<FlushPipeline>,
     fdr: Option<FdrRecorder>,
     clock: u64,
     input_rng: SplitMix64,
@@ -206,6 +233,7 @@ impl Machine {
         bugnet_cfg: Option<BugNetConfig>,
         fdr_cfg: Option<FdrConfig>,
         workload: &Workload,
+        codec: CodecId,
     ) -> Self {
         let process = ProcessId(1);
         let mut memory = SparseMemory::new();
@@ -239,7 +267,9 @@ impl Machine {
                 quantum_used: 0,
             })
             .collect();
-        let log_store = bugnet_cfg.as_ref().map(LogStore::new);
+        let log_store = bugnet_cfg
+            .as_ref()
+            .map(|cfg| LogStore::with_codec(cfg, codec));
         Machine {
             directory: Directory::new(cfg.cache.l1.block_bytes),
             dma: DmaEngine::new(),
@@ -248,6 +278,7 @@ impl Machine {
             bugnet_cfg,
             recorders,
             log_store,
+            pipeline: None,
             fdr: fdr_cfg.map(FdrRecorder::new),
             clock: 0,
             input_rng: SplitMix64::new(0xD0_5EED),
@@ -312,7 +343,9 @@ impl Machine {
             Some(store) => {
                 let mut report = LogSizeReport::default();
                 for thread in store.threads() {
-                    report.merge(&LogSizeReport::from_logs(store.thread_logs(thread)));
+                    report.merge(&LogSizeReport::from_logs(
+                        store.thread_logs(thread).iter().map(|s| &s.logs),
+                    ));
                 }
                 report
             }
@@ -452,9 +485,27 @@ impl Machine {
             .expect("cpu present when ending an interval")
             .arch_state();
         if let Some(logs) = self.recorders[thread].end_interval(cause, &arch) {
-            if let Some(store) = &mut self.log_store {
-                store.push(logs);
+            match (&mut self.pipeline, &mut self.log_store) {
+                // Parallel flush: sealing happens on the worker pool; the
+                // store is fed in submission order by the drain calls.
+                (Some(pipeline), Some(_)) => pipeline.submit(logs),
+                (_, Some(store)) => store.push(logs),
+                _ => {}
             }
+        }
+    }
+
+    /// Non-blocking: moves finished background flushes into the store.
+    fn drain_flush(&mut self) {
+        if let (Some(pipeline), Some(store)) = (&mut self.pipeline, &mut self.log_store) {
+            pipeline.drain_ready(store);
+        }
+    }
+
+    /// Blocking: waits for every submitted interval to land in the store.
+    fn flush_barrier(&mut self) {
+        if let (Some(pipeline), Some(store)) = (&mut self.pipeline, &mut self.log_store) {
+            pipeline.flush(store);
         }
     }
 
@@ -697,6 +748,7 @@ impl Machine {
                     break 'outer;
                 }
             }
+            self.drain_flush();
             // A fault terminates the whole application (the OS dumps the logs).
             if !fault_before && self.threads.iter().any(|t| t.fault.is_some()) {
                 break;
@@ -706,6 +758,9 @@ impl Machine {
             }
         }
         self.finalize_open_intervals();
+        // Everything submitted must land in the store before anything reads
+        // it (the crash dump below, or the caller after we return).
+        self.flush_barrier();
         self.auto_dump_on_fault();
         self.outcome()
     }
@@ -932,6 +987,59 @@ mod tests {
             bare.write_crash_dump(&dir),
             Err(bugnet_core::dump::DumpError::NoRecorder)
         ));
+    }
+
+    #[test]
+    fn parallel_flush_dumps_are_byte_identical_to_serial() {
+        let base = std::env::temp_dir().join(format!("bugnet-parflush-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let workloads = [
+            ("gzip", SpecProfile::gzip().build_workload(30_000, 1)),
+            ("racy", mt::racy_counter(2, 400)),
+        ];
+        for (name, workload) in &workloads {
+            let dump_with = |workers: usize| -> std::path::PathBuf {
+                let dir = base.join(format!("{name}-{workers}"));
+                let mut machine = MachineBuilder::new()
+                    .bugnet(bugnet_cfg(5_000))
+                    .flush_workers(workers)
+                    .build_with_workload(workload);
+                machine.run_to_completion();
+                machine.write_crash_dump(&dir).expect("dump writes");
+                dir
+            };
+            let serial = dump_with(0);
+            let parallel = dump_with(3);
+            let mut names: Vec<String> = std::fs::read_dir(&serial)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().into_string().unwrap())
+                .collect();
+            names.sort();
+            assert!(!names.is_empty());
+            for file in &names {
+                let a = std::fs::read(serial.join(file)).unwrap();
+                let b = std::fs::read(parallel.join(file)).unwrap();
+                assert_eq!(a, b, "{name}/{file} differs between serial and parallel");
+            }
+        }
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn codec_knob_controls_dump_codec() {
+        use bugnet_core::dump::CrashDump;
+        let dir = std::env::temp_dir().join(format!("bugnet-codecknob-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let workload = SpecProfile::gzip().build_workload(10_000, 1);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(5_000))
+            .codec(CodecId::Identity)
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+        machine.write_crash_dump(&dir).unwrap();
+        let dump = CrashDump::load(&dir).unwrap();
+        assert_eq!(dump.manifest.codec, CodecId::Identity);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

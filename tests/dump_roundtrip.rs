@@ -110,6 +110,135 @@ fn multithreaded_dump_round_trips() {
     fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Builds a machine, runs the workload, and returns it (with a flushed log
+/// store) for direct store-level dump experiments.
+fn recorded_machine(spec: &str, interval: u64) -> bugnet::sim::Machine {
+    let workload = registry::resolve(spec).expect("spec resolves");
+    let mut machine = MachineBuilder::new()
+        .bugnet(BugNetConfig::default().with_checkpoint_interval(interval))
+        .workload_spec(spec)
+        .build_with_workload(&workload);
+    machine.run_to_completion();
+    machine
+}
+
+#[test]
+fn legacy_v1_dumps_still_load_and_replay() {
+    use bugnet::core::dump::{write_dump_v1, DumpMeta, DUMP_VERSION_V1};
+    use bugnet::types::Timestamp;
+    let spec = "spec:gzip:30000:1";
+    let dir = temp_dir("v1-replay");
+    let machine = recorded_machine(spec, 5_000);
+    let meta = DumpMeta {
+        workload: spec.to_string(),
+        config: machine.bugnet_config().unwrap().clone(),
+        created: Timestamp(0),
+        fault: None,
+        evicted_checkpoints: 0,
+    };
+    let written = write_dump_v1(&dir, &meta, machine.log_store().unwrap()).unwrap();
+    assert_eq!(written.version, DUMP_VERSION_V1);
+    let dump = CrashDump::load(&dir).expect("v1 dump loads");
+    assert_eq!(dump.manifest.version, DUMP_VERSION_V1);
+    assert!(
+        load_verify_replay(spec, &dir).expect("clean v1 dump"),
+        "v1 replay must reproduce the recorded execution"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn v2_dumps_are_strictly_smaller_than_v1_on_the_acceptance_workloads() {
+    use bugnet::core::dump::{write_dump_v1, DumpMeta};
+    use bugnet::types::Timestamp;
+    for (spec, interval) in [
+        ("spec:gzip:30000:1", 5_000),
+        ("mt:racy_counter:2:400", 50_000),
+    ] {
+        let machine = recorded_machine(spec, interval);
+        let meta = DumpMeta {
+            workload: spec.to_string(),
+            config: machine.bugnet_config().unwrap().clone(),
+            created: Timestamp(0),
+            fault: None,
+            evicted_checkpoints: 0,
+        };
+        let dir_v1 = temp_dir(&format!("size-v1-{interval}"));
+        let dir_v2 = temp_dir(&format!("size-v2-{interval}"));
+        write_dump_v1(&dir_v1, &meta, machine.log_store().unwrap()).unwrap();
+        machine.write_crash_dump(&dir_v2).unwrap();
+        let total = |dir: &Path| -> u64 {
+            fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap().metadata().unwrap().len())
+                .sum()
+        };
+        let (v1, v2) = (total(&dir_v1), total(&dir_v2));
+        assert!(
+            v2 < v1,
+            "{spec}: v2 dump ({v2} bytes) must be strictly smaller than v1 ({v1})"
+        );
+        fs::remove_dir_all(&dir_v1).unwrap();
+        fs::remove_dir_all(&dir_v2).unwrap();
+    }
+}
+
+#[test]
+fn mixed_v1_v2_framing_is_rejected() {
+    use bugnet::core::digest::fnv1a;
+    let spec = "spec:gzip:20000:1";
+    let dir = temp_dir("mixed-framing");
+    record_dump(spec, &dir, 5_000);
+    let fll = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "fll"))
+        .unwrap();
+    let original = fs::read(&fll).unwrap();
+
+    // Forgery 1: append a cleanly-checksummed v1-style frame to the v2 file.
+    // Every appended byte passes its own integrity check, so only the
+    // frame-count cross-check can reject it.
+    let payload = b"forged legacy frame payload".to_vec();
+    let mut forged = original.clone();
+    forged.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    forged.extend_from_slice(&payload);
+    forged.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    fs::write(&fll, &forged).unwrap();
+    let err = load_verify_replay(spec, &dir).expect_err("appended v1 frame must be rejected");
+    match &err {
+        DumpError::Inconsistent { detail, .. } => {
+            assert!(detail.contains("well-formed frame"), "{err}")
+        }
+        other => panic!("expected a frame-count inconsistency, got {other}"),
+    }
+
+    // Forgery 2: rewrite the first v2 frame *in place* with v1 framing
+    // (payload + trailing checksum instead of a container). The container
+    // parse must reject it with a typed error.
+    let first_len = u32::from_le_bytes(original[16..20].try_into().unwrap()) as usize;
+    let container = &original[20..20 + first_len];
+    let mut swapped = original[..16].to_vec();
+    swapped.extend_from_slice(&((container.len() + 8) as u32).to_le_bytes());
+    swapped.extend_from_slice(container);
+    swapped.extend_from_slice(&fnv1a(container).to_le_bytes());
+    swapped.extend_from_slice(&original[20 + first_len..]);
+    fs::write(&fll, &swapped).unwrap();
+    let err = load_verify_replay(spec, &dir).expect_err("v1 framing in a v2 file must be rejected");
+    assert!(
+        matches!(
+            err,
+            DumpError::CorruptLog { .. }
+                | DumpError::ChecksumMismatch { .. }
+                | DumpError::Inconsistent { .. }
+                | DumpError::Truncated { .. }
+                | DumpError::TrailingBytes { .. }
+        ),
+        "unexpected {err}"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn seeded_bit_flips_always_yield_typed_errors() {
     let spec = "spec:crafty:20000:1";
