@@ -65,28 +65,34 @@ bugnet — record, inspect, verify and replay BugNet crash dumps
 USAGE:
     bugnet dump --workload <SPEC> --out <DIR> [--interval <N>] [--dict <N>]
                 [--max-instructions <N>] [--codec <identity|lz>]
-                [--flush-workers <N>]
+                [--flush-workers <N>] [--format <v2|v3>] [--no-embed-image]
         Record a workload on the simulated machine and write the retained
         log window to <DIR> as a crash-dump directory. Faults dump
         automatically at crash time, exactly like the paper's OS trigger.
         --codec selects the back-end frame compressor (default: lz);
         --flush-workers seals intervals on N background threads (the dump
-        bytes are identical for any worker count).
+        bytes are identical for any worker count). Format v3 (the default)
+        embeds each thread's program image so the dump is self-contained;
+        --no-embed-image omits the images, --format v2 writes the legacy
+        codec-only format.
 
     bugnet info <DIR>
         Decode the manifest and print per-thread, per-checkpoint log
         statistics (records, sizes, dictionary hits, compression ratios,
-        raw vs stored bytes of the back-end codec).
+        raw vs stored bytes of the back-end codec, embedded image sizes).
 
     bugnet verify <DIR>
         Full integrity pass: magics, versions, frame checksums/containers,
-        manifest cross-checks and a decode of every first-load record;
-        reports per-thread raw vs compressed bytes and the overall ratio.
+        manifest cross-checks, embedded program images and a decode of
+        every first-load record; reports per-thread raw vs compressed
+        bytes and the overall ratio.
 
     bugnet replay <DIR> [--workload <SPEC>]
-        Rebuild the recorded program images (from the manifest's workload
-        spec, or an explicit override), replay every retained interval and
-        compare against the recorded execution digests.
+        Replay every retained interval and compare against the recorded
+        execution digests. Self-contained (v3) dumps replay from their
+        embedded program images; v1/v2 dumps rebuild the programs from the
+        manifest's workload spec. --workload overrides both (a mismatch
+        against the recorded spec is reported up front).
 
     bugnet workloads
         List the workload spec strings `dump` accepts.
@@ -97,6 +103,7 @@ WORKLOAD SPECS:
     mt:<kernel>:<params...>                   e.g. mt:racy_counter:2:400";
 
 /// Error carrying the process exit code (1 = data problem, 2 = usage).
+#[derive(Debug)]
 struct CliError {
     message: String,
     code: u8,
@@ -135,12 +142,31 @@ impl Args {
         let Some(i) = self.remaining.iter().position(|a| a == name) else {
             return Ok(None);
         };
-        if i + 1 >= self.remaining.len() {
-            return Err(CliError::usage(format!("{name} needs a value")));
+        // A following `--flag` is a missing value, not the value: without
+        // this check `--codec --flush-workers 2` silently records a codec
+        // literally named `--flush-workers`.
+        match self.remaining.get(i + 1) {
+            None => Err(CliError::usage(format!("{name} needs a value"))),
+            Some(next) if next.starts_with("--") => Err(CliError::usage(format!(
+                "{name} needs a value, got flag `{next}`"
+            ))),
+            Some(_) => {
+                let value = self.remaining.remove(i + 1);
+                self.remaining.remove(i);
+                Ok(Some(value))
+            }
         }
-        let value = self.remaining.remove(i + 1);
-        self.remaining.remove(i);
-        Ok(Some(value))
+    }
+
+    /// Removes a bare `--name` flag; returns whether it was present.
+    fn flag(&mut self, name: &str) -> bool {
+        match self.remaining.iter().position(|a| a == name) {
+            Some(i) => {
+                self.remaining.remove(i);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Removes and returns `--name <value>` parsed as an integer.
@@ -193,19 +219,34 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         })?,
     };
     let flush_workers = args.option_u64("--flush-workers")?.unwrap_or(0) as usize;
+    let v2 = match args.option("--format")?.as_deref() {
+        None | Some("v3") | Some("3") => false,
+        Some("v2") | Some("2") => true,
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "--format expects `v2` or `v3`, got `{other}`"
+            )))
+        }
+    };
+    let embed_image = !args.flag("--no-embed-image");
     args.finish()?;
 
     let workload = registry::resolve(&spec).map_err(CliError::usage)?;
     let cfg = BugNetConfig::default()
         .with_checkpoint_interval(interval)
         .with_dictionary_entries(dict);
-    let mut machine = MachineBuilder::new()
+    let mut builder = MachineBuilder::new()
         .bugnet(cfg)
         .codec(codec)
         .flush_workers(flush_workers)
         .workload_spec(&spec)
-        .dump_on_crash(&out)
-        .build_with_workload(&workload);
+        .embed_image(embed_image);
+    if !v2 {
+        // The automatic crash-time dump always writes the current format;
+        // v2 dumps are written explicitly after the run instead.
+        builder = builder.dump_on_crash(&out);
+    }
+    let mut machine = builder.build_with_workload(&workload);
     let outcome = machine.run(max_instructions);
 
     println!(
@@ -215,28 +256,39 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         outcome.interrupts,
         outcome.context_switches
     );
-    let manifest = match machine.crash_dump() {
+    let crash_dump = machine.crash_dump();
+    if let Some(fault) = outcome.faulted_thread() {
+        println!(
+            "crash detected on {}: {} at pc {}{}",
+            fault.thread,
+            fault.fault.expect("faulted"),
+            fault.fault_pc.expect("faulted"),
+            // Only claim a crash-time dump once the machine reports it
+            // actually succeeded.
+            if matches!(crash_dump, Some(Ok(_))) {
+                " — dump written at crash time"
+            } else {
+                ""
+            },
+        );
+    }
+    let manifest = match crash_dump {
         // A fault fired mid-run and the machine already dumped, OS-style.
-        Some(Ok(manifest)) => {
-            let fault = outcome.faulted_thread().expect("dump implies a fault");
-            println!(
-                "crash detected on {}: {} at pc {} — dump written at crash time",
-                fault.thread,
-                fault.fault.expect("faulted"),
-                fault.fault_pc.expect("faulted"),
-            );
-            manifest.clone()
-        }
+        Some(Ok(manifest)) => manifest.clone(),
         Some(Err(e)) => return Err(CliError::data(format!("automatic crash dump failed: {e}"))),
-        // Clean run: archive the retained window explicitly.
+        // Clean run (or explicit v2 format): archive the retained window.
+        None if v2 => machine
+            .write_crash_dump_v2(&out)
+            .map_err(|e| CliError::data(e.to_string()))?,
         None => machine
             .write_crash_dump(&out)
             .map_err(|e| CliError::data(e.to_string()))?,
     };
     println!(
-        "dump written to {}: {} thread(s), {} checkpoint(s), {} FLL + {} MRL \
+        "dump written to {} (format v{}): {} thread(s), {} checkpoint(s), {} FLL + {} MRL \
          ({} stored via codec {}, ratio {:.2})",
         out.display(),
+        manifest.version,
         manifest.threads.len(),
         manifest.total_checkpoints(),
         manifest.total_fll_size(),
@@ -245,6 +297,16 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         manifest.codec,
         manifest.backend_ratio(),
     );
+    if manifest.embedded_images() > 0 {
+        println!(
+            "embedded {} program image(s): {} raw -> {} stored ({:.2}x) — \
+             dump is self-contained, replay needs no --workload",
+            manifest.embedded_images(),
+            manifest.total_image_size(),
+            manifest.total_image_stored_size(),
+            manifest.image_ratio(),
+        );
+    }
     Ok(())
 }
 
@@ -295,6 +357,15 @@ fn cmd_verify(args: &mut Args) -> Result<(), CliError> {
         ByteSize::from_bytes(report.fll_stored_bytes + report.mrl_stored_bytes),
         report.backend_ratio(),
     );
+    if report.images > 0 {
+        println!(
+            "images: {} embedded program image(s) verified, {} raw -> {} stored, ratio {:.2}",
+            report.images,
+            ByteSize::from_bytes(report.image_raw_bytes),
+            ByteSize::from_bytes(report.image_stored_bytes),
+            report.image_ratio(),
+        );
+    }
     Ok(())
 }
 
@@ -303,16 +374,66 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
     let override_spec = args.option("--workload")?;
     args.finish()?;
     let dump = CrashDump::load(&dir).map_err(|e| CliError::data(e.to_string()))?;
-    let spec = override_spec.unwrap_or_else(|| dump.manifest.workload.clone());
-    let workload = registry::resolve(&spec).map_err(|e| {
-        CliError::data(format!(
-            "cannot rebuild workload `{spec}`: {e}; pass --workload <SPEC> to override"
-        ))
-    })?;
-    let programs: Vec<_> = workload.threads.iter().map(|t| t.program.clone()).collect();
-    let report = dump
-        .replay(|thread: ThreadId| programs.get(thread.0 as usize).cloned())
-        .map_err(|e| CliError::data(format!("replay failed: {e}")))?;
+    let report = match override_spec {
+        // Explicit override: replay against exactly the named workload,
+        // ignoring any embedded images.
+        Some(spec) => {
+            if !registry::specs_equivalent(&spec, &dump.manifest.workload) {
+                // Say so up front: a digest divergence below is then the
+                // *expected* outcome of the override, not dump corruption.
+                eprintln!(
+                    "bugnet: warning: dump was recorded from workload \
+                     `{}` but --workload overrides it with `{spec}`; if the \
+                     programs differ, digest divergence below is expected",
+                    dump.manifest.workload
+                );
+            }
+            let workload = registry::resolve(&spec)
+                .map_err(|e| CliError::data(format!("cannot rebuild workload `{spec}`: {e}")))?;
+            let programs: Vec<_> = workload.threads.iter().map(|t| t.program.clone()).collect();
+            println!("replaying against override workload `{spec}`");
+            dump.replay_with(|thread: ThreadId| programs.get(thread.0 as usize).cloned())
+        }
+        // Self-contained dump: every program comes from the checksummed
+        // dump itself, no workload registry involved.
+        None if dump.is_self_contained() => {
+            println!("replaying from embedded program images (self-contained dump)");
+            dump.replay(|_| None)
+        }
+        // Not (fully) self-contained: v1/v2 dump, or image embedding was
+        // off for some threads. Rebuild the missing programs from the
+        // recorded workload spec; embedded images still take precedence
+        // per thread inside `replay`.
+        None => {
+            let spec = dump.manifest.workload.clone();
+            let embedded = dump.manifest.embedded_images();
+            match registry::resolve(&spec) {
+                Ok(workload) => {
+                    let programs: Vec<_> =
+                        workload.threads.iter().map(|t| t.program.clone()).collect();
+                    println!("replaying from workload spec `{spec}` (registry fallback)");
+                    dump.replay(|thread: ThreadId| programs.get(thread.0 as usize).cloned())
+                }
+                // The spec is unresolvable but some threads do carry their
+                // image: replay those and report the rest as unreplayable
+                // rather than refusing the whole dump.
+                Err(e) if embedded > 0 => {
+                    eprintln!(
+                        "bugnet: warning: workload `{spec}` cannot be rebuilt ({e}); \
+                         replaying the {embedded} thread(s) with embedded images only"
+                    );
+                    dump.replay(|_| None)
+                }
+                Err(e) => {
+                    return Err(CliError::data(format!(
+                        "dump embeds no program images and workload `{spec}` \
+                         cannot be rebuilt: {e}; pass --workload <SPEC> to override"
+                    )))
+                }
+            }
+        }
+    }
+    .map_err(|e| CliError::data(format!("replay failed: {e}")))?;
     if report.intervals.is_empty() && report.unreplayable_threads.is_empty() {
         return Err(CliError::data(
             "dump contains no checkpoints to replay (empty archive)",
@@ -345,4 +466,55 @@ fn cmd_workloads(args: &mut Args) -> Result<(), CliError> {
     println!("  mt:racy_counter:<threads>:<increments>");
     println!("  mt:producer_consumer:<items>");
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::new(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn option_returns_value_and_consumes_both_tokens() {
+        let mut a = args(&["--codec", "lz", "out"]);
+        assert_eq!(a.option("--codec").unwrap().as_deref(), Some("lz"));
+        assert_eq!(a.next_positional().as_deref(), Some("out"));
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn option_rejects_a_following_flag_as_its_value() {
+        // Regression: `dump --codec --flush-workers 2 out/` used to record
+        // a codec literally named `--flush-workers`.
+        let mut a = args(&["--codec", "--flush-workers", "2", "out"]);
+        let err = a.option("--codec").unwrap_err();
+        assert_eq!(err.code, 2, "flag-as-value must be a usage error");
+        assert!(err.message.contains("--codec"), "{}", err.message);
+        assert!(err.message.contains("--flush-workers"), "{}", err.message);
+    }
+
+    #[test]
+    fn option_at_end_still_needs_a_value() {
+        let mut a = args(&["--codec"]);
+        let err = a.option("--codec").unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("needs a value"));
+    }
+
+    #[test]
+    fn flag_is_consumed_and_detected() {
+        let mut a = args(&["--no-embed-image", "out"]);
+        assert!(a.flag("--no-embed-image"));
+        assert!(!a.flag("--no-embed-image"));
+        assert_eq!(a.next_positional().as_deref(), Some("out"));
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn unconsumed_arguments_fail_finish() {
+        let a = args(&["--mystery"]);
+        assert_eq!(a.finish().unwrap_err().code, 2);
+    }
 }

@@ -43,12 +43,46 @@ pub fn print_info(dir: &Path, dump: &CrashDump) {
         m.total_fll_stored_size() + m.total_mrl_stored_size(),
         m.backend_ratio()
     );
+    if m.version >= 3 {
+        if m.is_self_contained() {
+            println!(
+                "  images   : {} embedded, {} raw -> {} stored ({:.2}x) — \
+                 self-contained, replay needs no --workload",
+                m.embedded_images(),
+                m.total_image_size(),
+                m.total_image_stored_size(),
+                m.image_ratio(),
+            );
+        } else {
+            println!(
+                "  images   : {} of {} thread(s) embedded — replay of the \
+                 others needs the workload registry",
+                m.embedded_images(),
+                m.threads.len(),
+            );
+        }
+    } else {
+        println!(
+            "  images   : none (format v{} predates embedding)",
+            m.version
+        );
+    }
     for (t, tm) in dump.threads.iter().zip(&m.threads) {
         let window: u64 = t.checkpoints.iter().map(|c| c.fll.instructions).sum();
         let raw = tm.fll_bytes + tm.mrl_bytes;
         let stored = tm.fll_stored_bytes + tm.mrl_stored_bytes;
+        let image = match &t.image {
+            Some(p) => format!(
+                ", image `{}` ({} instrs, {} raw -> {} stored)",
+                p.name(),
+                p.len(),
+                bugnet_types::ByteSize::from_bytes(tm.image_raw_bytes),
+                bugnet_types::ByteSize::from_bytes(tm.image_stored_bytes),
+            ),
+            None => String::new(),
+        };
         println!(
-            "  {} — replay window {} instrs, {} raw -> {} stored ({:.2}x):",
+            "  {} — replay window {} instrs, {} raw -> {} stored ({:.2}x){image}:",
             t.thread,
             window,
             bugnet_types::ByteSize::from_bytes(raw),

@@ -1,4 +1,5 @@
-//! Fixed-width binary encoding of instructions.
+//! Fixed-width binary encoding of instructions and the program-image wire
+//! format.
 //!
 //! Each instruction encodes to one 64-bit instruction word. The encoding
 //! exists so that programs have a concrete binary image (with stable
@@ -17,11 +18,40 @@
 //! [10:7]  funct (ALU op / branch cond)(4 bits)
 //! [6:0]   reserved, must be zero
 //! ```
+//!
+//! # The program-image wire format
+//!
+//! [`encode_image`] / [`decode_image`] serialize a whole [`Program`] — code,
+//! initialized data segments, entry point, stack top and symbol table — to a
+//! stable, self-delimiting byte stream. Crash dumps (format v3) embed this
+//! image so a dump replays without access to the workload that produced the
+//! recorded binary. All integers are little-endian:
+//!
+//! ```text
+//! [magic "BNPI" 4 bytes][format version u16, currently 1]
+//! [name        : u32 length + UTF-8 bytes]
+//! [code_base   u64][entry_index u32][stack_top u64]
+//! [code_len    u32][code_len x u64 instruction words (layout above)]
+//! [seg_count   u32] per segment: [base u64][word_count u32][word_count x u32]
+//! [sym_count   u32] per symbol:  [name: u32 length + UTF-8][addr u64]
+//! ```
+//!
+//! Symbols are written in the [`Program`]'s own sorted order, so the
+//! encoding is a pure function of the program: identical programs always
+//! produce identical bytes (dump writers rely on this for byte-identical
+//! serial/parallel flushing). [`decode_image`] validates everything —
+//! magic, version, bounds, alignment, every instruction word, trailing
+//! bytes — and returns a typed [`ImageError`] on malformed input; it never
+//! panics and never builds a [`Program`] that violates that type's
+//! invariants.
 
 use std::error::Error;
 use std::fmt;
 
+use bugnet_types::{Addr, Word};
+
 use crate::instr::{AluOp, BranchCond, Instr, SyscallCode};
+use crate::program::{DataSegment, Program};
 use crate::reg::Reg;
 
 const OP_NOP: u64 = 0;
@@ -190,6 +220,323 @@ pub fn encode_program(code: &[Instr]) -> Vec<u64> {
     code.iter().copied().map(encode).collect()
 }
 
+/// Magic bytes opening a serialized program image.
+pub const IMAGE_MAGIC: [u8; 4] = *b"BNPI";
+/// Current program-image wire-format version.
+pub const IMAGE_VERSION: u16 = 1;
+/// Upper bound on string fields (program name, symbol names) in an image.
+pub const MAX_IMAGE_STRING_BYTES: u32 = 4096;
+/// Upper bound on instructions an image may declare.
+pub const MAX_IMAGE_CODE: u32 = 1 << 24;
+/// Upper bound on data segments an image may declare.
+pub const MAX_IMAGE_SEGMENTS: u32 = 4096;
+/// Upper bound on words a single data segment may declare.
+pub const MAX_IMAGE_SEGMENT_WORDS: u32 = 1 << 26;
+/// Upper bound on symbols an image may declare.
+pub const MAX_IMAGE_SYMBOLS: u32 = 1 << 16;
+
+/// Error produced when decoding a malformed program image.
+///
+/// Every variant is a typed rejection: [`decode_image`] never panics on bad
+/// input and never constructs a [`Program`] violating its invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The image did not start with [`IMAGE_MAGIC`].
+    BadMagic,
+    /// The image declares a wire-format version this decoder does not know.
+    UnsupportedVersion(u16),
+    /// The image ended before its declared content did.
+    Truncated,
+    /// Bytes remained after the declared content.
+    TrailingBytes,
+    /// A string field is not valid UTF-8.
+    BadString,
+    /// A declared count or length exceeds its sanity bound.
+    FieldTooLarge {
+        /// Which field overflowed.
+        what: &'static str,
+        /// The declared value.
+        declared: u64,
+        /// The bound it exceeds.
+        max: u64,
+    },
+    /// The code segment is empty (a program needs at least one instruction).
+    EmptyCode,
+    /// The entry index points outside the code segment.
+    EntryOutOfRange {
+        /// Declared entry index.
+        entry: u32,
+        /// Instructions in the code segment.
+        code_len: u32,
+    },
+    /// The code base or a data-segment base is not word aligned.
+    Unaligned {
+        /// Which address was misaligned.
+        what: &'static str,
+        /// The misaligned address.
+        addr: u64,
+    },
+    /// An instruction word failed to decode.
+    Instr {
+        /// Index of the offending instruction.
+        index: u32,
+        /// The decode failure.
+        source: DecodeError,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::BadMagic => f.write_str("program image has bad magic bytes"),
+            ImageError::UnsupportedVersion(v) => {
+                write!(f, "unsupported program-image version {v}")
+            }
+            ImageError::Truncated => f.write_str("program image is truncated"),
+            ImageError::TrailingBytes => {
+                f.write_str("program image has trailing bytes after declared content")
+            }
+            ImageError::BadString => f.write_str("program image string is not valid UTF-8"),
+            ImageError::FieldTooLarge {
+                what,
+                declared,
+                max,
+            } => write!(f, "declared {what} {declared} exceeds limit {max}"),
+            ImageError::EmptyCode => f.write_str("program image declares an empty code segment"),
+            ImageError::EntryOutOfRange { entry, code_len } => write!(
+                f,
+                "entry index {entry} is outside the {code_len}-instruction code segment"
+            ),
+            ImageError::Unaligned { what, addr } => {
+                write!(f, "{what} {addr:#x} is not word aligned")
+            }
+            ImageError::Instr { index, source } => {
+                write!(f, "instruction {index} failed to decode: {source}")
+            }
+        }
+    }
+}
+
+impl Error for ImageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ImageError::Instr { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn put_image_string(w: &mut Vec<u8>, s: &str) {
+    // Mirror the decoder's bound: truncate at a char boundary instead of
+    // writing a length the decoder would reject. Truncation can change the
+    // program (an over-limit name, or two symbols collapsing onto a shared
+    // prefix) — consumers that must ship the *exact* recorded binary (the
+    // crash-dump writer) guard against that by round-tripping the image
+    // and comparing it to the source program before writing it out.
+    let mut end = s.len().min(MAX_IMAGE_STRING_BYTES as usize);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    let s = &s[..end];
+    w.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    w.extend_from_slice(s.as_bytes());
+}
+
+/// Serializes a program to the image wire format (see the module docs for
+/// the layout). The encoding is a pure function of the program.
+pub fn encode_image(program: &Program) -> Vec<u8> {
+    let mut w = Vec::with_capacity(64 + program.code().len() * 8);
+    w.extend_from_slice(&IMAGE_MAGIC);
+    w.extend_from_slice(&IMAGE_VERSION.to_le_bytes());
+    put_image_string(&mut w, program.name());
+    w.extend_from_slice(&program.code_base().raw().to_le_bytes());
+    w.extend_from_slice(&program.entry_index().to_le_bytes());
+    w.extend_from_slice(&program.stack_top().raw().to_le_bytes());
+    w.extend_from_slice(&(program.code().len() as u32).to_le_bytes());
+    for &instr in program.code() {
+        w.extend_from_slice(&encode(instr).to_le_bytes());
+    }
+    w.extend_from_slice(&(program.data().len() as u32).to_le_bytes());
+    for seg in program.data() {
+        w.extend_from_slice(&seg.base.raw().to_le_bytes());
+        w.extend_from_slice(&(seg.words.len() as u32).to_le_bytes());
+        for word in &seg.words {
+            w.extend_from_slice(&word.get().to_le_bytes());
+        }
+    }
+    let symbols = program.symbols();
+    w.extend_from_slice(&(symbols.len() as u32).to_le_bytes());
+    for (name, addr) in symbols {
+        put_image_string(&mut w, name);
+        w.extend_from_slice(&addr.raw().to_le_bytes());
+    }
+    w
+}
+
+/// Bounds-checked little-endian cursor for [`decode_image`].
+struct ImageReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ImageReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageError> {
+        let end = self.pos.checked_add(n).ok_or(ImageError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ImageError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, ImageError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, ImageError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ImageError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, ImageError> {
+        let len = self.u32()?;
+        if len > MAX_IMAGE_STRING_BYTES {
+            return Err(ImageError::FieldTooLarge {
+                what,
+                declared: u64::from(len),
+                max: u64::from(MAX_IMAGE_STRING_BYTES),
+            });
+        }
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ImageError::BadString)
+    }
+}
+
+/// Deserializes a program image written by [`encode_image`].
+///
+/// # Errors
+///
+/// Returns a typed [`ImageError`] for any structural problem — bad magic,
+/// unknown version, truncation, out-of-bounds counts, misaligned addresses,
+/// undecodable instruction words, or trailing bytes. Never panics.
+pub fn decode_image(bytes: &[u8]) -> Result<Program, ImageError> {
+    let mut r = ImageReader { buf: bytes, pos: 0 };
+    if r.take(4)? != IMAGE_MAGIC {
+        return Err(ImageError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != IMAGE_VERSION {
+        return Err(ImageError::UnsupportedVersion(version));
+    }
+    let name = r.string("program name length")?;
+    let code_base = r.u64()?;
+    if code_base % 4 != 0 {
+        return Err(ImageError::Unaligned {
+            what: "code base",
+            addr: code_base,
+        });
+    }
+    let entry_index = r.u32()?;
+    let stack_top = r.u64()?;
+    let code_len = r.u32()?;
+    if code_len == 0 {
+        return Err(ImageError::EmptyCode);
+    }
+    if code_len > MAX_IMAGE_CODE {
+        return Err(ImageError::FieldTooLarge {
+            what: "code length",
+            declared: u64::from(code_len),
+            max: u64::from(MAX_IMAGE_CODE),
+        });
+    }
+    if entry_index >= code_len {
+        return Err(ImageError::EntryOutOfRange {
+            entry: entry_index,
+            code_len,
+        });
+    }
+    // Bounds-check the whole run before decoding, so a forged count cannot
+    // drive a huge allocation.
+    let words = r.take(code_len as usize * 8)?;
+    let mut code = Vec::with_capacity(code_len as usize);
+    for (i, chunk) in words.chunks_exact(8).enumerate() {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        code.push(decode(word).map_err(|source| ImageError::Instr {
+            index: i as u32,
+            source,
+        })?);
+    }
+    let seg_count = r.u32()?;
+    if seg_count > MAX_IMAGE_SEGMENTS {
+        return Err(ImageError::FieldTooLarge {
+            what: "data segment count",
+            declared: u64::from(seg_count),
+            max: u64::from(MAX_IMAGE_SEGMENTS),
+        });
+    }
+    let mut data = Vec::with_capacity(seg_count as usize);
+    for _ in 0..seg_count {
+        let base = r.u64()?;
+        if base % 4 != 0 {
+            return Err(ImageError::Unaligned {
+                what: "data segment base",
+                addr: base,
+            });
+        }
+        let word_count = r.u32()?;
+        if word_count > MAX_IMAGE_SEGMENT_WORDS {
+            return Err(ImageError::FieldTooLarge {
+                what: "data segment word count",
+                declared: u64::from(word_count),
+                max: u64::from(MAX_IMAGE_SEGMENT_WORDS),
+            });
+        }
+        let raw = r.take(word_count as usize * 4)?;
+        let words = raw
+            .chunks_exact(4)
+            .map(|c| Word::new(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+            .collect();
+        data.push(DataSegment {
+            base: Addr::new(base),
+            words,
+        });
+    }
+    let sym_count = r.u32()?;
+    if sym_count > MAX_IMAGE_SYMBOLS {
+        return Err(ImageError::FieldTooLarge {
+            what: "symbol count",
+            declared: u64::from(sym_count),
+            max: u64::from(MAX_IMAGE_SYMBOLS),
+        });
+    }
+    let mut symbols = Vec::with_capacity(sym_count as usize);
+    for _ in 0..sym_count {
+        let sym = r.string("symbol name length")?;
+        let addr = r.u64()?;
+        symbols.push((sym, Addr::new(addr)));
+    }
+    if r.pos != bytes.len() {
+        return Err(ImageError::TrailingBytes);
+    }
+    // Every Program::new invariant was checked above, so this cannot panic.
+    let mut program = Program::new(name, code, Addr::new(code_base), entry_index, data);
+    program.set_stack_top(Addr::new(stack_top));
+    for (sym, addr) in symbols {
+        program.add_symbol(sym, addr);
+    }
+    Ok(program)
+}
+
 /// Decodes a whole code segment.
 ///
 /// # Errors
@@ -289,5 +636,230 @@ mod tests {
     fn error_display() {
         assert_eq!(DecodeError::BadOpcode(9).to_string(), "unknown opcode 9");
         assert!(DecodeError::ReservedBits.to_string().contains("reserved"));
+    }
+
+    // --- program-image wire format ---------------------------------------
+
+    use bugnet_types::SplitMix64;
+
+    fn reg(rng: &mut SplitMix64) -> Reg {
+        Reg::from_index(rng.next_range(32) as usize).expect("0..32 is a register")
+    }
+
+    /// One random instruction covering every opcode with random operands.
+    fn random_instr(rng: &mut SplitMix64) -> Instr {
+        match rng.next_range(13) {
+            0 => Instr::Nop,
+            1 => Instr::Halt,
+            2 => Instr::Li {
+                rd: reg(rng),
+                imm: rng.next_u32(),
+            },
+            3 => Instr::Alu {
+                op: AluOp::ALL[rng.next_range(AluOp::ALL.len() as u64) as usize],
+                rd: reg(rng),
+                rs1: reg(rng),
+                rs2: reg(rng),
+            },
+            4 => Instr::AluImm {
+                op: AluOp::ALL[rng.next_range(AluOp::ALL.len() as u64) as usize],
+                rd: reg(rng),
+                rs1: reg(rng),
+                imm: rng.next_u32() as i32,
+            },
+            5 => Instr::Load {
+                rd: reg(rng),
+                base: reg(rng),
+                offset: rng.next_u32() as i32,
+            },
+            6 => Instr::Store {
+                rs: reg(rng),
+                base: reg(rng),
+                offset: rng.next_u32() as i32,
+            },
+            7 => Instr::AtomicSwap {
+                rd: reg(rng),
+                rs: reg(rng),
+                base: reg(rng),
+            },
+            8 => Instr::Branch {
+                cond: BranchCond::ALL[rng.next_range(BranchCond::ALL.len() as u64) as usize],
+                rs1: reg(rng),
+                rs2: reg(rng),
+                target: rng.next_u32(),
+            },
+            9 => Instr::Jump {
+                target: rng.next_u32(),
+            },
+            10 => Instr::JumpAndLink {
+                rd: reg(rng),
+                target: rng.next_u32(),
+            },
+            11 => Instr::JumpReg { rs: reg(rng) },
+            _ => Instr::Syscall {
+                code: SyscallCode::from_code(rng.next_u32() as u16),
+            },
+        }
+    }
+
+    fn random_program(rng: &mut SplitMix64) -> Program {
+        let code_len = 1 + rng.next_range(64) as usize;
+        let code: Vec<Instr> = (0..code_len).map(|_| random_instr(rng)).collect();
+        let entry = rng.next_range(code_len as u64) as u32;
+        let segs = rng.next_range(4) as usize;
+        let data = (0..segs)
+            .map(|i| DataSegment {
+                base: Addr::new(0x1000_0000 + i as u64 * 0x1_0000 + rng.next_range(64) * 4),
+                words: (0..rng.next_range(32))
+                    .map(|_| Word::new(rng.next_u32()))
+                    .collect(),
+            })
+            .collect();
+        let mut p = Program::new(
+            format!("prop-{}", rng.next_range(1 << 20)),
+            code,
+            Addr::new(0x40_0000 + rng.next_range(256) * 4),
+            entry,
+            data,
+        );
+        p.set_stack_top(Addr::new(0x7fff_0000 - rng.next_range(1 << 16)));
+        for s in 0..rng.next_range(5) {
+            p.add_symbol(format!("sym{s}"), Addr::new(rng.next_u64()));
+        }
+        p
+    }
+
+    #[test]
+    fn image_round_trips_random_programs() {
+        let mut rng = SplitMix64::new(0x1A_6E5EED);
+        for _ in 0..200 {
+            let program = random_program(&mut rng);
+            let image = encode_image(&program);
+            let decoded = decode_image(&image).expect("round trip decodes");
+            assert_eq!(decoded, program);
+            // The encoding is a pure function of the program.
+            assert_eq!(encode_image(&decoded), image);
+        }
+    }
+
+    #[test]
+    fn image_instruction_round_trip_is_exhaustive_over_forms() {
+        // Every opcode form with randomized operands survives the trip
+        // through the 64-bit word encoding embedded in the image.
+        let mut rng = SplitMix64::new(0xC0DE_F00D);
+        for _ in 0..2_000 {
+            let instr = random_instr(&mut rng);
+            assert_eq!(decode(encode(instr)), Ok(instr), "instr = {instr}");
+        }
+    }
+
+    #[test]
+    fn image_truncations_are_typed() {
+        let mut rng = SplitMix64::new(0x7121);
+        let program = random_program(&mut rng);
+        let image = encode_image(&program);
+        for cut in 0..image.len() {
+            let err = decode_image(&image[..cut]).expect_err("prefix must not decode");
+            assert!(
+                matches!(
+                    err,
+                    ImageError::Truncated
+                        | ImageError::BadMagic
+                        | ImageError::TrailingBytes
+                        | ImageError::EmptyCode
+                        | ImageError::EntryOutOfRange { .. }
+                        | ImageError::FieldTooLarge { .. }
+                        | ImageError::Instr { .. }
+                        | ImageError::Unaligned { .. }
+                        | ImageError::BadString
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn image_bit_flips_never_panic_and_are_always_detectable() {
+        // A flipped image must never panic the decoder, and must always be
+        // detectable: either it fails to decode (typed error), decodes to a
+        // different program, or is non-canonical (flips in ignored operand
+        // fields of an instruction word re-encode to the canonical bytes,
+        // not the flipped ones — and the dump layer's checksum over the raw
+        // image bytes catches exactly that case).
+        let mut rng = SplitMix64::new(0xF11B);
+        let program = random_program(&mut rng);
+        let image = encode_image(&program);
+        for _ in 0..2_000 {
+            let bit = rng.next_range(image.len() as u64 * 8);
+            let mut bad = image.clone();
+            bad[(bit / 8) as usize] ^= 1 << (bit % 8);
+            if let Ok(decoded) = decode_image(&bad) {
+                assert!(
+                    decoded != program || encode_image(&decoded) != bad,
+                    "flip of bit {bit} is undetectable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn image_rejects_structural_forgeries() {
+        let mut rng = SplitMix64::new(0x5EED);
+        let program = random_program(&mut rng);
+        let image = encode_image(&program);
+
+        let mut bad = image.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(decode_image(&bad), Err(ImageError::BadMagic));
+
+        let mut bad = image.clone();
+        bad[4..6].copy_from_slice(&9u16.to_le_bytes());
+        assert_eq!(decode_image(&bad), Err(ImageError::UnsupportedVersion(9)));
+
+        let mut bad = image.clone();
+        bad.push(0);
+        assert_eq!(decode_image(&bad), Err(ImageError::TrailingBytes));
+
+        // Oversized code count must be rejected before any allocation.
+        let name_len = u32::from_le_bytes(image[6..10].try_into().unwrap()) as usize;
+        let code_len_at = 10 + name_len + 8 + 4 + 8;
+        let mut bad = image.clone();
+        bad[code_len_at..code_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_image(&bad),
+            Err(ImageError::FieldTooLarge { .. })
+        ));
+
+        // Zero code length is an empty program.
+        let mut bad = image.clone();
+        bad[code_len_at..code_len_at + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert_eq!(decode_image(&bad), Err(ImageError::EmptyCode));
+
+        // Misaligned code base.
+        let base_at = 10 + name_len;
+        let mut bad = image;
+        bad[base_at] |= 0x2;
+        assert!(matches!(
+            decode_image(&bad),
+            Err(ImageError::Unaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn image_error_display() {
+        assert!(ImageError::BadMagic.to_string().contains("magic"));
+        assert!(ImageError::Truncated.to_string().contains("truncated"));
+        let err = ImageError::Instr {
+            index: 3,
+            source: DecodeError::BadOpcode(44),
+        };
+        assert!(err.to_string().contains("instruction 3"));
+        assert!(err.to_string().contains("opcode 44"));
+        assert!(ImageError::EntryOutOfRange {
+            entry: 9,
+            code_len: 4
+        }
+        .to_string()
+        .contains("entry index 9"));
     }
 }

@@ -15,7 +15,9 @@
 //! * [`ProgramBuilder`] — a tiny assembler with labels used by the synthetic
 //!   workload generators.
 //! * [`encode`] — a fixed-width binary encoding used to give programs a
-//!   faithful "binary image" with per-instruction addresses.
+//!   faithful "binary image" with per-instruction addresses, plus the
+//!   program-image wire format ([`encode_image`]/[`decode_image`]) that
+//!   crash dumps embed so replay needs no out-of-band workload registry.
 //!
 //! # Examples
 //!
@@ -40,6 +42,7 @@ pub mod program;
 pub mod reg;
 
 pub use builder::{Label, ProgramBuilder};
+pub use encode::{decode_image, encode_image, ImageError, IMAGE_MAGIC, IMAGE_VERSION};
 pub use instr::{AluOp, BranchCond, Instr, SyscallCode};
 pub use program::{DataSegment, Program};
 pub use reg::{Reg, NUM_REGS};

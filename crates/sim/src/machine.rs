@@ -40,6 +40,7 @@ pub struct MachineBuilder {
     workload_spec: Option<String>,
     codec: Option<CodecId>,
     flush_workers: usize,
+    embed_image: Option<bool>,
 }
 
 impl MachineBuilder {
@@ -100,6 +101,15 @@ impl MachineBuilder {
         self
     }
 
+    /// Whether crash dumps embed each thread's full program image (format
+    /// v3), making them self-contained for offline replay. Defaults to on;
+    /// turning it off produces v3 dumps whose replay needs the workload
+    /// registry, like v1/v2 dumps.
+    pub fn embed_image(mut self, on: bool) -> Self {
+        self.embed_image = Some(on);
+        self
+    }
+
     /// Sets the workload identity string recorded in crash-dump manifests
     /// (see `bugnet_workloads::registry`), so offline replay can rebuild the
     /// recorded program images. Defaults to the workload's display name.
@@ -122,6 +132,7 @@ impl MachineBuilder {
         let mut machine = Machine::new(machine_cfg, self.bugnet, self.fdr, workload, codec);
         machine.workload_spec = self.workload_spec.unwrap_or_else(|| workload.name.clone());
         machine.dump_dir = self.dump_dir;
+        machine.embed_image = self.embed_image.unwrap_or(true);
         if self.flush_workers > 0 && machine.log_store.is_some() {
             machine.pipeline = Some(FlushPipeline::new(self.flush_workers, codec));
         }
@@ -224,6 +235,7 @@ pub struct Machine {
     total_committed: u64,
     workload_spec: String,
     dump_dir: Option<PathBuf>,
+    embed_image: bool,
     crash_dump: Option<Result<DumpManifest, DumpError>>,
 }
 
@@ -288,6 +300,7 @@ impl Machine {
             total_committed: 0,
             workload_spec: String::new(),
             dump_dir: None,
+            embed_image: true,
             crash_dump: None,
             memory,
             cfg,
@@ -398,8 +411,11 @@ impl Machine {
     /// Writes the retained log window of every thread to `dir` as an on-disk
     /// crash-dump directory (paper §4.8). The manifest records the recorder
     /// configuration, the workload identity string and the first fault
-    /// observed, if any. Callable at any point — after a crash for the
-    /// paper's scenario, or after a clean run to archive the logs.
+    /// observed, if any; unless [`MachineBuilder::embed_image`] was turned
+    /// off, each thread's full program image is embedded (format v3), so
+    /// the dump replays offline without the workload registry. Callable at
+    /// any point — after a crash for the paper's scenario, or after a clean
+    /// run to archive the logs.
     ///
     /// # Errors
     ///
@@ -407,6 +423,28 @@ impl Machine {
     /// or [`DumpError::Io`] when the directory cannot be written.
     pub fn write_crash_dump(&self, dir: &Path) -> Result<DumpManifest, DumpError> {
         let store = self.log_store.as_ref().ok_or(DumpError::NoRecorder)?;
+        dump::write_dump(dir, &self.dump_meta(store), store, |thread| {
+            self.embed_image.then(|| self.program_of(thread)).flatten()
+        })
+    }
+
+    /// Writes the retained log window in the legacy v2 format (codec layer,
+    /// no embedded program images), for old tooling and the CLI's
+    /// format-compatibility matrix. New dumps should use
+    /// [`Machine::write_crash_dump`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumpError::NoRecorder`] when no BugNet recorder is attached,
+    /// or [`DumpError::Io`] when the directory cannot be written.
+    pub fn write_crash_dump_v2(&self, dir: &Path) -> Result<DumpManifest, DumpError> {
+        let store = self.log_store.as_ref().ok_or(DumpError::NoRecorder)?;
+        dump::write_dump_v2(dir, &self.dump_meta(store), store)
+    }
+
+    /// The dump metadata for the machine's current state: recorder config,
+    /// workload identity, first observed fault, eviction context.
+    fn dump_meta(&self, store: &LogStore) -> DumpMeta {
         let fault = self.threads.iter().find_map(|t| {
             t.fault.map(|(fault, pc)| DumpFault {
                 thread: t.id,
@@ -415,7 +453,7 @@ impl Machine {
                 description: fault.to_string(),
             })
         });
-        let meta = DumpMeta {
+        DumpMeta {
             workload: self.workload_spec.clone(),
             config: self
                 .bugnet_cfg
@@ -424,8 +462,7 @@ impl Machine {
             created: Timestamp(self.clock),
             fault,
             evicted_checkpoints: store.evicted_checkpoints(),
-        };
-        dump::write_dump(dir, &meta, store)
+        }
     }
 
     /// The OS-side dump trigger: on the first fault, write the crash dump to
@@ -1039,6 +1076,52 @@ mod tests {
         machine.write_crash_dump(&dir).unwrap();
         let dump = CrashDump::load(&dir).unwrap();
         assert_eq!(dump.manifest.codec, CodecId::Identity);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dumps_embed_program_images_by_default() {
+        use bugnet_core::dump::CrashDump;
+        let dir = std::env::temp_dir().join(format!("bugnet-embed-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let workload = SpecProfile::gzip().build_workload(10_000, 1);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(5_000))
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+        machine.write_crash_dump(&dir).unwrap();
+        let dump = CrashDump::load(&dir).unwrap();
+        assert!(dump.is_self_contained());
+        let embedded = dump.embedded_program(ThreadId(0)).unwrap();
+        assert_eq!(
+            embedded.as_ref(),
+            machine.program_of(ThreadId(0)).unwrap().as_ref()
+        );
+        // The embedded image alone replays the dump: no fallback consulted.
+        let report = dump.replay(|_| None).expect("self-contained replay");
+        assert!(report.all_match(), "{:?}", report.divergences());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn embed_image_off_produces_registry_dependent_dumps() {
+        use bugnet_core::dump::CrashDump;
+        let dir = std::env::temp_dir().join(format!("bugnet-noembed-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let workload = SpecProfile::gzip().build_workload(10_000, 1);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(5_000))
+            .embed_image(false)
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+        machine.write_crash_dump(&dir).unwrap();
+        let dump = CrashDump::load(&dir).unwrap();
+        assert!(!dump.is_self_contained());
+        assert_eq!(dump.manifest.embedded_images(), 0);
+        assert!(!dir.join("image-0.bni").exists());
+        // Without the image, replay needs the fallback (registry path).
+        let report = dump.replay(|t| machine.program_of(t)).unwrap();
+        assert!(report.all_match());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

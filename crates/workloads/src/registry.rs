@@ -185,6 +185,18 @@ pub fn resolve(spec: &str) -> Result<Workload, String> {
     WorkloadSpec::parse(spec)?.build()
 }
 
+/// Whether two spec strings name the same workload, comparing parsed specs
+/// so spelling variants (`mt:racy_counter:2:0400` vs `mt:racy_counter:2:400`)
+/// compare equal. Strings that do not parse fall back to literal
+/// comparison — `bugnet replay` uses this to warn when `--workload`
+/// overrides a dump with a *different* recorded spec.
+pub fn specs_equivalent(a: &str, b: &str) -> bool {
+    match (WorkloadSpec::parse(a), WorkloadSpec::parse(b)) {
+        (Ok(a), Ok(b)) => a == b,
+        _ => a == b,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +226,23 @@ mod tests {
         }
         let bug = resolve("bug:bc-1.06:1000").unwrap();
         assert_eq!(bug.name, "bc-1.06");
+    }
+
+    #[test]
+    fn spec_equivalence_ignores_spelling_variants() {
+        assert!(specs_equivalent(
+            "mt:racy_counter:2:400",
+            "mt:racy_counter:2:0400"
+        ));
+        assert!(specs_equivalent("spec:gzip:30000:1", "spec:gzip:30000:01"));
+        assert!(!specs_equivalent("spec:gzip:30000:1", "spec:gzip:30000:2"));
+        assert!(!specs_equivalent(
+            "spec:gzip:30000:1",
+            "bug:gzip-1.2.4:1000"
+        ));
+        // Unparseable strings (ad-hoc workload names) compare literally.
+        assert!(specs_equivalent("adhoc:demo", "adhoc:demo"));
+        assert!(!specs_equivalent("adhoc:demo", "adhoc:other"));
     }
 
     #[test]

@@ -5,15 +5,16 @@
 //! synthetic reproduction of the `gzip-1.2.4` global-buffer-overflow bug from
 //! Table 1). When the program crashes, the OS writes the retained First-Load
 //! Logs to a crash-dump *directory* — the portable artifact of the paper.
-//! The developer receives that directory, rebuilds the program image from the
-//! manifest's workload spec, and replays the dump offline, landing exactly on
-//! the faulting instruction with the whole pre-crash window available.
+//! Since format v3 the dump also embeds the full program image, so the
+//! developer needs nothing but the directory: the replay below consults no
+//! workload registry at all, and lands exactly on the faulting instruction
+//! with the whole pre-crash window available.
 //!
 //! Run with: `cargo run --release --example crash_investigation`
 
 use bugnet::core::dump::CrashDump;
 use bugnet::sim::MachineBuilder;
-use bugnet::types::{BugNetConfig, ThreadId};
+use bugnet::types::BugNetConfig;
 use bugnet::workloads::registry;
 
 fn main() {
@@ -45,28 +46,28 @@ fn main() {
         .as_ref()
         .expect("dump written");
     println!(
-        "crash dump written to {}: {} checkpoint(s), {} of FLL data",
+        "crash dump written to {}: {} checkpoint(s), {} of FLL data, \
+         program image embedded ({} raw)",
         dump_dir.display(),
         manifest.total_checkpoints(),
-        manifest.total_fll_size()
+        manifest.total_fll_size(),
+        manifest.total_image_size(),
     );
 
     // --- Developer site: nothing but the dump directory. -------------------
-    // Load (checksums + structural validation), then rebuild the recorded
-    // program image from the manifest's workload spec string.
+    // Load (checksums + structural validation). The v3 dump carries the
+    // recorded binary itself, so no workload registry is consulted below —
+    // every byte of the replay comes from the checksummed dump.
     let dump = CrashDump::load(&dump_dir).expect("dump is intact");
     let fault = dump.manifest.fault.as_ref().expect("fault in manifest");
     println!(
         "manifest says: {} on {} at pc {}",
         fault.description, fault.thread, fault.pc
     );
-    let rebuilt = registry::resolve(&dump.manifest.workload).expect("same binary");
-    let programs: Vec<_> = rebuilt.threads.iter().map(|t| t.program.clone()).collect();
+    assert!(dump.is_self_contained(), "v3 dumps embed the program image");
 
-    // Deterministic replay from the dump alone.
-    let replay = dump
-        .replay(|t: ThreadId| programs.get(t.0 as usize).cloned())
-        .expect("logs replay");
+    // Deterministic replay from the dump alone (no registry fallback).
+    let replay = dump.replay(|_| None).expect("logs replay");
     assert!(
         replay.all_match(),
         "replay diverged: {:?}",

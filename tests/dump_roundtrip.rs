@@ -166,7 +166,7 @@ fn v2_dumps_are_strictly_smaller_than_v1_on_the_acceptance_workloads() {
         let dir_v1 = temp_dir(&format!("size-v1-{interval}"));
         let dir_v2 = temp_dir(&format!("size-v2-{interval}"));
         write_dump_v1(&dir_v1, &meta, machine.log_store().unwrap()).unwrap();
-        machine.write_crash_dump(&dir_v2).unwrap();
+        machine.write_crash_dump_v2(&dir_v2).unwrap();
         let total = |dir: &Path| -> u64 {
             fs::read_dir(dir)
                 .unwrap()
@@ -181,6 +181,112 @@ fn v2_dumps_are_strictly_smaller_than_v1_on_the_acceptance_workloads() {
         fs::remove_dir_all(&dir_v1).unwrap();
         fs::remove_dir_all(&dir_v2).unwrap();
     }
+}
+
+#[test]
+fn adhoc_program_dump_is_self_contained_and_replays_without_the_registry() {
+    // The acceptance scenario for format v3: a program that exists in *no*
+    // workload registry is recorded until it crashes; the dump must replay
+    // purely from its embedded image — registry resolution of the recorded
+    // spec string fails, and replay must not need it.
+    use bugnet::isa::{AluOp, ProgramBuilder, Reg};
+    use bugnet::workloads::Workload;
+    use std::sync::Arc;
+
+    let mut b = ProgramBuilder::new("adhoc-crasher");
+    let divisor = b.alloc_data_word(4);
+    b.li_addr(Reg::R3, divisor);
+    // Count down the divisor word; dividing by it faults when it hits zero.
+    let top = b.here();
+    b.load(Reg::R4, Reg::R3, 0);
+    b.alu_imm(AluOp::Add, Reg::R4, Reg::R4, -1);
+    b.store(Reg::R4, Reg::R3, 0);
+    b.li(Reg::R5, 100);
+    b.alu(AluOp::Div, Reg::R6, Reg::R5, Reg::R4);
+    b.branch(bugnet::isa::BranchCond::Ne, Reg::R4, Reg::R0, top);
+    b.halt();
+    let workload = Workload::single("adhoc-crasher", Arc::new(b.build()));
+
+    let spec = "adhoc:not-in-any-registry";
+    assert!(
+        registry::resolve(spec).is_err(),
+        "the spec must be unresolvable for this test to mean anything"
+    );
+
+    let dir = temp_dir("adhoc");
+    let mut machine = MachineBuilder::new()
+        .bugnet(BugNetConfig::default().with_checkpoint_interval(1_000))
+        .workload_spec(spec)
+        .dump_on_crash(&dir)
+        .build_with_workload(&workload);
+    let outcome = machine.run_to_completion();
+    let faulted = outcome.faulted_thread().expect("division by zero fires");
+    assert!(faulted.fault.is_some());
+
+    let dump = CrashDump::load(&dir).expect("dump loads");
+    assert_eq!(dump.manifest.workload, spec);
+    assert!(registry::resolve(&dump.manifest.workload).is_err());
+    assert!(dump.is_self_contained(), "v3 dump must embed the image");
+
+    // Replay with NO fallback at all: every byte comes from the dump.
+    let replay = dump.replay(|_| None).expect("self-contained replay");
+    assert!(replay.unreplayable_threads.is_empty());
+    assert!(replay.all_match(), "{:?}", replay.divergences());
+    let last = replay.intervals.last().unwrap();
+    assert_eq!(last.fault_reproduced, Some(true));
+
+    // The embedded image is the recorded binary, byte for byte.
+    let embedded = dump.embedded_program(ThreadId(0)).unwrap();
+    assert_eq!(
+        embedded.as_ref(),
+        machine.program_of(ThreadId(0)).unwrap().as_ref()
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn image_section_corruptions_yield_typed_errors_and_never_wrong_replays() {
+    // Seeded sweep focused on the embedded image section: every bit flip
+    // and truncation of `image-<tid>.bni` must be a typed DumpError —
+    // never a panic, and never a clean load that replays a wrong program.
+    let spec = "spec:gzip:20000:1";
+    let dir = temp_dir("image-corruption");
+    record_dump(spec, &dir, 5_000);
+    let image = dir.join("image-0.bni");
+    let original = fs::read(&image).unwrap();
+
+    let mut rng = SplitMix64::new(0x1A_6E0BAD);
+    for _ in 0..64 {
+        let bit = rng.next_range(original.len() as u64 * 8);
+        let mut corrupt = original.clone();
+        corrupt[(bit / 8) as usize] ^= 1 << (bit % 8);
+        fs::write(&image, &corrupt).unwrap();
+        let err = CrashDump::load(&dir).expect_err("image flip must be detected at load");
+        assert!(
+            matches!(
+                err,
+                DumpError::ChecksumMismatch { .. }
+                    | DumpError::CorruptLog { .. }
+                    | DumpError::Inconsistent { .. }
+                    | DumpError::Truncated { .. }
+                    | DumpError::TrailingBytes { .. }
+                    | DumpError::BadMagic { .. }
+                    | DumpError::UnsupportedVersion { .. }
+            ),
+            "bit {bit}: {err}"
+        );
+    }
+    for _ in 0..16 {
+        let cut = rng.next_range(original.len() as u64) as usize;
+        fs::write(&image, &original[..cut]).unwrap();
+        assert!(
+            CrashDump::load(&dir).is_err(),
+            "truncating the image to {cut} bytes must be detected"
+        );
+    }
+    fs::write(&image, &original).unwrap();
+    assert!(CrashDump::load(&dir).unwrap().is_self_contained());
+    fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

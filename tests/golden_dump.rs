@@ -1,0 +1,78 @@
+//! Golden-dump compatibility test: a small format-v2 dump is committed to
+//! the repository, and this test proves the current tree still loads,
+//! verifies and replays it. Format work (v3 and whatever comes after) can
+//! therefore never silently break loading of old dumps — the failure shows
+//! up here, in CI, against bytes that predate the change.
+
+use std::path::PathBuf;
+
+use bugnet::core::dump::{verify_dump, CrashDump, DUMP_VERSION_V2};
+use bugnet::types::{BugNetConfig, ThreadId};
+use bugnet::workloads::registry;
+
+/// Workload and recorder parameters the committed fixture was written with.
+const GOLDEN_SPEC: &str = "spec:gzip:8000:1";
+const GOLDEN_INTERVAL: u64 = 2_000;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden-v2")
+}
+
+#[test]
+fn committed_v2_dump_still_loads_verifies_and_replays() {
+    let dir = fixture_dir();
+    assert!(
+        dir.join("manifest.bnd").exists(),
+        "fixture missing at {} — run `cargo test --test golden_dump -- \
+         --ignored regenerate_golden_fixture` to create it",
+        dir.display()
+    );
+
+    let report = verify_dump(&dir).expect("golden v2 dump verifies");
+    assert!(
+        report.checkpoints >= 4,
+        "checkpoints = {}",
+        report.checkpoints
+    );
+    assert_eq!(report.records, report.records_decoded);
+    assert_eq!(report.images, 0, "v2 dumps embed no images");
+
+    let dump = CrashDump::load(&dir).expect("golden v2 dump loads");
+    assert_eq!(dump.manifest.version, DUMP_VERSION_V2);
+    assert_eq!(dump.manifest.workload, GOLDEN_SPEC);
+    assert!(!dump.is_self_contained());
+
+    // v2 dumps replay via the registry fallback; the digests recorded in
+    // the committed manifest must still match a replay on today's tree.
+    let workload = registry::resolve(&dump.manifest.workload).expect("spec resolves");
+    let programs: Vec<_> = workload.threads.iter().map(|t| t.program.clone()).collect();
+    let replay = dump
+        .replay(|t: ThreadId| programs.get(t.0 as usize).cloned())
+        .expect("golden dump replays");
+    assert!(replay.all_match(), "{:?}", replay.divergences());
+}
+
+/// Writes the fixture. Run manually (once, or after an *intentional*
+/// format-v2 change, which should be impossible — v2 is frozen):
+///
+/// ```text
+/// cargo test --test golden_dump -- --ignored regenerate_golden_fixture
+/// ```
+#[test]
+#[ignore = "writes the committed fixture; run manually"]
+fn regenerate_golden_fixture() {
+    use bugnet::sim::MachineBuilder;
+    let dir = fixture_dir();
+    let workload = registry::resolve(GOLDEN_SPEC).unwrap();
+    let mut machine = MachineBuilder::new()
+        .bugnet(BugNetConfig::default().with_checkpoint_interval(GOLDEN_INTERVAL))
+        .workload_spec(GOLDEN_SPEC)
+        .build_with_workload(&workload);
+    machine.run_to_completion();
+    let manifest = machine.write_crash_dump_v2(&dir).unwrap();
+    println!(
+        "wrote golden v2 fixture to {}: {} checkpoint(s)",
+        dir.display(),
+        manifest.total_checkpoints()
+    );
+}
