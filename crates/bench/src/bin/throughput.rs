@@ -31,6 +31,12 @@
 //!   next to the paper's Fig. 2). Ratios are gated by `bench_check`
 //!   alongside the rates; the reference ratio sits far above the 2.5x
 //!   tolerance, so a codec that stops compressing fails CI.
+//! * `dump_write_intervals_per_sec` / `dump_write_p50_ms` /
+//!   `dump_write_max_ms` — the full atomic dump commit (encode, staging
+//!   directory, per-file fsync, rename) of the machine benchmark's recorded
+//!   window. The rate is gated; the millisecond latencies are informational
+//!   (fsync cost is hardware-dependent), so the staging/fsync overhead is
+//!   measured rather than guessed.
 
 use std::time::Instant;
 
@@ -40,7 +46,7 @@ use bugnet_core::bitstream::{BitReader, BitWriter};
 use bugnet_core::fll::{FirstLoadLog, TerminationCause};
 use bugnet_core::recorder::ThreadRecorder;
 use bugnet_core::{Replayer, ValueDictionary};
-use bugnet_sim::MachineBuilder;
+use bugnet_sim::{Machine, MachineBuilder};
 use bugnet_types::{Addr, BugNetConfig, ProcessId, SplitMix64, ThreadId, Timestamp, Word};
 use bugnet_workloads::spec::SpecProfile;
 
@@ -295,7 +301,44 @@ fn bench_bitstream(fields: usize) -> Vec<Metric> {
     ]
 }
 
-fn bench_machine(instructions: u64, interval: u64) -> (Vec<Metric>, Vec<FirstLoadLog>) {
+/// Dump-write section: the full atomic commit (in-memory encode, staging
+/// directory, per-file fsync, rename into place) of the recorded window,
+/// repeated `samples` times over the same target directory — the overwrite
+/// shape of a flight recorder that re-dumps on every incident.
+fn bench_dump_write(machine: &Machine, samples: usize) -> Vec<Metric> {
+    let base = std::env::temp_dir().join(format!("bugnet-bench-dump-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("temp dir");
+    let dir = base.join("dump");
+    let mut latencies = Vec::with_capacity(samples);
+    let mut intervals = 0u64;
+    for _ in 0..samples {
+        let (manifest, secs) = time(|| machine.write_crash_dump(&dir).expect("dump writes"));
+        intervals += manifest.total_checkpoints();
+        latencies.push(secs);
+    }
+    let total: f64 = latencies.iter().sum();
+    latencies.sort_by(f64::total_cmp);
+    let p50 = latencies[latencies.len() / 2];
+    let max = *latencies.last().expect("samples > 0");
+    let _ = std::fs::remove_dir_all(&base);
+    vec![
+        Metric {
+            name: "dump_write_intervals_per_sec",
+            value: intervals as f64 / total,
+        },
+        Metric {
+            name: "dump_write_p50_ms",
+            value: p50 * 1e3,
+        },
+        Metric {
+            name: "dump_write_max_ms",
+            value: max * 1e3,
+        },
+    ]
+}
+
+fn bench_machine(instructions: u64, interval: u64) -> (Vec<Metric>, Vec<FirstLoadLog>, Machine) {
     let workload = SpecProfile::gzip().build_workload(instructions, 1);
     let mut machine = MachineBuilder::new()
         .bugnet(BugNetConfig::default().with_checkpoint_interval(interval))
@@ -328,7 +371,7 @@ fn bench_machine(instructions: u64, interval: u64) -> (Vec<Metric>, Vec<FirstLoa
             value: replayed as f64 / replay_secs,
         },
     ];
-    (metrics, logs.into_iter().map(|l| l.fll).collect())
+    (metrics, logs.into_iter().map(|l| l.fll).collect(), machine)
 }
 
 fn main() {
@@ -345,10 +388,11 @@ fn main() {
     ));
     metrics.push(bench_dictionary(&loads));
     metrics.extend(bench_bitstream(opts.pick(4_000_000, 20_000_000) as usize));
-    let (machine_metrics, machine_flls) =
+    let (machine_metrics, machine_flls, machine) =
         bench_machine(opts.pick(200_000, 2_000_000), opts.pick(50_000, 1_000_000));
     metrics.extend(machine_metrics);
     metrics.extend(bench_compression(&machine_flls));
+    metrics.extend(bench_dump_write(&machine, opts.pick(20, 50) as usize));
 
     println!("{{");
     println!("  \"harness\": \"throughput\",");
@@ -362,6 +406,10 @@ fn main() {
         if m.name.ends_with("_ratio") {
             // Ratios are small numbers; rates round to integers.
             println!("  \"{}\": {:.4}{comma}", m.name, m.value);
+        } else if m.name.ends_with("_ms") {
+            // Latencies are fractional milliseconds; not gated by
+            // bench_check (only `_per_sec`/`_ratio` are).
+            println!("  \"{}\": {:.3}{comma}", m.name, m.value);
         } else {
             println!("  \"{}\": {:.0}{comma}", m.name, m.value);
         }

@@ -11,10 +11,11 @@
 //! bugnet info    crash/                                        # inspect
 //! bugnet verify  crash/                                        # checksums
 //! bugnet replay  crash/                                        # reproduce
+//! bugnet fsck    crash/                                        # salvage check
 //! ```
 //!
-//! Exit codes: 0 on success, 1 when a dump fails verification or replay
-//! diverges from the recording, 2 on usage errors.
+//! Exit codes: 0 on success, 1 when a dump fails verification, is damaged,
+//! or replay diverges from the recording, 2 on usage errors.
 
 use std::env;
 use std::path::PathBuf;
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
         "dump" => cmd_dump(&mut args),
         "info" | "inspect" => cmd_info(&mut args),
         "verify" => cmd_verify(&mut args),
+        "fsck" => cmd_fsck(&mut args),
         "replay" => cmd_replay(&mut args),
         "workloads" => cmd_workloads(&mut args),
         "help" | "--help" | "-h" => {
@@ -65,16 +67,19 @@ bugnet — record, inspect, verify and replay BugNet crash dumps
 USAGE:
     bugnet dump --workload <SPEC> --out <DIR> [--interval <N>] [--dict <N>]
                 [--max-instructions <N>] [--codec <identity|lz>]
-                [--flush-workers <N>] [--format <v2|v3>] [--no-embed-image]
+                [--flush-workers <N>] [--format <v2|v3|v4>] [--no-embed-image]
         Record a workload on the simulated machine and write the retained
         log window to <DIR> as a crash-dump directory. Faults dump
         automatically at crash time, exactly like the paper's OS trigger.
-        --codec selects the back-end frame compressor (default: lz);
-        --flush-workers seals intervals on N background threads (the dump
-        bytes are identical for any worker count). Format v3 (the default)
-        embeds each thread's program image so the dump is self-contained;
-        --no-embed-image omits the images, --format v2 writes the legacy
-        codec-only format.
+        The write is atomic (staging directory + rename): <DIR> appears
+        complete or not at all, and orphaned staging directories from
+        prior crashed runs are swept first. --codec selects the back-end
+        frame compressor (default: lz); --flush-workers seals intervals on
+        N background threads (the dump bytes are identical for any worker
+        count). Format v4 (the default) embeds the program images
+        content-addressed, so threads sharing one image store it once;
+        --format v3 writes one image per thread, --format v2 the legacy
+        codec-only format, --no-embed-image omits the images.
 
     bugnet info <DIR>
         Decode the manifest and print per-thread, per-checkpoint log
@@ -87,12 +92,21 @@ USAGE:
         every first-load record; reports per-thread raw vs compressed
         bytes and the overall ratio.
 
-    bugnet replay <DIR> [--workload <SPEC>]
+    bugnet fsck <DIR>
+        Salvage pass over a possibly-damaged dump: recovers every frame
+        whose checksum still verifies and reports, per file, how many
+        frames are intact, where the first corruption sits and why it was
+        rejected. Exits 0 only when the dump is fully intact; a damaged
+        but salvageable dump exits 1 with the loss report.
+
+    bugnet replay <DIR> [--workload <SPEC>] [--salvage]
         Replay every retained interval and compare against the recorded
-        execution digests. Self-contained (v3) dumps replay from their
+        execution digests. Self-contained (v3+) dumps replay from their
         embedded program images; v1/v2 dumps rebuild the programs from the
         manifest's workload spec. --workload overrides both (a mismatch
-        against the recorded spec is reported up front).
+        against the recorded spec is reported up front). --salvage accepts
+        a damaged dump and replays up to the last fully-intact interval of
+        each thread instead of refusing to load.
 
     bugnet workloads
         List the workload spec strings `dump` accepts.
@@ -195,6 +209,14 @@ impl Args {
     }
 }
 
+/// The on-disk dump format `bugnet dump` writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DumpFormat {
+    V2,
+    V3,
+    V4,
+}
+
 fn dump_dir_arg(args: &mut Args) -> Result<PathBuf, CliError> {
     args.next_positional()
         .map(PathBuf::from)
@@ -219,12 +241,13 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         })?,
     };
     let flush_workers = args.option_u64("--flush-workers")?.unwrap_or(0) as usize;
-    let v2 = match args.option("--format")?.as_deref() {
-        None | Some("v3") | Some("3") => false,
-        Some("v2") | Some("2") => true,
+    let format = match args.option("--format")?.as_deref() {
+        None | Some("v4") | Some("4") => DumpFormat::V4,
+        Some("v3") | Some("3") => DumpFormat::V3,
+        Some("v2") | Some("2") => DumpFormat::V2,
         Some(other) => {
             return Err(CliError::usage(format!(
-                "--format expects `v2` or `v3`, got `{other}`"
+                "--format expects `v2`, `v3` or `v4`, got `{other}`"
             )))
         }
     };
@@ -241,9 +264,9 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         .flush_workers(flush_workers)
         .workload_spec(&spec)
         .embed_image(embed_image);
-    if !v2 {
+    if format == DumpFormat::V4 {
         // The automatic crash-time dump always writes the current format;
-        // v2 dumps are written explicitly after the run instead.
+        // v2/v3 dumps are written explicitly after the run instead.
         builder = builder.dump_on_crash(&out);
     }
     let mut machine = builder.build_with_workload(&workload);
@@ -276,13 +299,14 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         // A fault fired mid-run and the machine already dumped, OS-style.
         Some(Ok(manifest)) => manifest.clone(),
         Some(Err(e)) => return Err(CliError::data(format!("automatic crash dump failed: {e}"))),
-        // Clean run (or explicit v2 format): archive the retained window.
-        None if v2 => machine
-            .write_crash_dump_v2(&out)
-            .map_err(|e| CliError::data(e.to_string()))?,
-        None => machine
-            .write_crash_dump(&out)
-            .map_err(|e| CliError::data(e.to_string()))?,
+        // Clean run (or an explicit legacy format): archive the retained
+        // window.
+        None => match format {
+            DumpFormat::V4 => machine.write_crash_dump(&out),
+            DumpFormat::V3 => machine.write_crash_dump_v3(&out),
+            DumpFormat::V2 => machine.write_crash_dump_v2(&out),
+        }
+        .map_err(|e| CliError::data(e.to_string()))?,
     };
     println!(
         "dump written to {} (format v{}): {} thread(s), {} checkpoint(s), {} FLL + {} MRL \
@@ -298,8 +322,14 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         manifest.backend_ratio(),
     );
     if manifest.embedded_images() > 0 {
+        let unique = manifest.unique_images();
+        let dedup = if unique < manifest.embedded_images() {
+            format!(" ({unique} unique, content-addressed)")
+        } else {
+            String::new()
+        };
         println!(
-            "embedded {} program image(s): {} raw -> {} stored ({:.2}x) — \
+            "embedded {} program image(s){dedup}: {} raw -> {} stored ({:.2}x) — \
              dump is self-contained, replay needs no --workload",
             manifest.embedded_images(),
             manifest.total_image_size(),
@@ -369,11 +399,51 @@ fn cmd_verify(args: &mut Args) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_fsck(args: &mut Args) -> Result<(), CliError> {
+    let dir = dump_dir_arg(args)?;
+    args.finish()?;
+    // The manifest is the only hard requirement; everything else degrades
+    // to a per-file loss report.
+    let salvaged =
+        CrashDump::load_salvage(&dir).map_err(|e| CliError::data(format!("unsalvageable: {e}")))?;
+    report::print_salvage(&dir, &salvaged.report);
+    if salvaged.report.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError::data(format!(
+            "dump is damaged: {} of {} interval(s) salvageable — \
+             `bugnet replay {} --salvage` replays the intact prefix",
+            salvaged.report.intact_intervals,
+            salvaged.report.intact_intervals + salvaged.report.lost_intervals,
+            dir.display(),
+        )))
+    }
+}
+
 fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
     let dir = dump_dir_arg(args)?;
     let override_spec = args.option("--workload")?;
+    let salvage = args.flag("--salvage");
     args.finish()?;
-    let dump = CrashDump::load(&dir).map_err(|e| CliError::data(e.to_string()))?;
+    let dump = if salvage {
+        let salvaged = CrashDump::load_salvage(&dir)
+            .map_err(|e| CliError::data(format!("unsalvageable: {e}")))?;
+        if salvaged.report.is_clean() {
+            println!("salvage: dump is fully intact");
+        } else {
+            println!(
+                "salvage: {} of {} interval(s) intact ({} frame(s) and {} image(s) lost) — \
+                 replaying the intact prefix",
+                salvaged.report.intact_intervals,
+                salvaged.report.intact_intervals + salvaged.report.lost_intervals,
+                salvaged.report.lost_frames(),
+                salvaged.report.lost_images,
+            );
+        }
+        salvaged.dump
+    } else {
+        CrashDump::load(&dir).map_err(|e| CliError::data(e.to_string()))?
+    };
     let report = match override_spec {
         // Explicit override: replay against exactly the named workload,
         // ignoring any embedded images.

@@ -2,7 +2,7 @@
 
 use std::path::Path;
 
-use bugnet_core::dump::{CrashDump, DumpManifest, DumpReplayReport};
+use bugnet_core::dump::{CrashDump, DumpManifest, DumpReplayReport, SalvageReport};
 
 /// Prints the manifest summary and the per-checkpoint statistics table
 /// (records, sizes, dictionary hits, compression ratio — the quantities of
@@ -45,8 +45,13 @@ pub fn print_info(dir: &Path, dump: &CrashDump) {
     );
     if m.version >= 3 {
         if m.is_self_contained() {
+            let dedup = if m.unique_images() < m.embedded_images() {
+                format!(" ({} unique, content-addressed)", m.unique_images())
+            } else {
+                String::new()
+            };
             println!(
-                "  images   : {} embedded, {} raw -> {} stored ({:.2}x) — \
+                "  images   : {} embedded{dedup}, {} raw -> {} stored ({:.2}x) — \
                  self-contained, replay needs no --workload",
                 m.embedded_images(),
                 m.total_image_size(),
@@ -119,6 +124,36 @@ pub fn print_info(dir: &Path, dump: &CrashDump) {
             );
         }
     }
+}
+
+/// Prints the `bugnet fsck` salvage report: per-file intact/lost frame
+/// counts, the first corrupt offset and the typed rejection cause, plus the
+/// joint interval and image totals.
+pub fn print_salvage(dir: &Path, report: &SalvageReport) {
+    println!(
+        "fsck {}: {}",
+        dir.display(),
+        if report.is_clean() {
+            "clean — every frame checksum verifies"
+        } else {
+            "DAMAGED"
+        }
+    );
+    for f in &report.files {
+        let detail = match (&f.cause, f.first_bad_offset) {
+            (Some(cause), Some(offset)) => format!(" — first bad byte at {offset}: {cause}"),
+            (Some(cause), None) => format!(" — {cause}"),
+            _ => String::new(),
+        };
+        println!(
+            "  {:<24} {:>4} of {:>4} frame(s) intact{}",
+            f.file, f.intact_frames, f.declared_frames, detail
+        );
+    }
+    println!(
+        "  intervals: {} intact, {} lost; images: {} lost",
+        report.intact_intervals, report.lost_intervals, report.lost_images
+    );
 }
 
 /// Prints the per-interval replay outcomes and the divergence summary.

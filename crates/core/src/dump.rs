@@ -37,11 +37,28 @@
 //!   *self-contained*: [`CrashDump::replay`] prefers the embedded image and
 //!   only needs the workload registry for v1/v2 dumps (or threads dumped
 //!   with image embedding disabled).
+//! * `image-<hash>.bni` — format v4: embedded images are *content
+//!   addressed*. Each thread's manifest entry records the FNV-1a hash of
+//!   its raw encoded image and the file is named by that hash, so threads
+//!   running the same binary — the common case in a multithreaded process —
+//!   share one image file on disk instead of storing one copy per thread.
+//!   The loader verifies the hash and shares one decoded [`Program`] across
+//!   the threads.
+//!
+//! Dumps are committed *atomically*: the writers encode every file in
+//! memory, stage them in a `<dir>.staging-<nonce>` sibling, fsync, and
+//! rename into place (see [`crate::io`]). A dump directory therefore either
+//! exists complete or not at all, no matter at which operation a crash,
+//! disk-full or kill interrupts the write.
 //!
 //! Loading validates everything it reads — magics, versions, bounds, frame
-//!   checksums, manifest/file cross-consistency, FLL/MRL pairing, image
+//! checksums, manifest/file cross-consistency, FLL/MRL pairing, image
 //! decodability — and returns a typed [`DumpError`] on any corruption; it
 //! never panics on bad input and never silently accepts a flipped bit.
+//! When a dump *did* get damaged — truncated mid-upload, clipped by the
+//! very disk-full that triggered it — [`CrashDump::load_salvage`] recovers
+//! every checksum-intact prefix of frames instead of rejecting the dump
+//! wholesale, and reports exactly what was lost ([`SalvageReport`]).
 
 use std::error::Error;
 use std::fmt;
@@ -56,6 +73,7 @@ use bugnet_types::{Addr, BugNetConfig, ByteSize, CheckpointId, InstrCount, Threa
 
 use crate::digest::{fnv1a, ExecutionDigest};
 use crate::fll::FirstLoadLog;
+use crate::io::{commit_atomic, DumpIo, IoFailure, IoOp, StdIo};
 use crate::mrl::MemoryRaceLog;
 use crate::recorder::LogStore;
 use crate::replayer::{ReplayError, Replayer};
@@ -68,10 +86,16 @@ pub const FLL_FILE_MAGIC: [u8; 4] = *b"BNFL";
 pub const MRL_FILE_MAGIC: [u8; 4] = *b"BNMR";
 /// Magic bytes opening a per-thread program-image file.
 pub const IMAGE_FILE_MAGIC: [u8; 4] = *b"BNIM";
-/// Current crash-dump format version: in addition to the codec layer of v2,
-/// each thread's full program image is embedded as a codec-compressed,
-/// checksummed `image-<tid>.bni` section, making dumps self-contained.
-pub const DUMP_VERSION: u32 = 3;
+/// Current crash-dump format version: like v3, but embedded program images
+/// are content-addressed — the manifest records each image's FNV-1a hash,
+/// the file is named `image-<hash>.bni`, and threads running the same
+/// binary share one image file instead of storing a copy per thread.
+pub const DUMP_VERSION: u32 = 4;
+/// The v3 format: each thread's full program image is embedded as a
+/// codec-compressed, checksummed per-thread `image-<tid>.bni` section,
+/// making dumps self-contained. Still fully loadable and writable via
+/// [`write_dump_v3`].
+pub const DUMP_VERSION_V3: u32 = 3;
 /// The v2 format: frames pass through a back-end codec (self-describing
 /// containers) and the manifest records the codec and the raw vs stored
 /// sizes, but program images are not embedded. Still fully loadable and
@@ -95,6 +119,8 @@ const MAX_CHECKPOINTS: u32 = 1 << 20;
 pub enum DumpError {
     /// An underlying filesystem operation failed.
     Io {
+        /// The filesystem operation that failed.
+        op: IoOp,
         /// Path the operation targeted.
         path: String,
         /// The I/O error.
@@ -166,7 +192,9 @@ pub enum DumpError {
 impl fmt::Display for DumpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DumpError::Io { path, source } => write!(f, "i/o error on {path}: {source}"),
+            DumpError::Io { op, path, source } => {
+                write!(f, "i/o error ({op}) on {path}: {source}")
+            }
             DumpError::BadMagic { file } => write!(f, "{file}: bad magic bytes"),
             DumpError::UnsupportedVersion { file, version } => {
                 write!(f, "{file}: unsupported dump format version {version}")
@@ -215,8 +243,19 @@ impl Error for DumpError {
 
 fn io_err(path: &Path, source: io::Error) -> DumpError {
     DumpError::Io {
+        op: IoOp::Read,
         path: path.display().to_string(),
         source,
+    }
+}
+
+impl From<IoFailure> for DumpError {
+    fn from(f: IoFailure) -> Self {
+        DumpError::Io {
+            op: f.op,
+            path: f.path.display().to_string(),
+            source: f.source,
+        }
     }
 }
 
@@ -289,9 +328,13 @@ pub struct ThreadManifest {
     /// Serialized (uncompressed) program-image bytes, zero when no image is
     /// embedded.
     pub image_raw_bytes: u64,
-    /// Stored program-image bytes in `image-<id>.bni` (container header plus
+    /// Stored program-image bytes in the image file (container header plus
     /// encoded bytes), zero when no image is embedded.
     pub image_stored_bytes: u64,
+    /// FNV-1a hash of the raw encoded program image (format v4, where the
+    /// image file is content-addressed by this hash; `None` in v1–v3
+    /// dumps, whose image files are named per thread).
+    pub image_hash: Option<u64>,
     /// Recorded execution digest of each interval, oldest first.
     pub digests: Vec<DigestSummary>,
 }
@@ -308,9 +351,14 @@ impl ThreadManifest {
     }
 
     /// File name of this thread's program-image file inside the dump
-    /// directory (present only when [`ThreadManifest::has_image`]).
+    /// directory (present only when [`ThreadManifest::has_image`]):
+    /// content-addressed `image-<hash>.bni` in v4 dumps, per-thread
+    /// `image-<tid>.bni` in v3.
     pub fn image_file(&self) -> String {
-        format!("image-{}.bni", self.thread.0)
+        match self.image_hash {
+            Some(hash) => format!("image-{hash:016x}.bni"),
+            None => format!("image-{}.bni", self.thread.0),
+        }
     }
 }
 
@@ -390,15 +438,53 @@ impl DumpManifest {
         self.threads.iter().all(|t| t.has_image)
     }
 
-    /// Total serialized (uncompressed) program-image bytes across all
-    /// threads.
-    pub fn total_image_size(&self) -> ByteSize {
-        ByteSize::from_bytes(self.threads.iter().map(|t| t.image_raw_bytes).sum())
+    /// The manifest entries owning each *unique* image file, one per file
+    /// name. In v4 dumps threads running the same binary share one
+    /// content-addressed file; in v1–v3 every image-carrying thread owns
+    /// its own file, so this is simply those threads.
+    fn unique_image_owners(&self) -> Vec<&ThreadManifest> {
+        let mut seen: Vec<String> = Vec::new();
+        let mut owners = Vec::new();
+        for t in self.threads.iter().filter(|t| t.has_image) {
+            let file = t.image_file();
+            if !seen.contains(&file) {
+                seen.push(file);
+                owners.push(t);
+            }
+        }
+        owners
     }
 
-    /// Total stored (post-codec) program-image bytes across all threads.
+    /// Number of unique image *files* in the dump (≤ [`embedded_images`],
+    /// which counts image-carrying threads; smaller exactly when v4
+    /// content addressing deduplicated identical images).
+    ///
+    /// [`embedded_images`]: DumpManifest::embedded_images
+    pub fn unique_images(&self) -> usize {
+        self.unique_image_owners().len()
+    }
+
+    /// Total serialized (uncompressed) program-image bytes across the
+    /// unique image files (what the images cost on disk before the codec,
+    /// counting each deduplicated v4 image once).
+    pub fn total_image_size(&self) -> ByteSize {
+        ByteSize::from_bytes(
+            self.unique_image_owners()
+                .iter()
+                .map(|t| t.image_raw_bytes)
+                .sum(),
+        )
+    }
+
+    /// Total stored (post-codec) program-image bytes across the unique
+    /// image files.
     pub fn total_image_stored_size(&self) -> ByteSize {
-        ByteSize::from_bytes(self.threads.iter().map(|t| t.image_stored_bytes).sum())
+        ByteSize::from_bytes(
+            self.unique_image_owners()
+                .iter()
+                .map(|t| t.image_stored_bytes)
+                .sum(),
+        )
     }
 
     /// Back-end compression ratio over the embedded images (raw / stored;
@@ -530,14 +616,24 @@ impl DumpManifest {
             } else {
                 (fll_bytes, mrl_bytes)
             };
-            let (has_image, image_raw_bytes, image_stored_bytes) = if version >= 3 {
+            let (has_image, image_raw_bytes, image_stored_bytes, image_hash) = if version >= 3 {
                 match r.u8().ok_or_else(truncated)? {
-                    0 => (false, 0, 0),
-                    1 => (
-                        true,
-                        r.u64().ok_or_else(truncated)?,
-                        r.u64().ok_or_else(truncated)?,
-                    ),
+                    0 => (false, 0, 0, None),
+                    1 => {
+                        // v4 content addressing: the image's FNV-1a hash
+                        // precedes the size fields.
+                        let hash = if version >= 4 {
+                            Some(r.u64().ok_or_else(truncated)?)
+                        } else {
+                            None
+                        };
+                        (
+                            true,
+                            r.u64().ok_or_else(truncated)?,
+                            r.u64().ok_or_else(truncated)?,
+                            hash,
+                        )
+                    }
                     tag => {
                         return Err(DumpError::CorruptManifest {
                             detail: format!("thread {thread} has invalid image-presence tag {tag}"),
@@ -545,7 +641,7 @@ impl DumpManifest {
                     }
                 }
             } else {
-                (false, 0, 0)
+                (false, 0, 0, None)
             };
             let mut digests = Vec::with_capacity(checkpoints as usize);
             for _ in 0..checkpoints {
@@ -567,6 +663,7 @@ impl DumpManifest {
                 has_image,
                 image_raw_bytes,
                 image_stored_bytes,
+                image_hash,
                 digests,
             });
         }
@@ -622,6 +719,9 @@ impl DumpManifest {
             if self.version >= 3 {
                 if t.has_image {
                     w.push(1);
+                    if self.version >= 4 {
+                        put_u64(&mut w, t.image_hash.unwrap_or(0));
+                    }
                     put_u64(&mut w, t.image_raw_bytes);
                     put_u64(&mut w, t.image_stored_bytes);
                 } else {
@@ -705,61 +805,154 @@ pub struct CrashDump {
     pub threads: Vec<ThreadDump>,
 }
 
+/// A complete dump encoded in memory, ready for an atomic commit: the
+/// manifest and every file's full contents, manifest first so a commit
+/// interrupted mid-staging still leaves the most salvage-critical file
+/// (salvage cannot start without a manifest) on disk first.
+struct EncodedDump {
+    manifest: DumpManifest,
+    files: Vec<(String, Vec<u8>)>,
+}
+
 /// Writes the retained window of `store` to `dir` as a crash-dump directory
-/// in the current (v3) format: the sealed frames the store already holds are
+/// in the current (v4) format: the sealed frames the store already holds are
 /// written out verbatim, so serial and parallel flushing produce
 /// byte-identical dumps and dump time pays no compression cost. `image_of`
 /// supplies each thread's program image; threads for which it returns a
-/// program get a codec-compressed, checksummed `image-<tid>.bni` section,
-/// making the dump self-contained for offline replay. Return `None` to
-/// dump a thread without its image (the `embed_image` knob off).
+/// program get a codec-compressed, checksummed, content-addressed
+/// `image-<hash>.bni` section (threads running the same binary share one
+/// file), making the dump self-contained for offline replay. Return `None`
+/// to dump a thread without its image (the `embed_image` knob off).
 ///
-/// The directory is created if needed; existing dump files in it are
-/// overwritten. Returns the manifest that was written.
+/// The dump is committed atomically via staging + rename (see
+/// [`commit_atomic`]): `dir` either appears complete or not at all, and an
+/// existing dump at `dir` is replaced. Returns the manifest that was
+/// written.
 ///
 /// # Errors
 ///
-/// Returns [`DumpError::Io`] if any file cannot be written, or
-/// [`DumpError::Inconsistent`] if the store holds frames sealed with a codec
-/// other than its own (mixed-codec stores are not representable on disk).
+/// Returns [`DumpError::Io`] (with operation context) if the commit fails,
+/// or [`DumpError::Inconsistent`] if the store holds frames sealed with a
+/// codec other than its own (mixed-codec stores are not representable on
+/// disk) or a program image does not round-trip.
 pub fn write_dump(
     dir: &Path,
     meta: &DumpMeta,
     store: &LogStore,
     image_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
 ) -> Result<DumpManifest, DumpError> {
-    write_codec_dump(dir, meta, store, DUMP_VERSION, image_of)
+    write_dump_with_io(dir, meta, store, image_of, &mut StdIo::new())
+}
+
+/// [`write_dump`] against an explicit [`DumpIo`] backend — the
+/// fault-injection seam. All filesystem traffic of the commit goes through
+/// `io`; the encoding itself is pure and performs no I/O.
+///
+/// # Errors
+///
+/// As [`write_dump`].
+pub fn write_dump_with_io(
+    dir: &Path,
+    meta: &DumpMeta,
+    store: &LogStore,
+    image_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
+    io: &mut dyn DumpIo,
+) -> Result<DumpManifest, DumpError> {
+    let encoded = encode_codec_dump(meta, store, DUMP_VERSION, image_of)?;
+    commit_encoded(io, dir, encoded)
+}
+
+/// Writes a dump in the v3 format (per-thread `image-<tid>.bni` files, no
+/// content addressing). Retained so the v3 loading path stays exercised by
+/// tests and so old tooling can be handed a compatible dump, mirroring the
+/// earlier version transitions; new dumps should use [`write_dump`].
+///
+/// # Errors
+///
+/// As [`write_dump`].
+pub fn write_dump_v3(
+    dir: &Path,
+    meta: &DumpMeta,
+    store: &LogStore,
+    image_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
+) -> Result<DumpManifest, DumpError> {
+    write_dump_v3_with_io(dir, meta, store, image_of, &mut StdIo::new())
+}
+
+/// [`write_dump_v3`] against an explicit [`DumpIo`] backend.
+///
+/// # Errors
+///
+/// As [`write_dump`].
+pub fn write_dump_v3_with_io(
+    dir: &Path,
+    meta: &DumpMeta,
+    store: &LogStore,
+    image_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
+    io: &mut dyn DumpIo,
+) -> Result<DumpManifest, DumpError> {
+    let encoded = encode_codec_dump(meta, store, DUMP_VERSION_V3, image_of)?;
+    commit_encoded(io, dir, encoded)
 }
 
 /// Writes a dump in the v2 format (codec containers, no embedded program
 /// images). Retained so the v2 loading path stays exercised by tests and so
-/// old tooling can be handed a compatible dump, mirroring the v1→v2
-/// transition; new dumps should use [`write_dump`].
+/// old tooling can be handed a compatible dump; new dumps should use
+/// [`write_dump`].
 ///
 /// # Errors
 ///
-/// Returns [`DumpError::Io`] if any file cannot be written, or
+/// Returns [`DumpError::Io`] if the commit fails, or
 /// [`DumpError::Inconsistent`] on a mixed-codec store.
 pub fn write_dump_v2(
     dir: &Path,
     meta: &DumpMeta,
     store: &LogStore,
 ) -> Result<DumpManifest, DumpError> {
-    write_codec_dump(dir, meta, store, DUMP_VERSION_V2, |_| None)
+    write_dump_v2_with_io(dir, meta, store, &mut StdIo::new())
 }
 
-/// Shared body of the v2/v3 writers: both pass the store's sealed frames
-/// through untouched; v3 additionally embeds program images.
-fn write_codec_dump(
+/// [`write_dump_v2`] against an explicit [`DumpIo`] backend.
+///
+/// # Errors
+///
+/// As [`write_dump_v2`].
+pub fn write_dump_v2_with_io(
     dir: &Path,
+    meta: &DumpMeta,
+    store: &LogStore,
+    io: &mut dyn DumpIo,
+) -> Result<DumpManifest, DumpError> {
+    let encoded = encode_codec_dump(meta, store, DUMP_VERSION_V2, |_| None)?;
+    commit_encoded(io, dir, encoded)
+}
+
+/// Commits an encoded dump atomically through `io` and returns its manifest.
+fn commit_encoded(
+    io: &mut dyn DumpIo,
+    dir: &Path,
+    encoded: EncodedDump,
+) -> Result<DumpManifest, DumpError> {
+    commit_atomic(io, dir, &encoded.files)?;
+    Ok(encoded.manifest)
+}
+
+/// Shared body of the v2/v3/v4 writers: encodes the whole dump in memory
+/// and performs no I/O. All versions pass the store's sealed frames through
+/// untouched; v3+ additionally embeds program images, v4 content-addresses
+/// them so identical images are stored once.
+fn encode_codec_dump(
     meta: &DumpMeta,
     store: &LogStore,
     version: u32,
     mut image_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
-) -> Result<DumpManifest, DumpError> {
+) -> Result<EncodedDump, DumpError> {
     let codec = store.codec();
-    fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
     let mut threads = Vec::new();
+    let mut files: Vec<(String, Vec<u8>)> = Vec::new();
+    // v4 content addressing: raw-image hash → (file name, raw bytes for the
+    // collision check, raw size, stored size).
+    let mut images_by_hash: Vec<(u64, String, Vec<u8>, u64, u64)> = Vec::new();
     for thread in store.threads() {
         let logs = store.thread_logs(thread);
         let mut fll_file = Vec::new();
@@ -805,7 +998,7 @@ fn write_codec_dump(
             digests.push(DigestSummary::from(&entry.digest));
         }
         let image = if version >= 3 { image_of(thread) } else { None };
-        let (has_image, image_raw_bytes, image_stored_bytes) = match &image {
+        let (has_image, image_raw_bytes, image_stored_bytes, image_hash) = match &image {
             Some(program) => {
                 let raw = encode_image(program);
                 // Trust boundary: never ship an image that does not decode
@@ -814,7 +1007,12 @@ fn write_codec_dump(
                 // otherwise produce a dump its own loader rejects — or,
                 // for truncation-collapsed symbol names, a dump that loads
                 // cleanly but replays a subtly different program.
-                let file = format!("image-{}.bni", thread.0);
+                let hash = fnv1a(&raw);
+                let file = if version >= 4 {
+                    format!("image-{hash:016x}.bni")
+                } else {
+                    format!("image-{}.bni", thread.0)
+                };
                 match decode_image(&raw) {
                     Ok(decoded) if decoded == **program => {}
                     Ok(_) => {
@@ -836,17 +1034,49 @@ fn write_codec_dump(
                         })
                     }
                 }
-                let container = encode_container(codec, &raw);
-                let mut image_file = Vec::with_capacity(16 + 12 + container.len());
-                // The image is one frame behind the same header framing as
-                // the log files, so the frame-count cross-check covers it.
-                begin_log_file(&mut image_file, IMAGE_FILE_MAGIC, thread, 1, version);
-                let stored = put_frame_v3(&mut image_file, &container);
-                let path = dir.join(&file);
-                fs::write(&path, &image_file).map_err(|e| io_err(&path, e))?;
-                (true, raw.len() as u64, stored)
+                if version >= 4 {
+                    if let Some((_, _, seen_raw, raw_len, stored)) =
+                        images_by_hash.iter().find(|(h, ..)| *h == hash)
+                    {
+                        // Same hash must mean same bytes: FNV is not
+                        // collision-resistant, and silently aliasing two
+                        // different binaries would replay the wrong program.
+                        if seen_raw != &raw {
+                            return Err(DumpError::Inconsistent {
+                                file,
+                                detail: format!(
+                                    "image hash {hash:#018x} collides across different \
+                                     program images"
+                                ),
+                            });
+                        }
+                        (true, *raw_len, *stored, Some(hash))
+                    } else {
+                        let container = encode_container(codec, &raw);
+                        let mut image_file = Vec::with_capacity(16 + 12 + container.len());
+                        // One frame behind the same header framing as the
+                        // log files; the header's thread id is the first
+                        // thread that embedded this image.
+                        begin_log_file(&mut image_file, IMAGE_FILE_MAGIC, thread, 1, version);
+                        let stored = put_frame_v3(&mut image_file, &container);
+                        let raw_len = raw.len() as u64;
+                        files.push((file.clone(), image_file));
+                        images_by_hash.push((hash, file, raw, raw_len, stored));
+                        (true, raw_len, stored, Some(hash))
+                    }
+                } else {
+                    let container = encode_container(codec, &raw);
+                    let mut image_file = Vec::with_capacity(16 + 12 + container.len());
+                    // The image is one frame behind the same header framing
+                    // as the log files, so the frame-count cross-check
+                    // covers it.
+                    begin_log_file(&mut image_file, IMAGE_FILE_MAGIC, thread, 1, version);
+                    let stored = put_frame_v3(&mut image_file, &container);
+                    files.push((file, image_file));
+                    (true, raw.len() as u64, stored, None)
+                }
             }
-            None => (false, 0, 0),
+            None => (false, 0, 0, None),
         };
         let t = ThreadManifest {
             thread,
@@ -859,12 +1089,11 @@ fn write_codec_dump(
             has_image,
             image_raw_bytes,
             image_stored_bytes,
+            image_hash,
             digests,
         };
-        let fll_path = dir.join(t.fll_file());
-        fs::write(&fll_path, &fll_file).map_err(|e| io_err(&fll_path, e))?;
-        let mrl_path = dir.join(t.mrl_file());
-        fs::write(&mrl_path, &mrl_file).map_err(|e| io_err(&mrl_path, e))?;
+        files.push((t.fll_file(), fll_file));
+        files.push((t.mrl_file(), mrl_file));
         threads.push(t);
     }
     let manifest = DumpManifest {
@@ -877,9 +1106,8 @@ fn write_codec_dump(
         evicted_checkpoints: meta.evicted_checkpoints,
         threads,
     };
-    let path = dir.join(MANIFEST_FILE);
-    fs::write(&path, manifest.encode()).map_err(|e| io_err(&path, e))?;
-    Ok(manifest)
+    files.insert(0, (MANIFEST_FILE.to_string(), manifest.encode()));
+    Ok(EncodedDump { manifest, files })
 }
 
 /// Writes a dump in the legacy v1 format (raw frames, per-frame checksums,
@@ -889,14 +1117,14 @@ fn write_codec_dump(
 ///
 /// # Errors
 ///
-/// Returns [`DumpError::Io`] if any file cannot be written.
+/// Returns [`DumpError::Io`] if the commit fails.
 pub fn write_dump_v1(
     dir: &Path,
     meta: &DumpMeta,
     store: &LogStore,
 ) -> Result<DumpManifest, DumpError> {
-    fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
     let mut threads = Vec::new();
+    let mut files: Vec<(String, Vec<u8>)> = Vec::new();
     for thread in store.threads() {
         let logs = store.thread_logs(thread);
         let mut fll_file = Vec::new();
@@ -934,12 +1162,11 @@ pub fn write_dump_v1(
             has_image: false,
             image_raw_bytes: 0,
             image_stored_bytes: 0,
+            image_hash: None,
             digests,
         };
-        let fll_path = dir.join(t.fll_file());
-        fs::write(&fll_path, &fll_file).map_err(|e| io_err(&fll_path, e))?;
-        let mrl_path = dir.join(t.mrl_file());
-        fs::write(&mrl_path, &mrl_file).map_err(|e| io_err(&mrl_path, e))?;
+        files.push((t.fll_file(), fll_file));
+        files.push((t.mrl_file(), mrl_file));
         threads.push(t);
     }
     let manifest = DumpManifest {
@@ -952,9 +1179,8 @@ pub fn write_dump_v1(
         evicted_checkpoints: meta.evicted_checkpoints,
         threads,
     };
-    let path = dir.join(MANIFEST_FILE);
-    fs::write(&path, manifest.encode()).map_err(|e| io_err(&path, e))?;
-    Ok(manifest)
+    files.insert(0, (MANIFEST_FILE.to_string(), manifest.encode()));
+    commit_encoded(&mut StdIo::new(), dir, EncodedDump { manifest, files })
 }
 
 fn begin_log_file(w: &mut Vec<u8>, magic: [u8; 4], thread: ThreadId, frames: u32, version: u32) {
@@ -1235,6 +1461,17 @@ impl CrashDump {
     pub fn load(dir: &Path) -> Result<Self, DumpError> {
         let manifest = DumpManifest::load(dir)?;
         let mut threads = Vec::with_capacity(manifest.threads.len());
+        // v4 content addressing: threads running the same binary share one
+        // image file. The file's header names the first thread that
+        // embedded it, and the decoded program is shared across threads.
+        let mut image_cache: Vec<(String, Arc<Program>, u64, u64)> = Vec::new();
+        let image_owner = |file: &str| {
+            manifest
+                .threads
+                .iter()
+                .find(|t| t.has_image && t.image_file() == file)
+                .map(|t| t.thread)
+        };
         for t in &manifest.threads {
             let fll_file = t.fll_file();
             let mrl_file = t.mrl_file();
@@ -1264,24 +1501,65 @@ impl CrashDump {
             check_stored_total(&mrl_file, mrl.stored_bytes, t.mrl_stored_bytes)?;
             let image = if t.has_image {
                 let image_file = t.image_file();
-                let contents = read_log_file(
-                    dir,
-                    &image_file,
-                    IMAGE_FILE_MAGIC,
-                    manifest.version,
-                    manifest.codec,
-                    t.thread,
-                    1,
-                )?;
-                check_payload_total(&image_file, &contents.payloads, t.image_raw_bytes)?;
-                check_stored_total(&image_file, contents.stored_bytes, t.image_stored_bytes)?;
-                let raw = &contents.payloads[0];
-                let program = decode_image(raw).map_err(|e| DumpError::CorruptLog {
-                    file: image_file.clone(),
-                    frame: 0,
-                    detail: format!("program image failed to decode: {e}"),
-                })?;
-                Some(Arc::new(program))
+                if let Some((_, program, raw_bytes, stored_bytes)) =
+                    image_cache.iter().find(|(f, ..)| *f == image_file)
+                {
+                    // Another thread already loaded this content-addressed
+                    // file; the manifest entries sharing it must agree on
+                    // its sizes.
+                    if t.image_raw_bytes != *raw_bytes || t.image_stored_bytes != *stored_bytes {
+                        return Err(DumpError::Inconsistent {
+                            file: image_file,
+                            detail: format!(
+                                "threads sharing this image declare different sizes \
+                                 ({}/{} vs {raw_bytes}/{stored_bytes})",
+                                t.image_raw_bytes, t.image_stored_bytes
+                            ),
+                        });
+                    }
+                    Some(Arc::clone(program))
+                } else {
+                    // The file's header names the thread that first embedded
+                    // it (== this thread in v3, possibly an earlier one in
+                    // v4).
+                    let owner = image_owner(&image_file).unwrap_or(t.thread);
+                    let contents = read_log_file(
+                        dir,
+                        &image_file,
+                        IMAGE_FILE_MAGIC,
+                        manifest.version,
+                        manifest.codec,
+                        owner,
+                        1,
+                    )?;
+                    check_payload_total(&image_file, &contents.payloads, t.image_raw_bytes)?;
+                    check_stored_total(&image_file, contents.stored_bytes, t.image_stored_bytes)?;
+                    let raw = &contents.payloads[0];
+                    if let Some(expected) = t.image_hash {
+                        let actual = fnv1a(raw);
+                        if actual != expected {
+                            return Err(DumpError::ChecksumMismatch {
+                                file: image_file,
+                                frame: Some(0),
+                                expected,
+                                actual,
+                            });
+                        }
+                    }
+                    let program = decode_image(raw).map_err(|e| DumpError::CorruptLog {
+                        file: image_file.clone(),
+                        frame: 0,
+                        detail: format!("program image failed to decode: {e}"),
+                    })?;
+                    let program = Arc::new(program);
+                    image_cache.push((
+                        image_file,
+                        Arc::clone(&program),
+                        t.image_raw_bytes,
+                        t.image_stored_bytes,
+                    ));
+                    Some(program)
+                }
             } else {
                 None
             };
@@ -1610,6 +1888,7 @@ impl CrashDump {
             codec: self.manifest.codec,
             ..DumpVerifyReport::default()
         };
+        let mut seen_image_files: Vec<String> = Vec::new();
         for (t, m) in self.threads.iter().zip(&self.manifest.threads) {
             report.checkpoints += t.checkpoints.len() as u64;
             report.fll_bytes += m.fll_bytes;
@@ -1618,8 +1897,14 @@ impl CrashDump {
             report.mrl_stored_bytes += m.mrl_stored_bytes;
             if t.image.is_some() {
                 report.images += 1;
-                report.image_raw_bytes += m.image_raw_bytes;
-                report.image_stored_bytes += m.image_stored_bytes;
+                // Byte totals count each content-addressed (v4) image file
+                // once, matching what the dump costs on disk.
+                let file = m.image_file();
+                if !seen_image_files.contains(&file) {
+                    seen_image_files.push(file);
+                    report.image_raw_bytes += m.image_raw_bytes;
+                    report.image_stored_bytes += m.image_stored_bytes;
+                }
             }
             for (i, cp) in t.checkpoints.iter().enumerate() {
                 report.records += cp.fll.records();
@@ -1633,6 +1918,484 @@ impl CrashDump {
             }
         }
         Ok(report)
+    }
+}
+
+// --- salvage loading ------------------------------------------------------
+
+/// What salvage recovered from (and lost in) one dump file.
+#[derive(Debug)]
+pub struct FileSalvage {
+    /// The file (relative to the dump directory).
+    pub file: String,
+    /// Frames the manifest declares for this file.
+    pub declared_frames: u32,
+    /// Leading frames that were fully intact (checksums, decode, pairing
+    /// preconditions) and therefore recovered.
+    pub intact_frames: u32,
+    /// Byte offset of the first damage in the file, when any.
+    pub first_bad_offset: Option<u64>,
+    /// The typed error that ended recovery of this file, when any.
+    pub cause: Option<DumpError>,
+}
+
+impl FileSalvage {
+    /// Declared frames that could not be recovered.
+    pub fn lost_frames(&self) -> u32 {
+        self.declared_frames.saturating_sub(self.intact_frames)
+    }
+
+    /// Whether the file was fully intact.
+    pub fn is_clean(&self) -> bool {
+        self.cause.is_none() && self.lost_frames() == 0
+    }
+}
+
+/// Ground-truth account of what [`CrashDump::load_salvage`] recovered: one
+/// entry per dump file plus interval/image totals.
+#[derive(Debug, Default)]
+pub struct SalvageReport {
+    /// Per-file results, in manifest thread order (FLL, MRL, then image per
+    /// thread; each content-addressed v4 image file appears once).
+    pub files: Vec<FileSalvage>,
+    /// Checkpoint intervals recovered intact across all threads (both logs
+    /// intact, decoded and correctly paired).
+    pub intact_intervals: u64,
+    /// Declared checkpoint intervals that could not be recovered.
+    pub lost_intervals: u64,
+    /// Embedded image files that could not be recovered.
+    pub lost_images: u32,
+}
+
+impl SalvageReport {
+    /// Whether nothing at all was lost — the dump was fully intact.
+    pub fn is_clean(&self) -> bool {
+        self.lost_intervals == 0
+            && self.lost_images == 0
+            && self.files.iter().all(|f| f.cause.is_none())
+    }
+
+    /// Total frames lost across all files.
+    pub fn lost_frames(&self) -> u64 {
+        self.files.iter().map(|f| u64::from(f.lost_frames())).sum()
+    }
+}
+
+/// A dump recovered by [`CrashDump::load_salvage`]: every intact prefix of
+/// intervals, plus the account of what was lost. The contained dump's
+/// manifest is *adjusted* to the salvaged content (checkpoint counts, byte
+/// totals, digests, image presence), so it is internally consistent and
+/// [`CrashDump::replay`] / [`CrashDump::verify`] work on it unchanged —
+/// replay simply runs up to the last fully-intact interval of each thread.
+#[derive(Debug)]
+pub struct SalvagedDump {
+    /// The recovered dump.
+    pub dump: CrashDump,
+    /// What was recovered and what was lost.
+    pub report: SalvageReport,
+}
+
+/// One leniently-parsed frame: its decompressed payload, stored size and
+/// start offset in the file.
+struct SalvagedFrame {
+    payload: Vec<u8>,
+    stored: u64,
+    offset: u64,
+}
+
+/// Lenient parse of one log file: every leading frame that validates, plus
+/// where and why parsing stopped.
+struct SalvagedFile {
+    frames: Vec<SalvagedFrame>,
+    first_bad_offset: Option<u64>,
+    cause: Option<DumpError>,
+}
+
+impl SalvagedFile {
+    fn empty(cause: DumpError, offset: Option<u64>) -> Self {
+        SalvagedFile {
+            frames: Vec::new(),
+            first_bad_offset: offset,
+            cause: Some(cause),
+        }
+    }
+}
+
+/// Reads as many leading frames of a log file as validate, instead of
+/// rejecting the file on the first problem like [`read_log_file`]. Frame
+/// integrity relies on the same per-frame checksums the strict path uses;
+/// nothing that fails a checksum is ever recovered.
+fn salvage_log_file(
+    dir: &Path,
+    file: &str,
+    magic: [u8; 4],
+    version: u32,
+    codec: CodecId,
+    thread: ThreadId,
+    expect_frames: u32,
+) -> SalvagedFile {
+    let path = dir.join(file);
+    let bytes = match fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) => return SalvagedFile::empty(io_err(&path, e), None),
+    };
+    let mut r = ByteReader::new(&bytes);
+    let truncated = || DumpError::Truncated { file: file.into() };
+    match r.take(4) {
+        Some(m) if m == magic => {}
+        Some(_) => return SalvagedFile::empty(DumpError::BadMagic { file: file.into() }, Some(0)),
+        None => return SalvagedFile::empty(truncated(), Some(0)),
+    }
+    let Some(file_version) = r.u32() else {
+        return SalvagedFile::empty(truncated(), Some(r.position()));
+    };
+    if !(DUMP_VERSION_V1..=DUMP_VERSION).contains(&file_version) {
+        return SalvagedFile::empty(
+            DumpError::UnsupportedVersion {
+                file: file.into(),
+                version: file_version,
+            },
+            Some(4),
+        );
+    }
+    if file_version != version {
+        return SalvagedFile::empty(
+            DumpError::Inconsistent {
+                file: file.into(),
+                detail: format!("file is format v{file_version}, manifest declares v{version}"),
+            },
+            Some(4),
+        );
+    }
+    let Some(file_thread) = r.u32() else {
+        return SalvagedFile::empty(truncated(), Some(r.position()));
+    };
+    if ThreadId(file_thread) != thread {
+        return SalvagedFile::empty(
+            DumpError::Inconsistent {
+                file: file.into(),
+                detail: format!("file claims thread {file_thread}, manifest expects {thread}"),
+            },
+            Some(8),
+        );
+    }
+    let Some(file_frames) = r.u32() else {
+        return SalvagedFile::empty(truncated(), Some(r.position()));
+    };
+    let mut cause = None;
+    let mut first_bad_offset = None;
+    if file_frames != expect_frames {
+        // Keep parsing up to the smaller count, but the disagreement itself
+        // is damage worth reporting.
+        cause = Some(DumpError::Inconsistent {
+            file: file.into(),
+            detail: format!("file holds {file_frames} frames, manifest expects {expect_frames}"),
+        });
+        first_bad_offset = Some(12);
+    }
+    let limit = file_frames.min(expect_frames);
+    let mut frames = Vec::with_capacity(limit as usize);
+    for i in 0..limit {
+        let offset = r.position();
+        let parsed = if version >= 3 {
+            read_frame_v3(&mut r, file, i, codec)
+        } else if version == DUMP_VERSION_V2 {
+            read_frame_v2(&mut r, file, i, codec)
+        } else {
+            read_frame_v1(&mut r, file, i).map(|payload| {
+                let stored = payload.len() as u64;
+                (payload, stored)
+            })
+        };
+        match parsed {
+            Ok((payload, stored)) => frames.push(SalvagedFrame {
+                payload,
+                stored,
+                offset,
+            }),
+            Err(e) => {
+                if cause.is_none() {
+                    cause = Some(e);
+                    first_bad_offset = Some(offset);
+                }
+                break;
+            }
+        }
+    }
+    if cause.is_none() && !r.is_exhausted() {
+        // All declared frames intact but junk follows: recoverable content
+        // is unaffected, the damage is still reported.
+        first_bad_offset = Some(r.position());
+        cause = Some(DumpError::TrailingBytes { file: file.into() });
+    }
+    SalvagedFile {
+        frames,
+        first_bad_offset,
+        cause,
+    }
+}
+
+impl CrashDump {
+    /// Loads whatever is recoverable from a damaged dump directory.
+    ///
+    /// Where [`CrashDump::load`] rejects a dump on the first problem, this
+    /// recovers every *intact prefix* of checkpoint intervals per thread:
+    /// an interval survives when both of its log frames pass their
+    /// checksums, decode, and pair correctly. Embedded program images are
+    /// recovered when their file validates. The returned dump's manifest is
+    /// adjusted to the recovered content so replay and verification work
+    /// unchanged, and the [`SalvageReport`] states per file how many frames
+    /// survived, where the first damage sits, and the typed cause.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DumpError`] only when the *manifest* is unusable
+    /// (missing, corrupt, truncated): without it there is no ground truth
+    /// about what the dump contained, so there is nothing to salvage
+    /// against. Everything else degrades into the report.
+    pub fn load_salvage(dir: &Path) -> Result<SalvagedDump, DumpError> {
+        let manifest = DumpManifest::load(dir)?;
+        let mut report = SalvageReport::default();
+        let mut threads = Vec::with_capacity(manifest.threads.len());
+        let mut adjusted = Vec::with_capacity(manifest.threads.len());
+        // Shared v4 image files: salvage each file once, share the result.
+        let mut image_cache: Vec<(String, Option<Arc<Program>>)> = Vec::new();
+        let image_owner = |file: &str| {
+            manifest
+                .threads
+                .iter()
+                .find(|t| t.has_image && t.image_file() == file)
+                .map(|t| t.thread)
+        };
+        for t in &manifest.threads {
+            let fll_file = t.fll_file();
+            let mrl_file = t.mrl_file();
+            let fll = salvage_log_file(
+                dir,
+                &fll_file,
+                FLL_FILE_MAGIC,
+                manifest.version,
+                manifest.codec,
+                t.thread,
+                t.checkpoints,
+            );
+            let mrl = salvage_log_file(
+                dir,
+                &mrl_file,
+                MRL_FILE_MAGIC,
+                manifest.version,
+                manifest.codec,
+                t.thread,
+                t.checkpoints,
+            );
+            let mut fll_intact = fll.frames.len() as u32;
+            let mut mrl_intact = mrl.frames.len() as u32;
+            let (mut fll_cause, mut fll_off) = (fll.cause, fll.first_bad_offset);
+            let (mut mrl_cause, mut mrl_off) = (mrl.cause, mrl.first_bad_offset);
+            let mut checkpoints = Vec::new();
+            let mut instructions = 0u64;
+            let (mut fll_bytes, mut fll_stored) = (0u64, 0u64);
+            let (mut mrl_bytes, mut mrl_stored) = (0u64, 0u64);
+            // An interval is recovered only when *both* frames decode and
+            // pair; a decode or pairing failure is earlier damage than
+            // whatever byte-level cause the per-file pass may have found.
+            for i in 0..fll.frames.len().min(mrl.frames.len()) {
+                let ff = &fll.frames[i];
+                let mf = &mrl.frames[i];
+                let decoded_fll = match FirstLoadLog::from_bytes(&ff.payload) {
+                    Ok(log) => log,
+                    Err(e) => {
+                        fll_intact = i as u32;
+                        fll_off = Some(ff.offset);
+                        fll_cause = Some(DumpError::CorruptLog {
+                            file: fll_file.clone(),
+                            frame: i as u32,
+                            detail: e.to_string(),
+                        });
+                        break;
+                    }
+                };
+                let Some(decoded_mrl) = MemoryRaceLog::from_bytes(&mf.payload) else {
+                    mrl_intact = i as u32;
+                    mrl_off = Some(mf.offset);
+                    mrl_cause = Some(DumpError::CorruptLog {
+                        file: mrl_file.clone(),
+                        frame: i as u32,
+                        detail: "memory race log failed to decode".into(),
+                    });
+                    break;
+                };
+                if decoded_fll.header.thread != t.thread {
+                    fll_intact = i as u32;
+                    fll_off = Some(ff.offset);
+                    fll_cause = Some(DumpError::Inconsistent {
+                        file: fll_file.clone(),
+                        detail: format!(
+                            "frame {i} belongs to {}, expected {}",
+                            decoded_fll.header.thread, t.thread
+                        ),
+                    });
+                    break;
+                }
+                if decoded_mrl.header.checkpoint != decoded_fll.header.checkpoint
+                    || decoded_mrl.header.thread != decoded_fll.header.thread
+                {
+                    mrl_intact = i as u32;
+                    mrl_off = Some(mf.offset);
+                    mrl_cause = Some(DumpError::Inconsistent {
+                        file: mrl_file.clone(),
+                        detail: format!(
+                            "frame {i} pairs {} {} with FLL {} {}",
+                            decoded_mrl.header.thread,
+                            decoded_mrl.header.checkpoint,
+                            decoded_fll.header.thread,
+                            decoded_fll.header.checkpoint
+                        ),
+                    });
+                    break;
+                }
+                let Some(total) = instructions.checked_add(decoded_fll.instructions) else {
+                    fll_intact = i as u32;
+                    fll_off = Some(ff.offset);
+                    fll_cause = Some(DumpError::Inconsistent {
+                        file: fll_file.clone(),
+                        detail: "declared per-interval instruction counts overflow".into(),
+                    });
+                    break;
+                };
+                instructions = total;
+                fll_bytes += ff.payload.len() as u64;
+                fll_stored += ff.stored;
+                mrl_bytes += mf.payload.len() as u64;
+                mrl_stored += mf.stored;
+                checkpoints.push(DumpedCheckpoint {
+                    fll: decoded_fll,
+                    mrl: decoded_mrl,
+                    digest: t.digests[i],
+                });
+            }
+            let intervals = checkpoints.len() as u32;
+            report.intact_intervals += u64::from(intervals);
+            report.lost_intervals += u64::from(t.checkpoints.saturating_sub(intervals));
+            report.files.push(FileSalvage {
+                file: fll_file,
+                declared_frames: t.checkpoints,
+                intact_frames: fll_intact,
+                first_bad_offset: fll_off,
+                cause: fll_cause,
+            });
+            report.files.push(FileSalvage {
+                file: mrl_file,
+                declared_frames: t.checkpoints,
+                intact_frames: mrl_intact,
+                first_bad_offset: mrl_off,
+                cause: mrl_cause,
+            });
+            let image = if t.has_image {
+                let image_file = t.image_file();
+                match image_cache.iter().find(|(f, _)| *f == image_file) {
+                    Some((_, cached)) => cached.clone(),
+                    None => {
+                        let owner = image_owner(&image_file).unwrap_or(t.thread);
+                        let salvaged = salvage_log_file(
+                            dir,
+                            &image_file,
+                            IMAGE_FILE_MAGIC,
+                            manifest.version,
+                            manifest.codec,
+                            owner,
+                            1,
+                        );
+                        let mut intact = salvaged.frames.len().min(1) as u32;
+                        let mut cause = salvaged.cause;
+                        let mut offset = salvaged.first_bad_offset;
+                        let mut program = None;
+                        if let Some(frame) = salvaged.frames.first() {
+                            let hash_ok = match t.image_hash {
+                                Some(expected) => {
+                                    let actual = fnv1a(&frame.payload);
+                                    if actual != expected {
+                                        intact = 0;
+                                        offset = Some(frame.offset);
+                                        cause = Some(DumpError::ChecksumMismatch {
+                                            file: image_file.clone(),
+                                            frame: Some(0),
+                                            expected,
+                                            actual,
+                                        });
+                                    }
+                                    actual == expected
+                                }
+                                None => true,
+                            };
+                            if hash_ok {
+                                match decode_image(&frame.payload) {
+                                    Ok(p) => program = Some(Arc::new(p)),
+                                    Err(e) => {
+                                        intact = 0;
+                                        offset = Some(frame.offset);
+                                        cause = Some(DumpError::CorruptLog {
+                                            file: image_file.clone(),
+                                            frame: 0,
+                                            detail: format!("program image failed to decode: {e}"),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                        report.files.push(FileSalvage {
+                            file: image_file.clone(),
+                            declared_frames: 1,
+                            intact_frames: intact,
+                            first_bad_offset: offset,
+                            cause,
+                        });
+                        if program.is_none() {
+                            report.lost_images += 1;
+                        }
+                        image_cache.push((image_file, program.clone()));
+                        program
+                    }
+                }
+            } else {
+                None
+            };
+            adjusted.push(ThreadManifest {
+                thread: t.thread,
+                checkpoints: intervals,
+                instructions,
+                fll_bytes,
+                mrl_bytes,
+                fll_stored_bytes: fll_stored,
+                mrl_stored_bytes: mrl_stored,
+                has_image: image.is_some(),
+                image_raw_bytes: if image.is_some() {
+                    t.image_raw_bytes
+                } else {
+                    0
+                },
+                image_stored_bytes: if image.is_some() {
+                    t.image_stored_bytes
+                } else {
+                    0
+                },
+                image_hash: if image.is_some() { t.image_hash } else { None },
+                digests: t.digests[..intervals as usize].to_vec(),
+            });
+            threads.push(ThreadDump {
+                thread: t.thread,
+                image,
+                checkpoints,
+            });
+        }
+        let dump = CrashDump {
+            manifest: DumpManifest {
+                threads: adjusted,
+                ..manifest
+            },
+            threads,
+        };
+        Ok(SalvagedDump { dump, report })
     }
 }
 
@@ -1729,6 +2492,12 @@ impl<'a> ByteReader<'a> {
 
     fn is_exhausted(&self) -> bool {
         self.pos == self.buf.len()
+    }
+
+    /// Current byte offset from the start of the buffer (salvage uses it to
+    /// report where a file first went bad).
+    fn position(&self) -> u64 {
+        self.pos as u64
     }
 }
 
@@ -2369,6 +3138,312 @@ mod tests {
             );
         }
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v4_dedups_identical_images_across_threads() {
+        let dir = temp_dir("v4-dedup");
+        let store = store_with_logs(3, 2);
+        let program = test_program();
+        let written = write_dump(&dir, &meta(), &store, |_| Some(Arc::clone(&program))).unwrap();
+        assert_eq!(written.version, DUMP_VERSION);
+        assert_eq!(written.embedded_images(), 3);
+        // All three threads run the same binary: one content-addressed file.
+        assert_eq!(written.unique_images(), 1);
+        let hash = written.threads[0].image_hash.unwrap();
+        for t in &written.threads {
+            assert_eq!(t.image_hash, Some(hash));
+            assert_eq!(t.image_file(), format!("image-{hash:016x}.bni"));
+        }
+        let image_files: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.starts_with("image-"))
+            .collect();
+        assert_eq!(image_files, vec![format!("image-{hash:016x}.bni")]);
+        // Totals count the deduplicated file once.
+        assert_eq!(
+            written.total_image_size().bytes(),
+            written.threads[0].image_raw_bytes
+        );
+
+        let dump = CrashDump::load(&dir).unwrap();
+        assert_eq!(dump.manifest, written);
+        assert!(dump.is_self_contained());
+        // One decoded program, shared by every thread.
+        let first = dump.threads[0].image.as_ref().unwrap();
+        for t in &dump.threads {
+            assert!(Arc::ptr_eq(t.image.as_ref().unwrap(), first));
+        }
+        let report = dump.verify().unwrap();
+        assert_eq!(report.images, 3);
+        assert_eq!(report.image_raw_bytes, written.threads[0].image_raw_bytes);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v4_stores_distinct_images_separately() {
+        let dir = temp_dir("v4-distinct");
+        let store = store_with_logs(2, 1);
+        let a = test_program();
+        let mut other = (*test_program()).clone();
+        other.add_symbol("extra", Addr::new(0x300));
+        let b = Arc::new(other);
+        let written = write_dump(&dir, &meta(), &store, |t| {
+            Some(if t == ThreadId(0) {
+                Arc::clone(&a)
+            } else {
+                Arc::clone(&b)
+            })
+        })
+        .unwrap();
+        assert_eq!(written.unique_images(), 2);
+        assert_ne!(written.threads[0].image_hash, written.threads[1].image_hash);
+        let dump = CrashDump::load(&dir).unwrap();
+        assert_eq!(dump.threads[0].image.as_deref(), Some(a.as_ref()));
+        assert_eq!(dump.threads[1].image.as_deref(), Some(b.as_ref()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_dump_v3_still_produces_loadable_v3_dumps() {
+        let dir = temp_dir("v3-compat");
+        let store = store_with_logs(2, 1);
+        let program = test_program();
+        let written = write_dump_v3(&dir, &meta(), &store, |_| Some(Arc::clone(&program))).unwrap();
+        assert_eq!(written.version, DUMP_VERSION_V3);
+        // v3 has no content addressing: per-thread files, no hashes.
+        assert_eq!(written.unique_images(), 2);
+        for t in &written.threads {
+            assert_eq!(t.image_hash, None);
+            assert!(dir.join(t.image_file()).exists());
+        }
+        assert!(dir.join("image-0.bni").exists());
+        assert!(dir.join("image-1.bni").exists());
+        let dump = CrashDump::load(&dir).unwrap();
+        assert_eq!(dump.manifest, written);
+        assert!(dump.is_self_contained());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_of_a_clean_dump_is_lossless() {
+        let dir = temp_dir("salvage-clean");
+        let store = store_with_logs(2, 3);
+        let program = test_program();
+        write_dump(&dir, &meta(), &store, |_| Some(Arc::clone(&program))).unwrap();
+        let strict = CrashDump::load(&dir).unwrap();
+        let salvaged = CrashDump::load_salvage(&dir).unwrap();
+        assert!(salvaged.report.is_clean(), "{:?}", salvaged.report);
+        assert_eq!(salvaged.report.intact_intervals, 6);
+        assert_eq!(salvaged.report.lost_intervals, 0);
+        assert_eq!(salvaged.report.lost_frames(), 0);
+        assert_eq!(salvaged.dump, strict);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_recovers_the_intact_prefix_of_a_truncated_log() {
+        let dir = temp_dir("salvage-trunc");
+        let store = store_with_logs(1, 3);
+        let manifest = write_dump(&dir, &meta(), &store, |_| None).unwrap();
+        let path = dir.join(manifest.threads[0].fll_file());
+        let original = fs::read(&path).unwrap();
+        // Truncate at every possible byte offset; salvage must never panic,
+        // and must recover exactly the frames whose bytes fully survive.
+        for cut in 0..original.len() {
+            fs::write(&path, &original[..cut]).unwrap();
+            let salvaged = CrashDump::load_salvage(&dir).unwrap();
+            let fll = salvaged
+                .report
+                .files
+                .iter()
+                .find(|f| f.file == manifest.threads[0].fll_file())
+                .unwrap();
+            assert!(fll.intact_frames <= 3, "cut {cut}");
+            assert_eq!(
+                u64::from(fll.intact_frames) + salvaged.report.lost_intervals,
+                3,
+                "cut {cut}: intervals must be fll-limited here"
+            );
+            if cut < original.len() {
+                assert!(fll.cause.is_some(), "cut {cut}: loss must have a cause");
+                assert!(fll.first_bad_offset.is_some(), "cut {cut}");
+            }
+            // The salvaged dump is internally consistent: deep verify works.
+            let report = salvaged.dump.verify().unwrap();
+            assert_eq!(report.checkpoints, u64::from(fll.intact_frames));
+        }
+        fs::write(&path, &original).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_ground_truth_matches_frame_layout() {
+        // Cut exactly at each frame boundary and check the loss report
+        // against the known layout: 16-byte header, then per frame a
+        // 4-byte length prefix + container + 8-byte stored checksum.
+        let dir = temp_dir("salvage-exact");
+        let store = store_with_logs(1, 3);
+        let manifest = write_dump(&dir, &meta(), &store, |_| None).unwrap();
+        let path = dir.join(manifest.threads[0].fll_file());
+        let original = fs::read(&path).unwrap();
+        let mut boundaries = vec![16u64];
+        {
+            let mut pos = 16usize;
+            for _ in 0..3 {
+                let len = u32::from_le_bytes(original[pos..pos + 4].try_into().unwrap()) as usize;
+                pos += 4 + len + 8;
+                boundaries.push(pos as u64);
+            }
+            assert_eq!(pos, original.len(), "layout walk must cover the file");
+        }
+        for (frames_kept, cut) in boundaries.iter().enumerate() {
+            fs::write(&path, &original[..*cut as usize]).unwrap();
+            let salvaged = CrashDump::load_salvage(&dir).unwrap();
+            let fll = salvaged
+                .report
+                .files
+                .iter()
+                .find(|f| f.file.ends_with(".fll"))
+                .unwrap();
+            assert_eq!(fll.intact_frames as usize, frames_kept, "cut at {cut}");
+            assert_eq!(fll.declared_frames, 3);
+            assert_eq!(
+                salvaged.report.intact_intervals as usize, frames_kept,
+                "cut at {cut}"
+            );
+            if frames_kept < 3 {
+                // The first bad offset is the cut frame's start.
+                assert_eq!(fll.first_bad_offset, Some(*cut), "cut at {cut}");
+                assert!(matches!(fll.cause, Some(DumpError::Truncated { .. })));
+            }
+        }
+        fs::write(&path, &original).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_pairs_intervals_across_both_logs() {
+        // MRL truncated to fewer frames than the FLL: intervals are limited
+        // by the pair, and the FLL's own report stays at its byte-level
+        // intact count.
+        let dir = temp_dir("salvage-pair");
+        let store = store_with_logs(1, 3);
+        let manifest = write_dump(&dir, &meta(), &store, |_| None).unwrap();
+        let mrl_path = dir.join(manifest.threads[0].mrl_file());
+        let original = fs::read(&mrl_path).unwrap();
+        // Keep header + first frame of the MRL.
+        let first_len = u32::from_le_bytes(original[16..20].try_into().unwrap()) as usize;
+        fs::write(&mrl_path, &original[..16 + 4 + first_len + 8]).unwrap();
+        let salvaged = CrashDump::load_salvage(&dir).unwrap();
+        assert_eq!(salvaged.report.intact_intervals, 1);
+        assert_eq!(salvaged.report.lost_intervals, 2);
+        let fll = salvaged
+            .report
+            .files
+            .iter()
+            .find(|f| f.file.ends_with(".fll"))
+            .unwrap();
+        assert_eq!(fll.intact_frames, 3, "FLL itself is fully intact");
+        let mrl = salvaged
+            .report
+            .files
+            .iter()
+            .find(|f| f.file.ends_with(".mrl"))
+            .unwrap();
+        assert_eq!(mrl.intact_frames, 1);
+        assert_eq!(salvaged.dump.threads[0].checkpoints.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_survives_a_lost_image_and_a_lost_log_file() {
+        let dir = temp_dir("salvage-missing");
+        let store = store_with_logs(2, 2);
+        let program = test_program();
+        let manifest = write_dump(&dir, &meta(), &store, |_| Some(Arc::clone(&program))).unwrap();
+        // Destroy the (shared) image file and thread 1's FLL entirely.
+        fs::remove_file(dir.join(manifest.threads[0].image_file())).unwrap();
+        fs::remove_file(dir.join(manifest.threads[1].fll_file())).unwrap();
+        let salvaged = CrashDump::load_salvage(&dir).unwrap();
+        assert_eq!(salvaged.report.lost_images, 1);
+        assert_eq!(salvaged.report.intact_intervals, 2);
+        assert_eq!(salvaged.report.lost_intervals, 2);
+        assert!(salvaged.dump.threads.iter().all(|t| t.image.is_none()));
+        // Thread 0's intervals replay-ready; thread 1 contributes none.
+        assert_eq!(salvaged.dump.threads[0].checkpoints.len(), 2);
+        assert_eq!(salvaged.dump.threads[1].checkpoints.len(), 0);
+        let fll1 = salvaged
+            .report
+            .files
+            .iter()
+            .find(|f| f.file == manifest.threads[1].fll_file())
+            .unwrap();
+        assert!(matches!(fll1.cause, Some(DumpError::Io { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_rejects_checksum_damaged_frames() {
+        // A bit flip inside a frame: salvage keeps earlier frames, drops the
+        // damaged one and everything after it (no resynchronization — a
+        // forged length could otherwise smuggle bytes).
+        let dir = temp_dir("salvage-flip");
+        let store = store_with_logs(1, 3);
+        let manifest = write_dump(&dir, &meta(), &store, |_| None).unwrap();
+        let path = dir.join(manifest.threads[0].fll_file());
+        let original = fs::read(&path).unwrap();
+        // Second frame starts after header + first frame.
+        let first_len = u32::from_le_bytes(original[16..20].try_into().unwrap()) as usize;
+        let second_start = 16 + 4 + first_len + 8;
+        let mut bytes = original.clone();
+        bytes[second_start + 10] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let salvaged = CrashDump::load_salvage(&dir).unwrap();
+        let fll = salvaged
+            .report
+            .files
+            .iter()
+            .find(|f| f.file.ends_with(".fll"))
+            .unwrap();
+        assert_eq!(fll.intact_frames, 1);
+        assert_eq!(fll.first_bad_offset, Some(second_start as u64));
+        assert!(fll.cause.is_some());
+        assert_eq!(salvaged.report.intact_intervals, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_without_a_manifest_is_fatal() {
+        let dir = temp_dir("salvage-no-manifest");
+        let store = store_with_logs(1, 1);
+        write_dump(&dir, &meta(), &store, |_| None).unwrap();
+        fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+        let err = CrashDump::load_salvage(&dir).unwrap_err();
+        assert!(matches!(err, DumpError::Io { .. }), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulty_io_surfaces_as_typed_dump_errors_with_op_context() {
+        use crate::io::{FaultIo, FaultKind};
+        let base = temp_dir("write-faults");
+        fs::create_dir_all(&base).unwrap();
+        let store = store_with_logs(1, 1);
+        let dir = base.join("crash");
+        let mut io = FaultIo::new(StdIo::new(), 2, FaultKind::Enospc);
+        let err = write_dump_with_io(&dir, &meta(), &store, |_| None, &mut io).unwrap_err();
+        match &err {
+            DumpError::Io { op, source, .. } => {
+                assert_eq!(*op, IoOp::WriteFile);
+                assert_eq!(source.raw_os_error(), Some(28));
+            }
+            other => panic!("expected Io, got {other}"),
+        }
+        assert!(err.to_string().contains("write"), "{err}");
+        assert!(!dir.exists());
+        fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use bugnet_compress::CodecId;
 use bugnet_core::dump::{self, DumpError, DumpFault, DumpManifest, DumpMeta};
 use bugnet_core::fll::TerminationCause;
+use bugnet_core::io::{clean_orphaned_staging, DumpIo, SharedDumpIo, StdIo};
 use bugnet_core::recorder::{CheckpointLogs, LogStore, ThreadRecorder};
 use bugnet_core::stats::LogSizeReport;
 use bugnet_core::{estimate_overhead, OverheadInputs, OverheadReport};
@@ -41,6 +42,7 @@ pub struct MachineBuilder {
     codec: Option<CodecId>,
     flush_workers: usize,
     embed_image: Option<bool>,
+    dump_io: Option<SharedDumpIo>,
 }
 
 impl MachineBuilder {
@@ -110,6 +112,15 @@ impl MachineBuilder {
         self
     }
 
+    /// Routes all crash-dump filesystem traffic through an explicit
+    /// [`DumpIo`] backend instead of the real filesystem — the seam the
+    /// fault-injection tests use to kill the dump write at every op index.
+    /// Defaults to [`StdIo`].
+    pub fn dump_io(mut self, io: SharedDumpIo) -> Self {
+        self.dump_io = Some(io);
+        self
+    }
+
     /// Sets the workload identity string recorded in crash-dump manifests
     /// (see `bugnet_workloads::registry`), so offline replay can rebuild the
     /// recorded program images. Defaults to the workload's display name.
@@ -133,6 +144,7 @@ impl MachineBuilder {
         machine.workload_spec = self.workload_spec.unwrap_or_else(|| workload.name.clone());
         machine.dump_dir = self.dump_dir;
         machine.embed_image = self.embed_image.unwrap_or(true);
+        machine.dump_io = self.dump_io;
         if self.flush_workers > 0 && machine.log_store.is_some() {
             machine.pipeline = Some(FlushPipeline::new(self.flush_workers, codec));
         }
@@ -236,6 +248,7 @@ pub struct Machine {
     workload_spec: String,
     dump_dir: Option<PathBuf>,
     embed_image: bool,
+    dump_io: Option<SharedDumpIo>,
     crash_dump: Option<Result<DumpManifest, DumpError>>,
 }
 
@@ -301,6 +314,7 @@ impl Machine {
             workload_spec: String::new(),
             dump_dir: None,
             embed_image: true,
+            dump_io: None,
             crash_dump: None,
             memory,
             cfg,
@@ -412,19 +426,37 @@ impl Machine {
     /// crash-dump directory (paper §4.8). The manifest records the recorder
     /// configuration, the workload identity string and the first fault
     /// observed, if any; unless [`MachineBuilder::embed_image`] was turned
-    /// off, each thread's full program image is embedded (format v3), so
-    /// the dump replays offline without the workload registry. Callable at
-    /// any point — after a crash for the paper's scenario, or after a clean
-    /// run to archive the logs.
+    /// off, each thread's full program image is embedded (content-addressed,
+    /// format v4), so the dump replays offline without the workload registry.
+    /// Callable at any point — after a crash for the paper's scenario, or
+    /// after a clean run to archive the logs.
+    ///
+    /// The write is atomic: the dump is staged in a `<dir>.staging-<nonce>`
+    /// sibling and renamed into place, so `dir` either appears complete or
+    /// not at all. Orphaned staging directories a crashed prior run left
+    /// next to `dir` are cleaned up (best-effort) first.
     ///
     /// # Errors
     ///
     /// Returns [`DumpError::NoRecorder`] when no BugNet recorder is attached,
-    /// or [`DumpError::Io`] when the directory cannot be written.
+    /// or [`DumpError::Io`] (with operation context) when the commit fails.
     pub fn write_crash_dump(&self, dir: &Path) -> Result<DumpManifest, DumpError> {
-        let store = self.log_store.as_ref().ok_or(DumpError::NoRecorder)?;
-        dump::write_dump(dir, &self.dump_meta(store), store, |thread| {
-            self.embed_image.then(|| self.program_of(thread)).flatten()
+        self.dump_via(dir, |io, dir, meta, store, image_of| {
+            dump::write_dump_with_io(dir, meta, store, image_of, io)
+        })
+    }
+
+    /// Writes the retained log window in the v3 format (per-thread image
+    /// files, no content addressing), for old tooling and the CLI's
+    /// format-compatibility matrix. New dumps should use
+    /// [`Machine::write_crash_dump`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::write_crash_dump`].
+    pub fn write_crash_dump_v3(&self, dir: &Path) -> Result<DumpManifest, DumpError> {
+        self.dump_via(dir, |io, dir, meta, store, image_of| {
+            dump::write_dump_v3_with_io(dir, meta, store, image_of, io)
         })
     }
 
@@ -435,11 +467,50 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns [`DumpError::NoRecorder`] when no BugNet recorder is attached,
-    /// or [`DumpError::Io`] when the directory cannot be written.
+    /// As [`Machine::write_crash_dump`].
     pub fn write_crash_dump_v2(&self, dir: &Path) -> Result<DumpManifest, DumpError> {
+        self.dump_via(dir, |io, dir, meta, store, _| {
+            dump::write_dump_v2_with_io(dir, meta, store, io)
+        })
+    }
+
+    /// Replaces the [`DumpIo`] backend crash dumps are written through (see
+    /// [`MachineBuilder::dump_io`]). Lets the fault-injection tests reuse
+    /// one recorded run across many injected-failure dump attempts.
+    pub fn set_dump_io(&mut self, io: SharedDumpIo) {
+        self.dump_io = Some(io);
+    }
+
+    /// Shared plumbing of the dump writers: resolve the backend, sweep
+    /// orphaned staging litter, then run the format-specific writer.
+    fn dump_via(
+        &self,
+        dir: &Path,
+        write: impl Fn(
+            &mut dyn DumpIo,
+            &Path,
+            &DumpMeta,
+            &LogStore,
+            &mut dyn FnMut(ThreadId) -> Option<Arc<Program>>,
+        ) -> Result<DumpManifest, DumpError>,
+    ) -> Result<DumpManifest, DumpError> {
         let store = self.log_store.as_ref().ok_or(DumpError::NoRecorder)?;
-        dump::write_dump_v2(dir, &self.dump_meta(store), store)
+        let meta = self.dump_meta(store);
+        let mut image_of =
+            |thread: ThreadId| self.embed_image.then(|| self.program_of(thread)).flatten();
+        let mut run = |io: &mut dyn DumpIo| {
+            // Best-effort: litter from a crashed prior run must never block
+            // writing this crash's dump.
+            let _ = clean_orphaned_staging(io, dir);
+            write(io, dir, &meta, store, &mut image_of)
+        };
+        match &self.dump_io {
+            Some(shared) => {
+                let mut guard = shared.lock().unwrap_or_else(|e| e.into_inner());
+                run(&mut *guard)
+            }
+            None => run(&mut StdIo::new()),
+        }
     }
 
     /// The dump metadata for the machine's current state: recorder config,
@@ -1123,6 +1194,134 @@ mod tests {
         let report = dump.replay(|t| machine.program_of(t)).unwrap();
         assert!(report.all_match());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_dump_faults_are_typed_and_never_leave_partial_dumps() {
+        use bugnet_core::dump::CrashDump;
+        use bugnet_core::io::{FaultIo, FaultKind};
+        use std::sync::Mutex;
+
+        let base = std::env::temp_dir().join(format!("bugnet-iosweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+
+        // One recorded run, many injected dump attempts against it.
+        let workload = BugSpec::all()[0].build(1.0);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(1_000_000))
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+
+        // Count the ops of a clean write (cleanup sweep + commit).
+        let probe = Arc::new(Mutex::new(StdIo::new()));
+        machine.set_dump_io(Arc::clone(&probe) as SharedDumpIo);
+        machine.write_crash_dump(&base.join("probe")).unwrap();
+        let total_ops = probe.lock().unwrap().ops();
+        assert!(total_ops >= 7, "ops = {total_ops}");
+
+        let staging_litter = |dir: &Path| -> Vec<String> {
+            let stem = format!("{}.staging-", dir.file_name().unwrap().to_str().unwrap());
+            std::fs::read_dir(&base)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().into_string().unwrap())
+                .filter(|n| n.starts_with(&stem))
+                .collect()
+        };
+
+        let kinds = [
+            FaultKind::Enospc,
+            FaultKind::Transient(TRANSIENT_BUDGET_EXCEEDING),
+            FaultKind::ShortWrite(5),
+            FaultKind::HardKill,
+        ];
+        for (k, kind) in kinds.into_iter().enumerate() {
+            for fail_at in 0..total_ops {
+                let dir = base.join(format!("dump-{k}-{fail_at}"));
+                let io = Arc::new(Mutex::new(FaultIo::new(StdIo::new(), fail_at, kind)));
+                machine.set_dump_io(Arc::clone(&io) as SharedDumpIo);
+                match machine.write_crash_dump(&dir) {
+                    // A failure swallowed by the best-effort cleanup sweep
+                    // (or a post-rename sync failure reported as complete):
+                    // the dump must be fully loadable.
+                    Ok(_) => {
+                        CrashDump::load(&dir).expect("a committed dump loads");
+                    }
+                    Err(DumpError::Io { op, .. }) => {
+                        // Never partial: absent, or (only when the failing op
+                        // was a post-visibility directory sync) complete.
+                        if dir.exists() {
+                            assert_eq!(op, bugnet_core::io::IoOp::SyncDir, "{kind:?}@{fail_at}");
+                            CrashDump::load(&dir).expect("a visible dump is complete");
+                        }
+                    }
+                    Err(other) => panic!("untyped dump failure: {other} ({kind:?}@{fail_at})"),
+                }
+                // One-shot faults never strand staging litter: the
+                // best-effort cleanup after a failed commit removes it. A
+                // sticky fault (hard kill, or transients outlasting the
+                // retry budget) can make that cleanup fail too — then the
+                // next dump through a healthy backend must sweep the litter.
+                let litter = staging_litter(&dir);
+                if !litter.is_empty() {
+                    assert!(
+                        matches!(kind, FaultKind::HardKill | FaultKind::Transient(_)),
+                        "{kind:?}@{fail_at}: {litter:?}"
+                    );
+                    machine.set_dump_io(Arc::new(Mutex::new(StdIo::new())) as SharedDumpIo);
+                    machine.write_crash_dump(&dir).unwrap();
+                    assert!(staging_litter(&dir).is_empty(), "litter survived cleanup");
+                    CrashDump::load(&dir).unwrap();
+                }
+            }
+        }
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    /// More transient faults than the commit path's retry budget.
+    const TRANSIENT_BUDGET_EXCEEDING: u32 = 16;
+
+    #[test]
+    fn auto_dump_failure_is_a_recorded_error_not_a_panic() {
+        use bugnet_core::io::{FaultIo, FaultKind};
+        use std::sync::Mutex;
+        let dir = std::env::temp_dir().join(format!("bugnet-autofail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let workload = BugSpec::all()[0].build(1.0);
+        let io = FaultIo::new(StdIo::new(), 1, FaultKind::Enospc);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(1_000_000))
+            .dump_on_crash(&dir)
+            .dump_io(Arc::new(Mutex::new(io)))
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+        match machine.crash_dump() {
+            Some(Err(DumpError::Io { source, .. })) => {
+                assert_eq!(source.raw_os_error(), Some(28), "ENOSPC expected");
+            }
+            other => panic!("expected a typed i/o error, got {other:?}"),
+        }
+        assert!(!dir.exists(), "failed dump must not be visible");
+    }
+
+    #[test]
+    fn dumps_sweep_orphaned_staging_from_prior_crashed_runs() {
+        let base = std::env::temp_dir().join(format!("bugnet-orphans-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let dir = base.join("dump");
+        let orphan = base.join("dump.staging-dead");
+        std::fs::create_dir_all(&orphan).unwrap();
+        std::fs::write(orphan.join("manifest.bnd"), b"half-written").unwrap();
+        let workload = BugSpec::all()[0].build(1.0);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(1_000_000))
+            .dump_on_crash(&dir)
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+        assert!(machine.crash_dump().unwrap().is_ok());
+        assert!(!orphan.exists(), "orphaned staging dir must be swept");
+        assert!(dir.exists());
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

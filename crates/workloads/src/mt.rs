@@ -65,33 +65,28 @@ fn counter_program(name: String, increments: u32, data_base: u64, use_lock: bool
 
 /// A workload of `threads` threads, each incrementing a shared counter
 /// `increments` times under a spin lock.
+///
+/// Every thread runs the *same* [`Program`] (the kernel never touches its
+/// private data region), mirroring how real multithreaded processes share one
+/// executable image; crash dumps of this workload therefore embed the image
+/// once, content-addressed, rather than once per thread.
 pub fn locked_counter(threads: usize, increments: u32) -> Workload {
     let threads = threads.max(2);
+    let program = counter_program("locked-counter".to_string(), increments, 0x5000_0000, true);
     let specs = (0..threads)
-        .map(|t| {
-            ThreadSpec::new(counter_program(
-                format!("locked-counter-t{t}"),
-                increments,
-                0x5000_0000 + t as u64 * 0x10_0000,
-                true,
-            ))
-        })
+        .map(|_| ThreadSpec::new(Arc::clone(&program)))
         .collect();
     Workload::new("locked-counter", specs)
 }
 
 /// The same counter workload without the lock: a textbook data race.
+///
+/// As with [`locked_counter`], all threads share one program image.
 pub fn racy_counter(threads: usize, increments: u32) -> Workload {
     let threads = threads.max(2);
+    let program = counter_program("racy-counter".to_string(), increments, 0x5000_0000, false);
     let specs = (0..threads)
-        .map(|t| {
-            ThreadSpec::new(counter_program(
-                format!("racy-counter-t{t}"),
-                increments,
-                0x5000_0000 + t as u64 * 0x10_0000,
-                false,
-            ))
-        })
+        .map(|_| ThreadSpec::new(Arc::clone(&program)))
         .collect();
     Workload::new("racy-counter", specs)
 }
@@ -191,6 +186,16 @@ mod tests {
         assert_eq!(w.thread_count(), 2);
         for t in &w.threads {
             assert_eq!(runs_alone(&t.program), StepEvent::Halted);
+        }
+    }
+
+    #[test]
+    fn counter_threads_share_one_program_image() {
+        for w in [locked_counter(4, 10), racy_counter(4, 10)] {
+            let first = &w.threads[0].program;
+            for t in &w.threads[1..] {
+                assert!(Arc::ptr_eq(first, &t.program));
+            }
         }
     }
 

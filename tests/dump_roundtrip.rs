@@ -252,7 +252,9 @@ fn image_section_corruptions_yield_typed_errors_and_never_wrong_replays() {
     let spec = "spec:gzip:20000:1";
     let dir = temp_dir("image-corruption");
     record_dump(spec, &dir, 5_000);
-    let image = dir.join("image-0.bni");
+    // v4 image files are content-addressed; take the name from the manifest.
+    let manifest = CrashDump::load(&dir).unwrap().manifest;
+    let image = dir.join(manifest.threads[0].image_file());
     let original = fs::read(&image).unwrap();
 
     let mut rng = SplitMix64::new(0x1A_6E0BAD);
