@@ -7,10 +7,19 @@
 //! but a genuine algorithmic regression (the kind that costs an order of
 //! magnitude) always does. Improvements and new metrics never fail.
 //!
+//! Efficiency metrics (`*_efficiency`, e.g. `mt_scaling_efficiency`) are
+//! gated differently: they are already normalized to the hardware the run
+//! executed on, so the CURRENT run must clear an absolute floor
+//! (`--min-efficiency`, default 0.5) regardless of what the baseline
+//! machine measured. A sharded recorder that serializes — all threads
+//! funneling through one lock — lands well below 0.5 and fails CI on any
+//! box, including a single-core runner.
+//!
 //! ```text
 //! cargo run --release -p bugnet_bench --bin throughput > current.json
 //! cargo run --release -p bugnet_bench --bin bench_check -- \
-//!     --baseline BENCH_baseline.json --current current.json [--tolerance 2.5]
+//!     --baseline BENCH_baseline.json --current current.json \
+//!     [--tolerance 2.5] [--min-efficiency 0.5]
 //! ```
 
 use std::env;
@@ -62,11 +71,20 @@ fn is_rate_metric(key: &str) -> bool {
     key.ends_with("_per_sec") || key.ends_with("_ratio")
 }
 
+/// Efficiency metrics (`*_efficiency`) are hardware-normalized by the
+/// harness, so they are gated against an absolute floor in the CURRENT run
+/// rather than compared multiplicatively against a baseline recorded on
+/// different hardware.
+fn is_efficiency_metric(key: &str) -> bool {
+    key.ends_with("_efficiency")
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut baseline_path = "BENCH_baseline.json".to_string();
     let mut current_path = String::new();
     let mut tolerance = 2.5f64;
+    let mut min_efficiency = 0.5f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -88,10 +106,21 @@ fn main() -> ExitCode {
                 }
                 i += 2;
             }
+            "--min-efficiency" if i + 1 < args.len() => {
+                match args[i + 1].parse::<f64>() {
+                    Ok(m) if (0.0..=1.0).contains(&m) => min_efficiency = m,
+                    _ => {
+                        eprintln!("bench_check: --min-efficiency must be in [0.0, 1.0]");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
             other => {
                 eprintln!(
                     "bench_check: unexpected argument `{other}`\n\
-                     usage: bench_check --baseline <FILE> --current <FILE> [--tolerance <X>]"
+                     usage: bench_check --baseline <FILE> --current <FILE> \
+                     [--tolerance <X>] [--min-efficiency <E>]"
                 );
                 return ExitCode::from(2);
             }
@@ -139,17 +168,44 @@ fn main() -> ExitCode {
         };
         println!("{key:<34} {base:>16.0} {cur:>16.0} {ratio:>8.2}  {verdict}");
     }
+    // Absolute-floor pass: every efficiency metric in the CURRENT run must
+    // clear the floor, and none recorded in the baseline may disappear.
+    for (key, cur) in current.iter().filter(|(k, _)| is_efficiency_metric(k)) {
+        compared += 1;
+        let base = baseline
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, b)| format!("{b:>16.4}"))
+            .unwrap_or_else(|| format!("{:>16}", "-"));
+        let verdict = if *cur < min_efficiency {
+            regressions += 1;
+            "BELOW FLOOR"
+        } else {
+            "ok"
+        };
+        println!("{key:<34} {base} {cur:>16.4} {min_efficiency:>8.2}  {verdict}");
+    }
+    for (key, base) in baseline.iter().filter(|(k, _)| is_efficiency_metric(k)) {
+        if !current.iter().any(|(k, _)| k == key) {
+            println!("{key:<34} {base:>16.4} {:>16} {:>8}  MISSING", "-", "-");
+            regressions += 1;
+        }
+    }
     if compared == 0 {
         eprintln!("bench_check: no rate metrics to compare");
         return ExitCode::from(2);
     }
     if regressions > 0 {
         eprintln!(
-            "bench_check: {regressions} metric(s) regressed beyond {tolerance}x \
-             (or went missing) vs {baseline_path}"
+            "bench_check: {regressions} metric(s) regressed beyond {tolerance}x, \
+             fell below the {min_efficiency} efficiency floor, or went missing \
+             vs {baseline_path}"
         );
         return ExitCode::from(1);
     }
-    println!("bench_check: all {compared} rate metrics within {tolerance}x of baseline");
+    println!(
+        "bench_check: all {compared} gated metrics pass \
+         ({tolerance}x tolerance, {min_efficiency} efficiency floor)"
+    );
     ExitCode::SUCCESS
 }

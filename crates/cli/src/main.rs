@@ -22,8 +22,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bugnet_compress::CodecId;
-use bugnet_core::dump::CrashDump;
-use bugnet_sim::MachineBuilder;
+use bugnet_core::dump::{CrashDump, DumpFormat, DumpOptions};
+use bugnet_sim::{MachineBuilder, RecordingOptions};
 use bugnet_types::{BugNetConfig, ByteSize, ThreadId};
 use bugnet_workloads::registry;
 
@@ -67,7 +67,8 @@ bugnet — record, inspect, verify and replay BugNet crash dumps
 USAGE:
     bugnet dump --workload <SPEC> --out <DIR> [--interval <N>] [--dict <N>]
                 [--max-instructions <N>] [--codec <identity|lz>]
-                [--flush-workers <N>] [--format <v2|v3|v4>] [--no-embed-image]
+                [--flush-workers <N>] [--shards <N>]
+                [--format <v2|v3|v4>] [--no-embed-image]
         Record a workload on the simulated machine and write the retained
         log window to <DIR> as a crash-dump directory. Faults dump
         automatically at crash time, exactly like the paper's OS trigger.
@@ -75,8 +76,9 @@ USAGE:
         complete or not at all, and orphaned staging directories from
         prior crashed runs are swept first. --codec selects the back-end
         frame compressor (default: lz); --flush-workers seals intervals on
-        N background threads (the dump bytes are identical for any worker
-        count). Format v4 (the default) embeds the program images
+        N background threads and --shards sets the store's hand-off lane
+        count (recorded content is identical for any worker/shard count).
+        Format v4 (the default) embeds the program images
         content-addressed, so threads sharing one image store it once;
         --format v3 writes one image per thread, --format v2 the legacy
         codec-only format, --no-embed-image omits the images.
@@ -209,14 +211,6 @@ impl Args {
     }
 }
 
-/// The on-disk dump format `bugnet dump` writes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DumpFormat {
-    V2,
-    V3,
-    V4,
-}
-
 fn dump_dir_arg(args: &mut Args) -> Result<PathBuf, CliError> {
     args.next_positional()
         .map(PathBuf::from)
@@ -241,15 +235,12 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         })?,
     };
     let flush_workers = args.option_u64("--flush-workers")?.unwrap_or(0) as usize;
-    let format = match args.option("--format")?.as_deref() {
-        None | Some("v4") | Some("4") => DumpFormat::V4,
-        Some("v3") | Some("3") => DumpFormat::V3,
-        Some("v2") | Some("2") => DumpFormat::V2,
-        Some(other) => {
-            return Err(CliError::usage(format!(
-                "--format expects `v2`, `v3` or `v4`, got `{other}`"
-            )))
-        }
+    let store_shards = args.option_u64("--shards")?.unwrap_or(0) as usize;
+    let format = match args.option("--format")? {
+        None => DumpFormat::default(),
+        Some(name) => DumpFormat::parse(&name).ok_or_else(|| {
+            CliError::usage(format!("--format expects `v2`, `v3` or `v4`, got `{name}`"))
+        })?,
     };
     let embed_image = !args.flag("--no-embed-image");
     args.finish()?;
@@ -258,18 +249,28 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
     let cfg = BugNetConfig::default()
         .with_checkpoint_interval(interval)
         .with_dictionary_entries(dict);
-    let mut builder = MachineBuilder::new()
-        .bugnet(cfg)
-        .codec(codec)
-        .flush_workers(flush_workers)
-        .workload_spec(&spec)
-        .embed_image(embed_image);
-    if format == DumpFormat::V4 {
+    // One struct per concern, mirrored straight into the library API: how
+    // the run records, and how the dump is written.
+    let recording = RecordingOptions {
+        codec,
+        flush_workers,
+        store_shards,
+        embed_image,
         // The automatic crash-time dump always writes the current format;
         // v2/v3 dumps are written explicitly after the run instead.
-        builder = builder.dump_on_crash(&out);
-    }
-    let mut machine = builder.build_with_workload(&workload);
+        dump_on_crash: (format == DumpFormat::V4).then(|| out.clone()),
+        dump_io: None,
+    };
+    let dump_opts = DumpOptions {
+        format,
+        codec: None, // the store already seals with `codec`
+        embed_image: None,
+    };
+    let mut machine = MachineBuilder::new()
+        .bugnet(cfg)
+        .workload_spec(&spec)
+        .recording(recording)
+        .build_with_workload(&workload);
     let outcome = machine.run(max_instructions);
 
     println!(
@@ -301,12 +302,9 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         Some(Err(e)) => return Err(CliError::data(format!("automatic crash dump failed: {e}"))),
         // Clean run (or an explicit legacy format): archive the retained
         // window.
-        None => match format {
-            DumpFormat::V4 => machine.write_crash_dump(&out),
-            DumpFormat::V3 => machine.write_crash_dump_v3(&out),
-            DumpFormat::V2 => machine.write_crash_dump_v2(&out),
-        }
-        .map_err(|e| CliError::data(e.to_string()))?,
+        None => machine
+            .write_crash_dump_with(&out, &dump_opts)
+            .map_err(|e| CliError::data(e.to_string()))?,
     };
     println!(
         "dump written to {} (format v{}): {} thread(s), {} checkpoint(s), {} FLL + {} MRL \

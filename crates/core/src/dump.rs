@@ -107,6 +107,68 @@ pub const DUMP_VERSION_V1: u32 = 1;
 /// File name of the manifest inside a dump directory.
 pub const MANIFEST_FILE: &str = "manifest.bnd";
 
+/// A writable crash-dump format, selecting which on-disk layout
+/// [`write_dump`]-family writers produce. (v1 is load-only and kept for old
+/// dumps; it is not a writable target here.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DumpFormat {
+    /// Codec-framed logs, no embedded program images ([`DUMP_VERSION_V2`]).
+    V2,
+    /// Self-contained: per-thread embedded images ([`DUMP_VERSION_V3`]).
+    V3,
+    /// Self-contained with content-addressed, deduplicated images — the
+    /// current default ([`DUMP_VERSION`]).
+    #[default]
+    V4,
+}
+
+impl DumpFormat {
+    /// Parses a format name as the CLI spells it (`v2`/`v3`/`v4`, bare
+    /// digits accepted).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "v2" | "2" => Some(DumpFormat::V2),
+            "v3" | "3" => Some(DumpFormat::V3),
+            "v4" | "4" => Some(DumpFormat::V4),
+            _ => None,
+        }
+    }
+
+    /// The manifest version number this format writes.
+    pub fn version(self) -> u32 {
+        match self {
+            DumpFormat::V2 => DUMP_VERSION_V2,
+            DumpFormat::V3 => DUMP_VERSION_V3,
+            DumpFormat::V4 => DUMP_VERSION,
+        }
+    }
+}
+
+impl std::fmt::Display for DumpFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.version())
+    }
+}
+
+/// Everything that varies about writing one crash dump, in one place —
+/// consumed by `Machine::write_crash_dump_with` in the sim crate and
+/// mirrored by the CLI `dump` subcommand. `Default` is the recommended
+/// production shape: current format, the store's own codec, the machine's
+/// embed-image setting.
+#[derive(Debug, Clone, Default)]
+pub struct DumpOptions {
+    /// On-disk layout to write.
+    pub format: DumpFormat,
+    /// Codec for the dumped frames. `None` keeps the codec the store sealed
+    /// with (no re-compression); `Some` re-seals the retained window with
+    /// that codec at dump time.
+    pub codec: Option<CodecId>,
+    /// Whether to embed program images (ignored by [`DumpFormat::V2`],
+    /// which has no image sections). `None` keeps the writer's configured
+    /// default.
+    pub embed_image: Option<bool>,
+}
+
 /// Upper bound on string fields in the manifest (workload id, fault text).
 const MAX_STRING_BYTES: u32 = 4096;
 /// Upper bound on the number of threads a manifest may declare.

@@ -21,6 +21,7 @@
 //!    [`LogStore`] (the memory-backed circular region of §4.7).
 
 use std::ops::Deref;
+use std::sync::mpsc;
 
 use bugnet_compress::{encode_container, CodecId};
 use bugnet_cpu::ArchState;
@@ -399,6 +400,111 @@ struct ThreadShard {
     instructions: u64,
 }
 
+/// Default number of hand-off lanes a store creates for concurrent writers;
+/// see [`LogStore::with_shards`].
+pub const DEFAULT_STORE_SHARDS: usize = 8;
+
+/// Sealed intervals a [`ThreadStoreHandle`] buffers locally before handing
+/// the whole batch to the store in one channel send.
+const HANDOFF_BATCH: usize = 16;
+
+/// One hand-off lane: an mpsc channel carrying batches of sealed intervals
+/// from writer threads into the store. The receiver side is drained by
+/// [`LogStore::reconcile`].
+#[derive(Debug)]
+struct Lane {
+    tx: mpsc::Sender<Vec<SealedCheckpoint>>,
+    rx: mpsc::Receiver<Vec<SealedCheckpoint>>,
+}
+
+/// The write side of one thread's slice of a [`LogStore`] — the API that
+/// makes concurrent multi-core recording scale.
+///
+/// A handle is `Send` and wholly independent of the store's other handles:
+/// sealing (serialize + compress) runs on the calling thread against
+/// thread-local state, finished intervals are buffered into a small local
+/// batch, and each full batch is handed to the store over an mpsc lane in a
+/// single send. Writer threads therefore never contend on a shared lock or
+/// on each other — the only shared structure is the lane channel, touched
+/// once per `HANDOFF_BATCH` (16) intervals.
+///
+/// # Ordering contract
+///
+/// * Intervals pushed through one handle reach the store in push order
+///   (mpsc senders are FIFO per sender).
+/// * No ordering holds *across* handles: the store ingests whatever has
+///   arrived, in lane order. Cross-thread ordering is deliberately relaxed —
+///   replay only needs per-thread order (plus the MRL for races), and any
+///   global barrier here is what kept multi-core recording from scaling.
+/// * At most one live handle should push a given thread's intervals;
+///   per-thread order is otherwise unspecified (two senders interleave).
+/// * Nothing pushed is visible to the store's readers until the owner calls
+///   [`LogStore::reconcile`] (or a wrapper that does, e.g. the flush
+///   pipeline's drain/flush); `reconcile` is the single synchronization
+///   point between writers and readers.
+///
+/// Dropping the handle flushes its pending batch. If the store itself is
+/// gone by then, the remaining batch is discarded — in any correct use the
+/// store outlives its handles.
+#[derive(Debug)]
+pub struct ThreadStoreHandle {
+    thread: ThreadId,
+    codec: CodecId,
+    tx: mpsc::Sender<Vec<SealedCheckpoint>>,
+    batch: Vec<SealedCheckpoint>,
+}
+
+impl ThreadStoreHandle {
+    /// The thread this handle writes for.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The codec this handle seals with (the store's codec).
+    pub fn codec(&self) -> CodecId {
+        self.codec
+    }
+
+    /// Seals `logs` on the calling thread and buffers the result; a full
+    /// batch is handed to the store in one send.
+    pub fn push(&mut self, logs: CheckpointLogs) {
+        let codec = self.codec;
+        self.push_sealed(SealedCheckpoint::seal(logs, codec));
+    }
+
+    /// Buffers an already-sealed interval (sealed with this handle's codec).
+    pub fn push_sealed(&mut self, sealed: SealedCheckpoint) {
+        debug_assert_eq!(
+            sealed.fll.header.thread, self.thread,
+            "interval pushed through another thread's handle"
+        );
+        self.batch.push(sealed);
+        if self.batch.len() >= HANDOFF_BATCH {
+            self.flush();
+        }
+    }
+
+    /// Sealed intervals buffered locally and not yet handed to the store.
+    pub fn pending(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Hands the pending batch to the store's lane. A no-op when empty; if
+    /// the store has been dropped, the batch is discarded (documented above).
+    pub fn flush(&mut self) {
+        if !self.batch.is_empty() {
+            let batch = std::mem::take(&mut self.batch);
+            let _ = self.tx.send(batch);
+        }
+    }
+}
+
+impl Drop for ThreadStoreHandle {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// The memory-backed circular log region (paper §4.7).
 ///
 /// Completed FLL/MRL pairs are appended here; when the configured capacity is
@@ -410,12 +516,32 @@ struct ThreadShard {
 /// thread id) with running size totals, so `push` is O(1) plus the rare
 /// eviction, instead of re-summing every retained log on each append as a
 /// map-of-vectors implementation must.
+///
+/// # Write paths
+///
+/// * **Single-owner (serial)** — [`LogStore::push`] / [`LogStore::push_sealed`]
+///   append directly through `&mut self`, the convenience path for
+///   single-threaded recording.
+/// * **Concurrent (sharded)** — [`LogStore::thread_handle`] returns a `Send`
+///   [`ThreadStoreHandle`] per thread; any number of handles push
+///   concurrently from real OS threads, each sealing locally and handing
+///   sealed batches over a per-shard mpsc lane. The owner makes the writes
+///   visible with [`LogStore::reconcile`]. Per-thread order is preserved
+///   (each thread id always maps to the same lane, and mpsc is FIFO per
+///   sender); cross-thread order is relaxed. The reconciled store content is
+///   a pure function of what each thread pushed — independent of shard
+///   count, worker scheduling and arrival interleaving — as long as the
+///   capacity-eviction policy does not fire (`reconcile` ingests everything
+///   before evicting, so eviction too sees a deterministic ingest set).
 #[derive(Debug)]
 pub struct LogStore {
     fll_capacity: ByteSize,
     mrl_capacity: ByteSize,
     codec: CodecId,
     shards: Vec<ThreadShard>,
+    /// Hand-off lanes for concurrent writers, created lazily per slot;
+    /// thread `t` always uses lane `t % lanes.len()`.
+    lanes: Vec<Option<Lane>>,
     evicted_checkpoints: u64,
     total_fll_bits: u64,
     total_mrl_bits: u64,
@@ -428,13 +554,26 @@ impl LogStore {
         LogStore::with_codec(cfg, CodecId::Lz77)
     }
 
-    /// Creates a store sealing its intervals with an explicit codec.
+    /// Creates a store sealing its intervals with an explicit codec and
+    /// [`DEFAULT_STORE_SHARDS`] hand-off lanes.
     pub fn with_codec(cfg: &BugNetConfig, codec: CodecId) -> Self {
+        LogStore::with_shards(cfg, codec, DEFAULT_STORE_SHARDS)
+    }
+
+    /// Creates a store with an explicit number of hand-off lanes (clamped to
+    /// at least one). The lane count bounds how many mpsc channels back the
+    /// concurrent write side; threads hash onto lanes by id, so any thread
+    /// count works with any shard count. Shard count never changes *what*
+    /// the store retains (see the type-level ordering contract) — it is a
+    /// resource knob, not a semantic one.
+    pub fn with_shards(cfg: &BugNetConfig, codec: CodecId, shards: usize) -> Self {
+        let lane_count = shards.max(1);
         LogStore {
             fll_capacity: cfg.fll_region,
             mrl_capacity: cfg.mrl_region,
             codec,
             shards: Vec::new(),
+            lanes: (0..lane_count).map(|_| None).collect(),
             evicted_checkpoints: 0,
             total_fll_bits: 0,
             total_mrl_bits: 0,
@@ -446,14 +585,64 @@ impl LogStore {
         self.codec
     }
 
+    /// Number of hand-off lanes backing the concurrent write side.
+    pub fn shard_count(&self) -> usize {
+        self.lanes.len()
+    }
+
     fn shard_index(&self, thread: ThreadId) -> Result<usize, usize> {
         self.shards.binary_search_by_key(&thread, |s| s.thread)
     }
 
+    /// Returns the concurrent write handle for `thread` (see
+    /// [`ThreadStoreHandle`] for the ordering contract). The handle is
+    /// `Send`; move it onto the recording thread and push finished intervals
+    /// through it, then call [`LogStore::reconcile`] from the store's owner
+    /// to make them visible.
+    pub fn thread_handle(&mut self, thread: ThreadId) -> ThreadStoreHandle {
+        let idx = (thread.0 as usize) % self.lanes.len();
+        let lane = self.lanes[idx].get_or_insert_with(|| {
+            let (tx, rx) = mpsc::channel();
+            Lane { tx, rx }
+        });
+        ThreadStoreHandle {
+            thread,
+            codec: self.codec,
+            tx: lane.tx.clone(),
+            batch: Vec::new(),
+        }
+    }
+
+    /// Drains every hand-off lane into the per-thread shards and applies the
+    /// eviction policy once over the ingested whole. Returns how many
+    /// intervals were ingested.
+    ///
+    /// This is the synchronization point between concurrent writers and the
+    /// store's readers: everything a [`ThreadStoreHandle`] flushed before
+    /// this call is visible afterwards. Ingesting everything *before*
+    /// evicting keeps the retained set a pure function of the pushed
+    /// content, not of cross-thread arrival timing.
+    pub fn reconcile(&mut self) -> usize {
+        let mut pending: Vec<SealedCheckpoint> = Vec::new();
+        for lane in self.lanes.iter().flatten() {
+            while let Ok(batch) = lane.rx.try_recv() {
+                pending.extend(batch);
+            }
+        }
+        let ingested = pending.len();
+        for sealed in pending {
+            self.ingest(sealed);
+        }
+        if ingested > 0 {
+            self.evict_to_capacity();
+        }
+        ingested
+    }
+
     /// Seals (serializes + compresses) the logs of a completed interval with
-    /// the store's codec and appends them. This is the serial flush path;
-    /// parallel flushing seals on worker threads and calls
-    /// [`LogStore::push_sealed`] instead.
+    /// the store's codec and appends them. This is the single-owner
+    /// convenience path; concurrent recording seals on the writer threads
+    /// through [`LogStore::thread_handle`] instead.
     pub fn push(&mut self, logs: CheckpointLogs) {
         let codec = self.codec;
         self.push_sealed(SealedCheckpoint::seal(logs, codec));
@@ -465,6 +654,13 @@ impl LogStore {
     /// rejected at dump time, not here (sealing is off the hot path, pushing
     /// is not).
     pub fn push_sealed(&mut self, sealed: SealedCheckpoint) {
+        self.ingest(sealed);
+        self.evict_to_capacity();
+    }
+
+    /// Appends a sealed interval to its thread's shard without applying the
+    /// eviction policy (shared tail of the serial and reconcile paths).
+    fn ingest(&mut self, sealed: SealedCheckpoint) {
         let thread = sealed.fll.header.thread;
         let fll_bits = sealed.fll.size().bits();
         let mrl_bits = sealed.mrl.size().bits();
@@ -497,7 +693,6 @@ impl LogStore {
         shard.instructions += instructions;
         self.total_fll_bits += fll_bits;
         self.total_mrl_bits += mrl_bits;
-        self.evict_to_capacity();
     }
 
     fn evict_to_capacity(&mut self) {
@@ -801,6 +996,153 @@ mod tests {
         assert!(lz.thread_logs(ThreadId(0))[0].stored_ratio() > 1.0);
         assert_eq!(lz.raw_bytes(ThreadId(7)), 0);
         assert_eq!(lz.stored_bytes(ThreadId(7)), 0);
+    }
+
+    fn interval_digests(store: &LogStore) -> Vec<(ThreadId, Vec<Vec<u8>>)> {
+        store
+            .threads()
+            .into_iter()
+            .map(|t| {
+                let frames = store
+                    .thread_logs(t)
+                    .iter()
+                    .map(|s| s.fll_frame.clone())
+                    .collect();
+                (t, frames)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn thread_handles_match_serial_store_content() {
+        let cfg = BugNetConfig::default();
+        let mut serial = LogStore::with_codec(&cfg, CodecId::Lz77);
+        let mut sharded = LogStore::with_shards(&cfg, CodecId::Lz77, 4);
+        assert_eq!(sharded.shard_count(), 4);
+
+        for t in 0..3u32 {
+            for ts in 0..5u64 {
+                serial.push(small_logs(t, ts, 20 + t as usize));
+            }
+        }
+
+        let handles: Vec<ThreadStoreHandle> = (0..3u32)
+            .map(|t| sharded.thread_handle(ThreadId(t)))
+            .collect();
+        std::thread::scope(|scope| {
+            for mut h in handles {
+                scope.spawn(move || {
+                    let t = h.thread().0;
+                    for ts in 0..5u64 {
+                        h.push(small_logs(t, ts, 20 + t as usize));
+                    }
+                });
+            }
+        });
+        let ingested = sharded.reconcile();
+        assert_eq!(ingested, 15);
+        assert_eq!(sharded.reconcile(), 0);
+
+        assert_eq!(interval_digests(&serial), interval_digests(&sharded));
+        assert_eq!(serial.total_fll_size(), sharded.total_fll_size());
+    }
+
+    #[test]
+    fn handle_batches_until_flush_and_drop_flushes() {
+        let cfg = BugNetConfig::default();
+        let mut store = LogStore::with_shards(&cfg, CodecId::Identity, 2);
+        let mut h = store.thread_handle(ThreadId(0));
+        h.push(small_logs(0, 1, 5));
+        h.push(small_logs(0, 2, 5));
+        assert_eq!(h.pending(), 2);
+        // Nothing visible until the handle flushes and the store reconciles.
+        assert_eq!(store.reconcile(), 0);
+        assert!(store.thread_logs(ThreadId(0)).is_empty());
+        h.flush();
+        assert_eq!(h.pending(), 0);
+        assert_eq!(store.reconcile(), 2);
+
+        h.push(small_logs(0, 3, 5));
+        drop(h);
+        assert_eq!(store.reconcile(), 1);
+        assert_eq!(store.thread_logs(ThreadId(0)).len(), 3);
+        // Per-handle FIFO: timestamps arrive in push order.
+        let ts: Vec<u64> = store
+            .thread_logs(ThreadId(0))
+            .iter()
+            .map(|s| s.fll.header.timestamp.0)
+            .collect();
+        assert_eq!(ts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn handle_auto_flushes_full_batches() {
+        let cfg = BugNetConfig::default();
+        let mut store = LogStore::with_shards(&cfg, CodecId::Identity, 1);
+        let mut h = store.thread_handle(ThreadId(0));
+        for ts in 0..super::HANDOFF_BATCH as u64 {
+            h.push(small_logs(0, ts, 2));
+        }
+        // The full batch was handed off without an explicit flush.
+        assert_eq!(h.pending(), 0);
+        assert_eq!(store.reconcile(), super::HANDOFF_BATCH);
+    }
+
+    #[test]
+    fn handle_outliving_store_discards_silently() {
+        let cfg = BugNetConfig::default();
+        let mut store = LogStore::with_shards(&cfg, CodecId::Identity, 1);
+        let mut h = store.thread_handle(ThreadId(0));
+        h.push(small_logs(0, 1, 2));
+        drop(store);
+        h.flush(); // must not panic
+        drop(h); // drop-flush on a dead store must not panic either
+    }
+
+    #[test]
+    fn reconcile_evicts_after_ingesting_everything() {
+        // Capacity that holds ~2 small logs; pushing 6 through a handle must
+        // evict, and the newest checkpoint must survive (same policy as the
+        // serial path).
+        let cfg = BugNetConfig {
+            fll_region: ByteSize::from_bytes(600),
+            ..BugNetConfig::default()
+        };
+        let mut store = LogStore::with_shards(&cfg, CodecId::Lz77, 2);
+        let mut h = store.thread_handle(ThreadId(0));
+        for ts in 0..6u64 {
+            h.push(small_logs(0, ts, 50));
+        }
+        h.flush();
+        store.reconcile();
+        assert!(store.evicted_checkpoints() > 0);
+        let retained = store.thread_logs(ThreadId(0));
+        assert_eq!(retained.last().unwrap().fll.header.timestamp, Timestamp(5));
+    }
+
+    #[test]
+    fn shard_count_is_a_resource_knob_not_a_semantic_one() {
+        let cfg = BugNetConfig::default();
+        let mut digests = Vec::new();
+        for shards in [1usize, 2, 8, 13] {
+            let mut store = LogStore::with_shards(&cfg, CodecId::Lz77, shards);
+            let handles: Vec<ThreadStoreHandle> = (0..4u32)
+                .map(|t| store.thread_handle(ThreadId(t)))
+                .collect();
+            std::thread::scope(|scope| {
+                for mut h in handles {
+                    scope.spawn(move || {
+                        let t = h.thread().0;
+                        for ts in 0..7u64 {
+                            h.push(small_logs(t, ts, 10 + t as usize));
+                        }
+                    });
+                }
+            });
+            store.reconcile();
+            digests.push(interval_digests(&store));
+        }
+        assert!(digests.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

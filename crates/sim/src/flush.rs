@@ -8,72 +8,89 @@
 //! are available offline):
 //!
 //! ```text
-//! machine loop ── submit(seq, logs) ──► worker 0..N  (seal: serialize+LZ)
-//!       ▲                                   │
-//!       └── drain: push_sealed in seq order ◄┘  (mpsc + reorder buffer)
+//! machine loop ── submit(store, logs) ──► worker = tid % N   (seal: serialize+LZ)
+//!       ▲                                      │ ThreadStoreHandle
+//!       │                                      ▼ (batched mpsc lane)
+//!       └────── drain: store.reconcile() ◄── store shard lanes
 //! ```
 //!
-//! Every submission carries a global sequence number; the drain side holds a
-//! reorder buffer and releases sealed checkpoints to the store strictly in
-//! submission order. That makes the pipeline *observationally identical* to
-//! serial flushing — the store sees the same pushes in the same order, so
-//! eviction decisions and the dumps written from the store are byte-for-byte
-//! identical regardless of worker count or scheduling. Workers only ever
-//! race on who seals first, never on what the store sees.
-//!
-//! `LogStore`'s shards are per-thread independent, so a natural extension is
-//! per-shard stores with relaxed cross-thread ordering; the sequence-ordered
-//! drain is the conservative first step that keeps determinism trivially
-//! provable.
+//! Each simulated thread is pinned to one worker (`tid % workers`), and every
+//! worker writes through that thread's [`ThreadStoreHandle`]. Both hops —
+//! machine→worker and worker→store-lane — are FIFO per sender, so **per-thread
+//! order is preserved end to end** with no reorder buffer at all.
+//! **Cross-thread order is relaxed**: the store ingests whatever has arrived,
+//! and an earlier global-order reorder barrier (release strictly in
+//! submission order) has been removed — it serialized the drain side and was
+//! the main obstacle to multi-core scaling. Replay only needs per-thread
+//! order plus the MRL for races, and [`LogStore::reconcile`] ingests
+//! everything before applying capacity eviction, so the reconciled store
+//! content — and therefore the dump written from it — is a pure function of
+//! what each thread recorded, independent of worker count and scheduling.
+//! Absent eviction, dumps are byte-identical to serial flushing (dumps walk
+//! threads in id order); with eviction they remain digest-equal on replay.
 
-use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
 use bugnet_compress::CodecId;
-use bugnet_core::recorder::{CheckpointLogs, LogStore, SealedCheckpoint};
+use bugnet_core::recorder::{CheckpointLogs, LogStore, ThreadStoreHandle};
+use bugnet_types::ThreadId;
 
-/// A pool of background threads sealing finished checkpoint intervals.
+/// Work items routed to the sealing workers. Adoption of a thread's store
+/// handle always precedes that thread's first `Seal` on the same channel, so
+/// FIFO delivery makes the handle available in time.
+enum Job {
+    /// Take ownership of a thread's write handle (first submission).
+    Adopt(ThreadStoreHandle),
+    /// Seal an interval and push it through the owning thread's handle.
+    /// Boxed: `CheckpointLogs` is large and `Adopt`/`Barrier` are small.
+    Seal(Box<CheckpointLogs>),
+    /// Flush every owned handle to the store lanes, then acknowledge.
+    Barrier(mpsc::Sender<()>),
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Job::Adopt(h) => write!(f, "Adopt({:?})", h.thread()),
+            Job::Seal(logs) => write!(f, "Seal({:?})", logs.fll.header.thread),
+            Job::Barrier(_) => write!(f, "Barrier"),
+        }
+    }
+}
+
+/// A pool of background threads sealing finished checkpoint intervals and
+/// writing them through per-thread [`ThreadStoreHandle`]s.
 ///
 /// See the module docs for the ordering guarantees. The pipeline is owned by
-/// the machine; dropping it shuts the workers down.
+/// the machine; dropping it shuts the workers down (each worker's handles
+/// flush their residual batches on drop).
 #[derive(Debug)]
 pub struct FlushPipeline {
     codec: CodecId,
-    senders: Vec<mpsc::Sender<(u64, CheckpointLogs)>>,
-    results: mpsc::Receiver<(u64, SealedCheckpoint)>,
+    senders: Vec<mpsc::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
-    /// Sealed checkpoints that arrived ahead of their turn.
-    reorder: BTreeMap<u64, SealedCheckpoint>,
-    /// Sequence number of the next submission.
-    next_seq: u64,
-    /// Sequence number of the next checkpoint to release to the store.
-    next_release: u64,
+    /// Threads whose store handle has already been minted and adopted.
+    adopted: Vec<ThreadId>,
+    /// Intervals handed to `submit`.
+    submitted: u64,
+    /// Intervals the store has reconciled through `drain_ready`/`flush`.
+    reconciled: u64,
 }
 
 impl FlushPipeline {
     /// Spawns `workers` sealing threads (clamped to at least one) that seal
-    /// with `codec`.
+    /// with `codec` (which must be the store's codec — the machine wires
+    /// both from one knob).
     pub fn new(workers: usize, codec: CodecId) -> Self {
         let workers = workers.max(1);
-        let (result_tx, results) = mpsc::channel();
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
-            let (tx, rx) = mpsc::channel::<(u64, CheckpointLogs)>();
-            let result_tx = result_tx.clone();
+            let (tx, rx) = mpsc::channel::<Job>();
             let handle = std::thread::Builder::new()
                 .name(format!("bugnet-flush-{i}"))
-                .spawn(move || {
-                    while let Ok((seq, logs)) = rx.recv() {
-                        let sealed = SealedCheckpoint::seal(logs, codec);
-                        // The receiver only disappears during shutdown, when
-                        // pending results are intentionally discarded.
-                        if result_tx.send((seq, sealed)).is_err() {
-                            break;
-                        }
-                    }
-                })
+                .spawn(move || Self::worker_loop(rx))
                 .expect("spawning a flush worker thread");
             senders.push(tx);
             handles.push(handle);
@@ -81,12 +98,36 @@ impl FlushPipeline {
         FlushPipeline {
             codec,
             senders,
-            results,
             workers: handles,
-            reorder: BTreeMap::new(),
-            next_seq: 0,
-            next_release: 0,
+            adopted: Vec::new(),
+            submitted: 0,
+            reconciled: 0,
         }
+    }
+
+    fn worker_loop(rx: mpsc::Receiver<Job>) {
+        let mut owned: Vec<ThreadStoreHandle> = Vec::new();
+        while let Ok(job) = rx.recv() {
+            match job {
+                Job::Adopt(handle) => owned.push(handle),
+                Job::Seal(logs) => {
+                    let tid = logs.fll.header.thread;
+                    let handle = owned
+                        .iter_mut()
+                        .find(|h| h.thread() == tid)
+                        .expect("interval submitted before its handle was adopted");
+                    handle.push(*logs);
+                }
+                Job::Barrier(ack) => {
+                    for handle in owned.iter_mut() {
+                        handle.flush();
+                    }
+                    let _ = ack.send(());
+                }
+            }
+        }
+        // Channel closed: `owned` drops here, flushing residual batches into
+        // the store lanes (or discarding them if the store is already gone).
     }
 
     /// Number of worker threads.
@@ -99,60 +140,58 @@ impl FlushPipeline {
         self.codec
     }
 
-    /// Intervals submitted but not yet released to a store.
+    /// Intervals submitted but not yet reconciled into a store.
     pub fn in_flight(&self) -> u64 {
-        self.next_seq - self.next_release
+        self.submitted - self.reconciled
     }
 
-    /// Hands a finished interval to the pool. Round-robin by sequence number
-    /// keeps the workers evenly loaded; ordering is restored on the drain
-    /// side, so the routing policy is pure load balancing.
-    pub fn submit(&mut self, logs: CheckpointLogs) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let worker = (seq as usize) % self.senders.len();
+    /// Hands a finished interval to its thread's worker (`tid % workers` —
+    /// per-thread affinity is what preserves per-thread order without a
+    /// reorder buffer). The first submission for a thread mints that
+    /// thread's [`ThreadStoreHandle`] from `store` and moves it onto the
+    /// worker ahead of the interval.
+    pub fn submit(&mut self, store: &mut LogStore, logs: CheckpointLogs) {
+        let tid = logs.fll.header.thread;
+        let worker = (tid.0 as usize) % self.senders.len();
+        if !self.adopted.contains(&tid) {
+            let handle = store.thread_handle(tid);
+            self.senders[worker]
+                .send(Job::Adopt(handle))
+                .expect("flush workers outlive the pipeline");
+            self.adopted.push(tid);
+        }
+        self.submitted += 1;
         self.senders[worker]
-            .send((seq, logs))
+            .send(Job::Seal(Box::new(logs)))
             .expect("flush workers outlive the pipeline");
     }
 
-    /// Accepts one sealed result into the reorder buffer.
-    fn accept(&mut self, seq: u64, sealed: SealedCheckpoint) {
-        debug_assert!(seq >= self.next_release, "sequence released twice");
-        self.reorder.insert(seq, sealed);
-    }
-
-    /// Releases every in-order sealed checkpoint to `store`.
-    fn release_ready(&mut self, store: &mut LogStore) {
-        while let Some(sealed) = self.reorder.remove(&self.next_release) {
-            store.push_sealed(sealed);
-            self.next_release += 1;
-        }
-    }
-
-    /// Non-blocking drain: moves whatever the workers have finished into
-    /// `store`, in submission order. Called from the machine loop so the
-    /// store tracks the execution closely without ever stalling it.
+    /// Non-blocking drain: reconciles whatever sealed batches the workers
+    /// have already handed to the store's lanes. Called from the machine
+    /// loop so the store tracks the execution closely without stalling it.
     pub fn drain_ready(&mut self, store: &mut LogStore) {
-        while let Ok((seq, sealed)) = self.results.try_recv() {
-            self.accept(seq, sealed);
-        }
-        self.release_ready(store);
+        self.reconciled += store.reconcile() as u64;
     }
 
     /// Blocking barrier: waits until every submitted interval has been
-    /// sealed and pushed to `store`. Called before anything reads the store
-    /// (end of a run, crash-dump writing).
+    /// sealed, handed off, and reconciled into `store`. Called before
+    /// anything reads the store (end of a run, crash-dump writing).
     pub fn flush(&mut self, store: &mut LogStore) {
-        self.drain_ready(store);
-        while self.next_release < self.next_seq {
-            let (seq, sealed) = self
-                .results
-                .recv()
+        let (ack_tx, ack_rx) = mpsc::channel();
+        for sender in &self.senders {
+            sender
+                .send(Job::Barrier(ack_tx.clone()))
                 .expect("flush workers outlive the pipeline");
-            self.accept(seq, sealed);
-            self.release_ready(store);
         }
+        drop(ack_tx);
+        for _ in 0..self.senders.len() {
+            ack_rx.recv().expect("flush workers outlive the pipeline");
+        }
+        self.drain_ready(store);
+        debug_assert_eq!(
+            self.submitted, self.reconciled,
+            "flush barrier lost intervals"
+        );
     }
 }
 
@@ -199,7 +238,7 @@ mod tests {
         for i in 0..40u64 {
             let l = logs((i % 3) as u32, i, 20 + (i as u32 % 50));
             serial.push(l.clone());
-            pipeline.submit(l);
+            pipeline.submit(&mut parallel, l);
         }
         pipeline.flush(&mut parallel);
         assert_eq!(pipeline.in_flight(), 0);
@@ -211,12 +250,12 @@ mod tests {
     }
 
     #[test]
-    fn drain_ready_never_blocks_and_preserves_order() {
+    fn drain_ready_never_blocks_and_preserves_per_thread_order() {
         let cfg = BugNetConfig::default();
         let mut store = LogStore::with_codec(&cfg, CodecId::Lz77);
         let mut pipeline = FlushPipeline::new(2, CodecId::Lz77);
         for i in 0..10u64 {
-            pipeline.submit(logs(0, i, 10));
+            pipeline.submit(&mut store, logs(0, i, 10));
             pipeline.drain_ready(&mut store);
         }
         pipeline.flush(&mut store);
@@ -224,6 +263,28 @@ mod tests {
         assert_eq!(retained.len(), 10);
         for (i, entry) in retained.iter().enumerate() {
             assert_eq!(entry.fll.header.timestamp, Timestamp(i as u64));
+        }
+    }
+
+    #[test]
+    fn more_threads_than_workers_share_workers_without_mixing_order() {
+        let cfg = BugNetConfig::default();
+        let mut store = LogStore::with_codec(&cfg, CodecId::Lz77);
+        let mut pipeline = FlushPipeline::new(2, CodecId::Lz77);
+        // 5 threads onto 2 workers: per-thread order must still hold.
+        for ts in 0..8u64 {
+            for t in 0..5u32 {
+                pipeline.submit(&mut store, logs(t, ts, 5 + t));
+            }
+        }
+        pipeline.flush(&mut store);
+        assert_eq!(pipeline.in_flight(), 0);
+        for t in 0..5u32 {
+            let retained = store.thread_logs(ThreadId(t));
+            assert_eq!(retained.len(), 8);
+            for (i, entry) in retained.iter().enumerate() {
+                assert_eq!(entry.fll.header.timestamp, Timestamp(i as u64));
+            }
         }
     }
 

@@ -37,6 +37,6 @@ pub mod runner;
 pub mod verify;
 
 pub use flush::FlushPipeline;
-pub use machine::{Machine, MachineBuilder, RunOutcome, ThreadOutcome};
+pub use machine::{Machine, MachineBuilder, RecordingOptions, RunOutcome, ThreadOutcome};
 pub use runner::{record_spec_profile, RecordedRun};
 pub use verify::VerificationReport;

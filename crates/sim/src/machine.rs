@@ -4,7 +4,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bugnet_compress::CodecId;
-use bugnet_core::dump::{self, DumpError, DumpFault, DumpManifest, DumpMeta};
+use bugnet_core::dump::{
+    self, DumpError, DumpFault, DumpFormat, DumpManifest, DumpMeta, DumpOptions,
+};
 use bugnet_core::fll::TerminationCause;
 use bugnet_core::io::{clean_orphaned_staging, DumpIo, SharedDumpIo, StdIo};
 use bugnet_core::recorder::{CheckpointLogs, LogStore, ThreadRecorder};
@@ -30,6 +32,47 @@ use crate::flush::FlushPipeline;
 /// core; this is the granularity of the sequentially-consistent interleaving.
 const INTERLEAVE_BATCH: u64 = 64;
 
+/// Everything that configures how a machine records and dumps, in one
+/// struct — accepted whole by [`MachineBuilder::recording`], so new knobs
+/// (like [`RecordingOptions::store_shards`]) land in one place instead of
+/// growing the builder another setter.
+#[derive(Debug, Clone)]
+pub struct RecordingOptions {
+    /// Back-end codec finished intervals are sealed with before entering
+    /// the log store (and therefore the codec of any crash dump written
+    /// from it).
+    pub codec: CodecId,
+    /// Background sealing threads; zero seals inline on the machine loop.
+    /// See [`crate::flush`] for the ordering guarantee.
+    pub flush_workers: usize,
+    /// Hand-off lanes of the sharded [`LogStore`] (zero picks
+    /// [`bugnet_core::recorder::DEFAULT_STORE_SHARDS`]). A resource knob,
+    /// never a semantic one: recorded content is independent of shard count.
+    pub store_shards: usize,
+    /// Whether crash dumps embed each thread's full program image, making
+    /// them self-contained for offline replay.
+    pub embed_image: bool,
+    /// Directory to write a crash dump to as soon as a thread faults (the
+    /// OS behaviour of paper §4.8); `None` disables auto-dumping.
+    pub dump_on_crash: Option<PathBuf>,
+    /// Crash-dump filesystem backend; `None` uses the real filesystem
+    /// ([`StdIo`]). The fault-injection seam.
+    pub dump_io: Option<SharedDumpIo>,
+}
+
+impl Default for RecordingOptions {
+    fn default() -> Self {
+        RecordingOptions {
+            codec: CodecId::Lz77,
+            flush_workers: 0,
+            store_shards: 0,
+            embed_image: true,
+            dump_on_crash: None,
+            dump_io: None,
+        }
+    }
+}
+
 /// Builder for [`Machine`].
 #[derive(Debug, Clone, Default)]
 pub struct MachineBuilder {
@@ -37,12 +80,8 @@ pub struct MachineBuilder {
     bugnet: Option<BugNetConfig>,
     fdr: Option<FdrConfig>,
     cores_explicit: bool,
-    dump_dir: Option<PathBuf>,
     workload_spec: Option<String>,
-    codec: Option<CodecId>,
-    flush_workers: usize,
-    embed_image: Option<bool>,
-    dump_io: Option<SharedDumpIo>,
+    recording: RecordingOptions,
 }
 
 impl MachineBuilder {
@@ -77,47 +116,47 @@ impl MachineBuilder {
         self
     }
 
-    /// Selects the back-end codec finished intervals are sealed with before
-    /// entering the log store (and therefore the codec of any crash dump
-    /// written from it). Defaults to [`CodecId::Lz77`].
+    /// Sets every recording/dump knob at once. Fields left at their
+    /// [`RecordingOptions::default`] values keep the builder defaults; the
+    /// per-field setters below survive as shims that rewrite the same
+    /// struct.
+    pub fn recording(mut self, opts: RecordingOptions) -> Self {
+        self.recording = opts;
+        self
+    }
+
+    /// Deprecated shim: prefer [`MachineBuilder::recording`] with
+    /// [`RecordingOptions::codec`].
     pub fn codec(mut self, codec: CodecId) -> Self {
-        self.codec = Some(codec);
+        self.recording.codec = codec;
         self
     }
 
-    /// Moves interval sealing (serialization + compression) onto `workers`
-    /// background threads instead of the machine loop. Zero (the default)
-    /// seals inline. Any worker count produces dumps byte-identical to
-    /// serial flushing; see [`crate::flush`] for the ordering guarantee.
+    /// Deprecated shim: prefer [`MachineBuilder::recording`] with
+    /// [`RecordingOptions::flush_workers`].
     pub fn flush_workers(mut self, workers: usize) -> Self {
-        self.flush_workers = workers;
+        self.recording.flush_workers = workers;
         self
     }
 
-    /// Makes the machine write a crash-dump directory to `dir` as soon as a
-    /// thread faults (the OS behaviour of paper §4.8). Requires a BugNet
-    /// recorder to be attached; the result is available from
-    /// [`Machine::crash_dump`] after the run.
+    /// Deprecated shim: prefer [`MachineBuilder::recording`] with
+    /// [`RecordingOptions::dump_on_crash`].
     pub fn dump_on_crash(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.dump_dir = Some(dir.into());
+        self.recording.dump_on_crash = Some(dir.into());
         self
     }
 
-    /// Whether crash dumps embed each thread's full program image (format
-    /// v3), making them self-contained for offline replay. Defaults to on;
-    /// turning it off produces v3 dumps whose replay needs the workload
-    /// registry, like v1/v2 dumps.
+    /// Deprecated shim: prefer [`MachineBuilder::recording`] with
+    /// [`RecordingOptions::embed_image`].
     pub fn embed_image(mut self, on: bool) -> Self {
-        self.embed_image = Some(on);
+        self.recording.embed_image = on;
         self
     }
 
-    /// Routes all crash-dump filesystem traffic through an explicit
-    /// [`DumpIo`] backend instead of the real filesystem — the seam the
-    /// fault-injection tests use to kill the dump write at every op index.
-    /// Defaults to [`StdIo`].
+    /// Deprecated shim: prefer [`MachineBuilder::recording`] with
+    /// [`RecordingOptions::dump_io`].
     pub fn dump_io(mut self, io: SharedDumpIo) -> Self {
-        self.dump_io = Some(io);
+        self.recording.dump_io = Some(io);
         self
     }
 
@@ -139,14 +178,14 @@ impl MachineBuilder {
         if !self.cores_explicit && machine_cfg.cores < workload.thread_count() {
             machine_cfg.cores = workload.thread_count();
         }
-        let codec = self.codec.unwrap_or(CodecId::Lz77);
-        let mut machine = Machine::new(machine_cfg, self.bugnet, self.fdr, workload, codec);
+        let opts = self.recording;
+        let mut machine = Machine::new(machine_cfg, self.bugnet, self.fdr, workload, &opts);
         machine.workload_spec = self.workload_spec.unwrap_or_else(|| workload.name.clone());
-        machine.dump_dir = self.dump_dir;
-        machine.embed_image = self.embed_image.unwrap_or(true);
-        machine.dump_io = self.dump_io;
-        if self.flush_workers > 0 && machine.log_store.is_some() {
-            machine.pipeline = Some(FlushPipeline::new(self.flush_workers, codec));
+        machine.dump_dir = opts.dump_on_crash;
+        machine.embed_image = opts.embed_image;
+        machine.dump_io = opts.dump_io;
+        if opts.flush_workers > 0 && machine.log_store.is_some() {
+            machine.pipeline = Some(FlushPipeline::new(opts.flush_workers, opts.codec));
         }
         machine
     }
@@ -258,7 +297,7 @@ impl Machine {
         bugnet_cfg: Option<BugNetConfig>,
         fdr_cfg: Option<FdrConfig>,
         workload: &Workload,
-        codec: CodecId,
+        opts: &RecordingOptions,
     ) -> Self {
         let process = ProcessId(1);
         let mut memory = SparseMemory::new();
@@ -292,9 +331,14 @@ impl Machine {
                 quantum_used: 0,
             })
             .collect();
+        let shards = if opts.store_shards == 0 {
+            bugnet_core::recorder::DEFAULT_STORE_SHARDS
+        } else {
+            opts.store_shards
+        };
         let log_store = bugnet_cfg
             .as_ref()
-            .map(|cfg| LogStore::with_codec(cfg, codec));
+            .map(|cfg| LogStore::with_shards(cfg, opts.codec, shards));
         Machine {
             directory: Directory::new(cfg.cache.l1.block_bytes),
             dma: DmaEngine::new(),
@@ -441,37 +485,67 @@ impl Machine {
     /// Returns [`DumpError::NoRecorder`] when no BugNet recorder is attached,
     /// or [`DumpError::Io`] (with operation context) when the commit fails.
     pub fn write_crash_dump(&self, dir: &Path) -> Result<DumpManifest, DumpError> {
-        self.dump_via(dir, |io, dir, meta, store, image_of| {
-            dump::write_dump_with_io(dir, meta, store, image_of, io)
-        })
+        self.write_crash_dump_with(dir, &DumpOptions::default())
     }
 
-    /// Writes the retained log window in the v3 format (per-thread image
-    /// files, no content addressing), for old tooling and the CLI's
-    /// format-compatibility matrix. New dumps should use
-    /// [`Machine::write_crash_dump`].
+    /// Writes the retained log window with explicit [`DumpOptions`] — the
+    /// one entry point behind [`Machine::write_crash_dump`] (which passes
+    /// the defaults) and the CLI's `dump --format/--codec/--no-embed-image`
+    /// flags. Selecting a codec different from the store's re-seals the
+    /// retained window with that codec at dump time (the retained *set* is
+    /// unchanged — eviction is driven by raw log sizes, which codecs don't
+    /// affect); [`DumpFormat::V2`] ignores image embedding since the layout
+    /// has no image sections.
     ///
     /// # Errors
     ///
     /// As [`Machine::write_crash_dump`].
-    pub fn write_crash_dump_v3(&self, dir: &Path) -> Result<DumpManifest, DumpError> {
-        self.dump_via(dir, |io, dir, meta, store, image_of| {
-            dump::write_dump_v3_with_io(dir, meta, store, image_of, io)
-        })
+    pub fn write_crash_dump_with(
+        &self,
+        dir: &Path,
+        opts: &DumpOptions,
+    ) -> Result<DumpManifest, DumpError> {
+        let store = self.log_store.as_ref().ok_or(DumpError::NoRecorder)?;
+        let resealed;
+        let dump_store = match opts.codec {
+            Some(codec) if codec != store.codec() => {
+                resealed = self.reseal_store(store, codec);
+                &resealed
+            }
+            _ => store,
+        };
+        let embed = opts.embed_image.unwrap_or(self.embed_image);
+        let format = opts.format;
+        self.dump_via(
+            dir,
+            store,
+            dump_store,
+            embed,
+            move |io, dir, meta, s, image_of| match format {
+                DumpFormat::V4 => dump::write_dump_with_io(dir, meta, s, image_of, io),
+                DumpFormat::V3 => dump::write_dump_v3_with_io(dir, meta, s, image_of, io),
+                DumpFormat::V2 => dump::write_dump_v2_with_io(dir, meta, s, io),
+            },
+        )
     }
 
-    /// Writes the retained log window in the legacy v2 format (codec layer,
-    /// no embedded program images), for old tooling and the CLI's
-    /// format-compatibility matrix. New dumps should use
-    /// [`Machine::write_crash_dump`].
-    ///
-    /// # Errors
-    ///
-    /// As [`Machine::write_crash_dump`].
-    pub fn write_crash_dump_v2(&self, dir: &Path) -> Result<DumpManifest, DumpError> {
-        self.dump_via(dir, |io, dir, meta, store, _| {
-            dump::write_dump_v2_with_io(dir, meta, store, io)
-        })
+    /// Re-seals every retained interval with `codec` into a scratch store
+    /// for a codec-overridden dump. Raw log sizes (what eviction compares
+    /// against capacity) are codec-independent and the source store already
+    /// fit its budget, so no further eviction fires and the retained set is
+    /// preserved exactly.
+    fn reseal_store(&self, store: &LogStore, codec: CodecId) -> LogStore {
+        let cfg = self
+            .bugnet_cfg
+            .as_ref()
+            .expect("log store implies a recorder config");
+        let mut scratch = LogStore::with_shards(cfg, codec, 1);
+        for thread in store.threads() {
+            for sealed in store.thread_logs(thread) {
+                scratch.push(sealed.logs.clone());
+            }
+        }
+        scratch
     }
 
     /// Replaces the [`DumpIo`] backend crash dumps are written through (see
@@ -483,9 +557,15 @@ impl Machine {
 
     /// Shared plumbing of the dump writers: resolve the backend, sweep
     /// orphaned staging litter, then run the format-specific writer.
+    /// `meta_store` is the machine's own store (its eviction counters feed
+    /// the manifest); `dump_store` is what gets written — usually the same
+    /// store, or the re-sealed scratch copy of a codec-overridden dump.
     fn dump_via(
         &self,
         dir: &Path,
+        meta_store: &LogStore,
+        dump_store: &LogStore,
+        embed: bool,
         write: impl Fn(
             &mut dyn DumpIo,
             &Path,
@@ -494,15 +574,13 @@ impl Machine {
             &mut dyn FnMut(ThreadId) -> Option<Arc<Program>>,
         ) -> Result<DumpManifest, DumpError>,
     ) -> Result<DumpManifest, DumpError> {
-        let store = self.log_store.as_ref().ok_or(DumpError::NoRecorder)?;
-        let meta = self.dump_meta(store);
-        let mut image_of =
-            |thread: ThreadId| self.embed_image.then(|| self.program_of(thread)).flatten();
+        let meta = self.dump_meta(meta_store);
+        let mut image_of = |thread: ThreadId| embed.then(|| self.program_of(thread)).flatten();
         let mut run = |io: &mut dyn DumpIo| {
             // Best-effort: litter from a crashed prior run must never block
             // writing this crash's dump.
             let _ = clean_orphaned_staging(io, dir);
-            write(io, dir, &meta, store, &mut image_of)
+            write(io, dir, &meta, dump_store, &mut image_of)
         };
         match &self.dump_io {
             Some(shared) => {
@@ -594,9 +672,10 @@ impl Machine {
             .arch_state();
         if let Some(logs) = self.recorders[thread].end_interval(cause, &arch) {
             match (&mut self.pipeline, &mut self.log_store) {
-                // Parallel flush: sealing happens on the worker pool; the
-                // store is fed in submission order by the drain calls.
-                (Some(pipeline), Some(_)) => pipeline.submit(logs),
+                // Parallel flush: sealing happens on the worker pool and
+                // lands in the store's shard lanes; the drain calls
+                // reconcile it in (per-thread order preserved).
+                (Some(pipeline), Some(store)) => pipeline.submit(store, logs),
                 (_, Some(store)) => store.push(logs),
                 _ => {}
             }
@@ -1131,6 +1210,84 @@ mod tests {
             }
         }
         std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn dump_options_select_format_codec_and_embedding() {
+        use bugnet_core::dump::CrashDump;
+        let base = std::env::temp_dir().join(format!("bugnet-dumpopts-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let workload = SpecProfile::gzip().build_workload(10_000, 1);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(5_000))
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+
+        // Defaults: v4, the store's codec, images embedded.
+        let d4 = base.join("v4");
+        machine
+            .write_crash_dump_with(&d4, &DumpOptions::default())
+            .unwrap();
+        let dump = CrashDump::load(&d4).unwrap();
+        assert_eq!(dump.manifest.version, dump::DUMP_VERSION);
+        assert_eq!(dump.manifest.codec, CodecId::Lz77);
+        assert!(dump.is_self_contained());
+
+        // Format + codec overridden: a v2 identity dump from an LZ store.
+        let d2 = base.join("v2-identity");
+        let manifest = machine
+            .write_crash_dump_with(
+                &d2,
+                &DumpOptions {
+                    format: DumpFormat::V2,
+                    codec: Some(CodecId::Identity),
+                    embed_image: None,
+                },
+            )
+            .unwrap();
+        assert_eq!(manifest.version, dump::DUMP_VERSION_V2);
+        assert_eq!(manifest.codec, CodecId::Identity);
+        let dump2 = CrashDump::load(&d2).unwrap();
+        // Re-sealing changes bytes on disk, not the recorded content.
+        let report = dump2.replay(|t| machine.program_of(t)).unwrap();
+        assert!(report.all_match(), "{:?}", report.divergences());
+
+        // Embed override beats the machine's (default-on) setting.
+        let d3 = base.join("v3-noembed");
+        machine
+            .write_crash_dump_with(
+                &d3,
+                &DumpOptions {
+                    format: DumpFormat::V3,
+                    codec: None,
+                    embed_image: Some(false),
+                },
+            )
+            .unwrap();
+        let dump3 = CrashDump::load(&d3).unwrap();
+        assert_eq!(dump3.manifest.version, dump::DUMP_VERSION_V3);
+        assert!(!dump3.is_self_contained());
+
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn recording_options_configure_in_one_call() {
+        let workload = mt::racy_counter(2, 400);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(1_000))
+            .recording(RecordingOptions {
+                codec: CodecId::Identity,
+                flush_workers: 2,
+                store_shards: 3,
+                ..RecordingOptions::default()
+            })
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+        let store = machine.log_store().unwrap();
+        assert_eq!(store.codec(), CodecId::Identity);
+        assert_eq!(store.shard_count(), 3);
+        assert!(machine.log_report().intervals > 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use bugnet::core::dump::{verify_dump, CrashDump, DumpError};
+use bugnet::core::dump::{verify_dump, CrashDump, DumpError, DumpFormat, DumpOptions};
 use bugnet::sim::MachineBuilder;
 use bugnet::types::{BugNetConfig, SplitMix64, ThreadId};
 use bugnet::workloads::registry;
@@ -166,7 +166,15 @@ fn v2_dumps_are_strictly_smaller_than_v1_on_the_acceptance_workloads() {
         let dir_v1 = temp_dir(&format!("size-v1-{interval}"));
         let dir_v2 = temp_dir(&format!("size-v2-{interval}"));
         write_dump_v1(&dir_v1, &meta, machine.log_store().unwrap()).unwrap();
-        machine.write_crash_dump_v2(&dir_v2).unwrap();
+        machine
+            .write_crash_dump_with(
+                &dir_v2,
+                &DumpOptions {
+                    format: DumpFormat::V2,
+                    ..DumpOptions::default()
+                },
+            )
+            .unwrap();
         let total = |dir: &Path| -> u64 {
             fs::read_dir(dir)
                 .unwrap()

@@ -6,7 +6,7 @@
 
 use std::path::PathBuf;
 
-use bugnet::core::dump::{verify_dump, CrashDump, DUMP_VERSION_V2};
+use bugnet::core::dump::{verify_dump, CrashDump, DumpFormat, DumpOptions, DUMP_VERSION_V2};
 use bugnet::types::{BugNetConfig, ThreadId};
 use bugnet::workloads::registry;
 
@@ -69,7 +69,15 @@ fn regenerate_golden_fixture() {
         .workload_spec(GOLDEN_SPEC)
         .build_with_workload(&workload);
     machine.run_to_completion();
-    let manifest = machine.write_crash_dump_v2(&dir).unwrap();
+    let manifest = machine
+        .write_crash_dump_with(
+            &dir,
+            &DumpOptions {
+                format: DumpFormat::V2,
+                ..DumpOptions::default()
+            },
+        )
+        .unwrap();
     println!(
         "wrote golden v2 fixture to {}: {} checkpoint(s)",
         dir.display(),
