@@ -15,11 +15,17 @@
 //! funneling through one lock — lands well below 0.5 and fails CI on any
 //! box, including a single-core runner.
 //!
+//! Overhead metrics (`*_overhead_frac`, e.g. `telemetry_overhead_frac`)
+//! are gated against an absolute CEILING (`--max-overhead`, default 0.03):
+//! the harness measures them as a same-machine A/B fraction, so no
+//! baseline comparison is needed — instrumentation that costs more than
+//! the ceiling of recorder throughput fails CI on any box.
+//!
 //! ```text
 //! cargo run --release -p bugnet_bench --bin throughput > current.json
 //! cargo run --release -p bugnet_bench --bin bench_check -- \
 //!     --baseline BENCH_baseline.json --current current.json \
-//!     [--tolerance 2.5] [--min-efficiency 0.5]
+//!     [--tolerance 2.5] [--min-efficiency 0.5] [--max-overhead 0.03]
 //! ```
 
 use std::env;
@@ -79,12 +85,19 @@ fn is_efficiency_metric(key: &str) -> bool {
     key.ends_with("_efficiency")
 }
 
+/// Overhead metrics (`*_overhead_frac`) are same-machine A/B fractions
+/// (lower is better), gated against an absolute ceiling in the CURRENT run.
+fn is_overhead_metric(key: &str) -> bool {
+    key.ends_with("_overhead_frac")
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut baseline_path = "BENCH_baseline.json".to_string();
     let mut current_path = String::new();
     let mut tolerance = 2.5f64;
     let mut min_efficiency = 0.5f64;
+    let mut max_overhead = 0.03f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -116,11 +129,21 @@ fn main() -> ExitCode {
                 }
                 i += 2;
             }
+            "--max-overhead" if i + 1 < args.len() => {
+                match args[i + 1].parse::<f64>() {
+                    Ok(m) if (0.0..=1.0).contains(&m) => max_overhead = m,
+                    _ => {
+                        eprintln!("bench_check: --max-overhead must be in [0.0, 1.0]");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
             other => {
                 eprintln!(
                     "bench_check: unexpected argument `{other}`\n\
                      usage: bench_check --baseline <FILE> --current <FILE> \
-                     [--tolerance <X>] [--min-efficiency <E>]"
+                     [--tolerance <X>] [--min-efficiency <E>] [--max-overhead <O>]"
                 );
                 return ExitCode::from(2);
             }
@@ -191,6 +214,30 @@ fn main() -> ExitCode {
             regressions += 1;
         }
     }
+    // Absolute-ceiling pass: every overhead fraction in the CURRENT run must
+    // stay under the ceiling, and none recorded in the baseline may
+    // disappear.
+    for (key, cur) in current.iter().filter(|(k, _)| is_overhead_metric(k)) {
+        compared += 1;
+        let base = baseline
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, b)| format!("{b:>16.4}"))
+            .unwrap_or_else(|| format!("{:>16}", "-"));
+        let verdict = if *cur > max_overhead {
+            regressions += 1;
+            "ABOVE CEILING"
+        } else {
+            "ok"
+        };
+        println!("{key:<34} {base} {cur:>16.4} {max_overhead:>8.2}  {verdict}");
+    }
+    for (key, base) in baseline.iter().filter(|(k, _)| is_overhead_metric(k)) {
+        if !current.iter().any(|(k, _)| k == key) {
+            println!("{key:<34} {base:>16.4} {:>16} {:>8}  MISSING", "-", "-");
+            regressions += 1;
+        }
+    }
     if compared == 0 {
         eprintln!("bench_check: no rate metrics to compare");
         return ExitCode::from(2);
@@ -198,14 +245,15 @@ fn main() -> ExitCode {
     if regressions > 0 {
         eprintln!(
             "bench_check: {regressions} metric(s) regressed beyond {tolerance}x, \
-             fell below the {min_efficiency} efficiency floor, or went missing \
-             vs {baseline_path}"
+             fell below the {min_efficiency} efficiency floor, exceeded the \
+             {max_overhead} overhead ceiling, or went missing vs {baseline_path}"
         );
         return ExitCode::from(1);
     }
     println!(
         "bench_check: all {compared} gated metrics pass \
-         ({tolerance}x tolerance, {min_efficiency} efficiency floor)"
+         ({tolerance}x tolerance, {min_efficiency} efficiency floor, \
+         {max_overhead} overhead ceiling)"
     );
     ExitCode::SUCCESS
 }

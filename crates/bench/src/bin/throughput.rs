@@ -45,21 +45,30 @@
 //!   alongside the rates; the reference ratio sits far above the 2.5x
 //!   tolerance, so a codec that stops compressing fails CI.
 //! * `dump_write_intervals_per_sec` / `dump_write_p50_ms` /
-//!   `dump_write_max_ms` — the full atomic dump commit (encode, staging
-//!   directory, per-file fsync, rename) of the machine benchmark's recorded
-//!   window. The rate is gated; the millisecond latencies are informational
-//!   (fsync cost is hardware-dependent), so the staging/fsync overhead is
-//!   measured rather than guessed.
+//!   `dump_write_p99_ms` / `dump_write_max_ms` — the full atomic dump
+//!   commit (encode, staging directory, per-file fsync, rename) of the
+//!   machine benchmark's recorded window, with per-iteration latencies
+//!   accumulated in a `bugnet_telemetry::Histogram` (the same estimator
+//!   `bugnet stats` reports). The rate is gated; the millisecond latencies
+//!   are informational (fsync cost is hardware-dependent), so the
+//!   staging/fsync overhead is measured rather than guessed.
+//! * `recorder_instrumented_loads_per_sec` / `telemetry_overhead_frac` —
+//!   the recorder microbench repeated with a telemetry [`Registry`]
+//!   attached, best-of-N against the uninstrumented best. The overhead
+//!   fraction is gated by `bench_check` at an absolute ceiling
+//!   (`--max-overhead`, default 0.03): always-on instrumentation that
+//!   costs more than 3% of recorder throughput fails CI.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bugnet_bench::ExperimentOptions;
 use bugnet_compress::{codec, CodecId};
 use bugnet_core::bitstream::{BitReader, BitWriter};
 use bugnet_core::fll::{FirstLoadLog, TerminationCause};
-use bugnet_core::recorder::{LogStore, ThreadRecorder, ThreadStoreHandle};
+use bugnet_core::recorder::{LogStore, RecorderStats, ThreadRecorder, ThreadStoreHandle};
 use bugnet_core::{Replayer, ValueDictionary};
 use bugnet_sim::{Machine, MachineBuilder};
+use bugnet_telemetry::{Histogram, MetricValue, Registry};
 use bugnet_types::{Addr, BugNetConfig, ProcessId, SplitMix64, ThreadId, Timestamp, Word};
 use bugnet_workloads::spec::SpecProfile;
 
@@ -104,8 +113,22 @@ fn load_stream(len: usize) -> Vec<(Addr, Word, bool)> {
 
 /// Drives one recorder over a load stream, returning the finished FLLs.
 fn record_stream(loads: &[(Addr, Word, bool)], interval: u64, thread: u32) -> Vec<FirstLoadLog> {
+    record_stream_with(loads, interval, thread, None)
+}
+
+/// [`record_stream`] with an optional telemetry registry attached — the
+/// instrumented arm of the self-overhead benchmark.
+fn record_stream_with(
+    loads: &[(Addr, Word, bool)],
+    interval: u64,
+    thread: u32,
+    telemetry: Option<&Registry>,
+) -> Vec<FirstLoadLog> {
     let cfg = BugNetConfig::default().with_checkpoint_interval(interval);
     let mut recorder = ThreadRecorder::new(cfg, ProcessId(1), ThreadId(thread));
+    if let Some(registry) = telemetry {
+        recorder.attach_telemetry(RecorderStats::register(registry));
+    }
     let mut flls = Vec::new();
     recorder.begin_interval(Default::default(), Timestamp(0));
     for &(addr, value, first) in loads {
@@ -401,17 +424,17 @@ fn bench_dump_write(machine: &Machine, samples: usize) -> Vec<Metric> {
     let _ = std::fs::remove_dir_all(&base);
     std::fs::create_dir_all(&base).expect("temp dir");
     let dir = base.join("dump");
-    let mut latencies = Vec::with_capacity(samples);
+    let hist = Histogram::new();
+    let mut total = 0f64;
     let mut intervals = 0u64;
     for _ in 0..samples {
         let (manifest, secs) = time(|| machine.write_crash_dump(&dir).expect("dump writes"));
         intervals += manifest.total_checkpoints();
-        latencies.push(secs);
+        total += secs;
+        hist.record_duration(Duration::from_secs_f64(secs));
     }
-    let total: f64 = latencies.iter().sum();
-    latencies.sort_by(f64::total_cmp);
-    let p50 = latencies[latencies.len() / 2];
-    let max = *latencies.last().expect("samples > 0");
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, samples as u64);
     let _ = std::fs::remove_dir_all(&base);
     vec![
         Metric {
@@ -420,11 +443,58 @@ fn bench_dump_write(machine: &Machine, samples: usize) -> Vec<Metric> {
         },
         Metric {
             name: "dump_write_p50_ms",
-            value: p50 * 1e3,
+            value: snap.quantile(0.5) / 1e6,
+        },
+        Metric {
+            name: "dump_write_p99_ms",
+            value: snap.quantile(0.99) / 1e6,
         },
         Metric {
             name: "dump_write_max_ms",
-            value: max * 1e3,
+            value: snap.max as f64 / 1e6,
+        },
+    ]
+}
+
+/// Self-overhead section: the recorder microbench with and without a
+/// telemetry [`Registry`] attached, best-of-[`OVERHEAD_REPS`] each so
+/// scheduler noise cancels out of the comparison. The hot path batches its
+/// counts in the interval state and flushes to the shared counters once per
+/// sealed interval, so the measured fraction should sit near zero; the
+/// `bench_check --max-overhead` ceiling (0.03) turns "near zero" into an
+/// enforced contract.
+const OVERHEAD_REPS: usize = 3;
+
+fn bench_telemetry_overhead(loads: &[(Addr, Word, bool)], interval: u64) -> Vec<Metric> {
+    let registry = Registry::default();
+    let mut plain_best = f64::INFINITY;
+    let mut instrumented_best = f64::INFINITY;
+    for _ in 0..OVERHEAD_REPS {
+        let (flls, secs) = time(|| record_stream(loads, interval, 0));
+        assert!(!flls.is_empty());
+        plain_best = plain_best.min(secs);
+        let (flls, secs) = time(|| record_stream_with(loads, interval, 0, Some(&registry)));
+        assert!(!flls.is_empty());
+        instrumented_best = instrumented_best.min(secs);
+    }
+    // The instrumented arm must actually have instrumented: the registry
+    // saw every load of every repetition.
+    match registry.snapshot().entries.get("recorder_loads_seen_total") {
+        Some(MetricValue::Counter(seen)) => {
+            assert_eq!(*seen, (loads.len() * OVERHEAD_REPS) as u64);
+        }
+        other => panic!("recorder_loads_seen_total missing or mistyped: {other:?}"),
+    }
+    let plain_rate = loads.len() as f64 / plain_best;
+    let instrumented_rate = loads.len() as f64 / instrumented_best;
+    vec![
+        Metric {
+            name: "recorder_instrumented_loads_per_sec",
+            value: instrumented_rate,
+        },
+        Metric {
+            name: "telemetry_overhead_frac",
+            value: (1.0 - instrumented_rate / plain_rate).max(0.0),
         },
     ]
 }
@@ -473,6 +543,7 @@ fn main() {
     let mut metrics = Vec::new();
     let (recorder_metrics, records) = bench_recorder(&loads, interval);
     metrics.extend(recorder_metrics);
+    metrics.extend(bench_telemetry_overhead(&loads, interval));
     metrics.extend(bench_mt_sweep(
         opts.pick(500_000, 5_000_000) as usize,
         interval,
@@ -494,9 +565,12 @@ fn main() {
     println!("  \"checkpoint_interval\": {interval},");
     for (i, m) in metrics.iter().enumerate() {
         let comma = if i + 1 == metrics.len() { "" } else { "," };
-        if m.name.ends_with("_ratio") || m.name.ends_with("_efficiency") {
-            // Ratios and efficiencies are small numbers; rates round to
-            // integers.
+        if m.name.ends_with("_ratio")
+            || m.name.ends_with("_efficiency")
+            || m.name.ends_with("_frac")
+        {
+            // Ratios, efficiencies and fractions are small numbers; rates
+            // round to integers.
             println!("  \"{}\": {:.4}{comma}", m.name, m.value);
         } else if m.name.ends_with("_ms") {
             // Latencies are fractional milliseconds; not gated by

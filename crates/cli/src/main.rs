@@ -18,12 +18,14 @@
 //! or replay diverges from the recording, 2 on usage errors.
 
 use std::env;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use bugnet_compress::CodecId;
-use bugnet_core::dump::{CrashDump, DumpFormat, DumpOptions};
+use bugnet_core::dump::{CrashDump, DumpFormat, DumpManifest, DumpOptions, ReplayStats};
 use bugnet_sim::{MachineBuilder, RecordingOptions};
+use bugnet_telemetry::Registry;
 use bugnet_types::{BugNetConfig, ByteSize, ThreadId};
 use bugnet_workloads::registry;
 
@@ -42,6 +44,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&mut args),
         "fsck" => cmd_fsck(&mut args),
         "replay" => cmd_replay(&mut args),
+        "stats" => cmd_stats(&mut args),
         "workloads" => cmd_workloads(&mut args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -69,6 +72,7 @@ USAGE:
                 [--max-instructions <N>] [--codec <identity|lz>]
                 [--flush-workers <N>] [--shards <N>]
                 [--format <v2|v3|v4>] [--no-embed-image]
+                [--metrics-json <FILE>]
         Record a workload on the simulated machine and write the retained
         log window to <DIR> as a crash-dump directory. Faults dump
         automatically at crash time, exactly like the paper's OS trigger.
@@ -82,6 +86,10 @@ USAGE:
         content-addressed, so threads sharing one image store it once;
         --format v3 writes one image per thread, --format v2 the legacy
         codec-only format, --no-embed-image omits the images.
+        --metrics-json turns on run telemetry, writes the metric
+        snapshot to <FILE> as JSON and embeds it in the dump manifest
+        (readable later with `bugnet stats <DIR>`). Telemetry makes
+        dump bytes timing-dependent, so it is off by default.
 
     bugnet info <DIR>
         Decode the manifest and print per-thread, per-checkpoint log
@@ -101,14 +109,24 @@ USAGE:
         rejected. Exits 0 only when the dump is fully intact; a damaged
         but salvageable dump exits 1 with the loss report.
 
-    bugnet replay <DIR> [--workload <SPEC>] [--salvage]
+    bugnet replay <DIR> [--workload <SPEC>] [--salvage] [--metrics-json <FILE>]
         Replay every retained interval and compare against the recorded
         execution digests. Self-contained (v3+) dumps replay from their
         embedded program images; v1/v2 dumps rebuild the programs from the
         manifest's workload spec. --workload overrides both (a mismatch
         against the recorded spec is reported up front). --salvage accepts
         a damaged dump and replays up to the last fully-intact interval of
-        each thread instead of refusing to load.
+        each thread instead of refusing to load. --metrics-json records
+        replay telemetry (instructions, interval latency, digest
+        comparisons) and writes the snapshot to <FILE> as JSON.
+
+    bugnet stats <DIR> [--format <text|json|prom>]
+        Print the telemetry snapshot embedded in the dump manifest — the
+        run metrics of the recording that produced the dump (recorder
+        load/dictionary counters, seal and flush latencies, dump i/o
+        timings). Dumps record one when written with --metrics-json;
+        others exit 1. --format selects plain text (default), JSON, or
+        Prometheus text exposition.
 
     bugnet workloads
         List the workload spec strings `dump` accepts.
@@ -243,12 +261,14 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         })?,
     };
     let embed_image = !args.flag("--no-embed-image");
+    let metrics_json = args.option("--metrics-json")?.map(PathBuf::from);
     args.finish()?;
 
     let workload = registry::resolve(&spec).map_err(CliError::usage)?;
     let cfg = BugNetConfig::default()
         .with_checkpoint_interval(interval)
         .with_dictionary_entries(dict);
+    let telemetry = metrics_json.as_ref().map(|_| Arc::new(Registry::default()));
     // One struct per concern, mirrored straight into the library API: how
     // the run records, and how the dump is written.
     let recording = RecordingOptions {
@@ -260,6 +280,7 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         // v2/v3 dumps are written explicitly after the run instead.
         dump_on_crash: (format == DumpFormat::V4).then(|| out.clone()),
         dump_io: None,
+        telemetry: telemetry.clone(),
     };
     let dump_opts = DumpOptions {
         format,
@@ -335,6 +356,22 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
             manifest.image_ratio(),
         );
     }
+    if let (Some(path), Some(registry)) = (&metrics_json, &telemetry) {
+        write_metrics_json(path, registry.as_ref())?;
+    }
+    Ok(())
+}
+
+/// Writes a registry snapshot to `path` as JSON and says so.
+fn write_metrics_json(path: &Path, registry: &Registry) -> Result<(), CliError> {
+    let snapshot = registry.snapshot();
+    std::fs::write(path, snapshot.to_json())
+        .map_err(|e| CliError::data(format!("cannot write {}: {e}", path.display())))?;
+    println!(
+        "telemetry: {} metric(s) written to {}",
+        snapshot.entries.len(),
+        path.display()
+    );
     Ok(())
 }
 
@@ -394,6 +431,12 @@ fn cmd_verify(args: &mut Args) -> Result<(), CliError> {
             report.image_ratio(),
         );
     }
+    if let Some(snapshot) = &dump.manifest.telemetry {
+        println!(
+            "telemetry: {} embedded metric(s), covered by the manifest checksum",
+            snapshot.entries.len()
+        );
+    }
     Ok(())
 }
 
@@ -422,7 +465,10 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
     let dir = dump_dir_arg(args)?;
     let override_spec = args.option("--workload")?;
     let salvage = args.flag("--salvage");
+    let metrics_json = args.option("--metrics-json")?.map(PathBuf::from);
     args.finish()?;
+    let telemetry = metrics_json.as_ref().map(|_| Registry::default());
+    let stats = telemetry.as_ref().map(ReplayStats::register);
     let dump = if salvage {
         let salvaged = CrashDump::load_salvage(&dir)
             .map_err(|e| CliError::data(format!("unsalvageable: {e}")))?;
@@ -460,13 +506,20 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
                 .map_err(|e| CliError::data(format!("cannot rebuild workload `{spec}`: {e}")))?;
             let programs: Vec<_> = workload.threads.iter().map(|t| t.program.clone()).collect();
             println!("replaying against override workload `{spec}`");
-            dump.replay_with(|thread: ThreadId| programs.get(thread.0 as usize).cloned())
+            let program_of = |thread: ThreadId| programs.get(thread.0 as usize).cloned();
+            match &stats {
+                Some(s) => dump.replay_with_observed(program_of, s),
+                None => dump.replay_with(program_of),
+            }
         }
         // Self-contained dump: every program comes from the checksummed
         // dump itself, no workload registry involved.
         None if dump.is_self_contained() => {
             println!("replaying from embedded program images (self-contained dump)");
-            dump.replay(|_| None)
+            match &stats {
+                Some(s) => dump.replay_observed(|_| None, s),
+                None => dump.replay(|_| None),
+            }
         }
         // Not (fully) self-contained: v1/v2 dump, or image embedding was
         // off for some threads. Rebuild the missing programs from the
@@ -480,7 +533,11 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
                     let programs: Vec<_> =
                         workload.threads.iter().map(|t| t.program.clone()).collect();
                     println!("replaying from workload spec `{spec}` (registry fallback)");
-                    dump.replay(|thread: ThreadId| programs.get(thread.0 as usize).cloned())
+                    let fallback = |thread: ThreadId| programs.get(thread.0 as usize).cloned();
+                    match &stats {
+                        Some(s) => dump.replay_observed(fallback, s),
+                        None => dump.replay(fallback),
+                    }
                 }
                 // The spec is unresolvable but some threads do carry their
                 // image: replay those and report the rest as unreplayable
@@ -490,7 +547,10 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
                         "bugnet: warning: workload `{spec}` cannot be rebuilt ({e}); \
                          replaying the {embedded} thread(s) with embedded images only"
                     );
-                    dump.replay(|_| None)
+                    match &stats {
+                        Some(s) => dump.replay_observed(|_| None, s),
+                        None => dump.replay(|_| None),
+                    }
                 }
                 Err(e) => {
                     return Err(CliError::data(format!(
@@ -508,6 +568,9 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
         ));
     }
     report::print_replay(&dump.manifest, &report);
+    if let (Some(path), Some(registry)) = (&metrics_json, &telemetry) {
+        write_metrics_json(path, registry)?;
+    }
     if report.all_match() {
         Ok(())
     } else {
@@ -517,6 +580,31 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
             report.intervals.len()
         )))
     }
+}
+
+fn cmd_stats(args: &mut Args) -> Result<(), CliError> {
+    let dir = dump_dir_arg(args)?;
+    let format = args.option("--format")?.unwrap_or_else(|| "text".into());
+    args.finish()?;
+    let manifest = DumpManifest::load(&dir).map_err(|e| CliError::data(e.to_string()))?;
+    let Some(snapshot) = &manifest.telemetry else {
+        return Err(CliError::data(format!(
+            "dump {} embeds no telemetry snapshot; record it with \
+             `bugnet dump --metrics-json <FILE> ...`",
+            dir.display()
+        )));
+    };
+    match format.as_str() {
+        "json" => println!("{}", snapshot.to_json()),
+        "prom" => print!("{}", snapshot.to_prometheus()),
+        "text" => report::print_stats(&dir, &manifest, snapshot),
+        other => {
+            return Err(CliError::usage(format!(
+                "--format expects `text`, `json` or `prom`, got `{other}`"
+            )))
+        }
+    }
+    Ok(())
 }
 
 fn cmd_workloads(args: &mut Args) -> Result<(), CliError> {

@@ -1,8 +1,11 @@
-//! Human-readable tables for `bugnet info` and `bugnet replay`.
+//! Human-readable tables for `bugnet info`, `bugnet replay` and
+//! `bugnet stats`.
 
 use std::path::Path;
 
 use bugnet_core::dump::{CrashDump, DumpManifest, DumpReplayReport, SalvageReport};
+use bugnet_core::stats::LogSizeReport;
+use bugnet_telemetry::{MetricValue, Snapshot};
 
 /// Prints the manifest summary and the per-checkpoint statistics table
 /// (records, sizes, dictionary hits, compression ratio — the quantities of
@@ -72,6 +75,28 @@ pub fn print_info(dir: &Path, dump: &CrashDump) {
             m.version
         );
     }
+    // The paper's evaluation metrics over the retained window (Figures 2,
+    // 5 and 6), recomputed from the decoded logs.
+    let report = LogSizeReport::from_fll_mrl(
+        dump.threads
+            .iter()
+            .flat_map(|t| t.checkpoints.iter().map(|c| (&c.fll, &c.mrl))),
+    );
+    println!(
+        "  paper    : dictionary hit rate {:.1}%, {:.1} FLL bytes/1k-instrs, \
+         {:.1}% of loads logged, dictionary ratio {:.2}x",
+        report.dictionary_hit_rate() * 100.0,
+        report.fll_bytes_per_instruction() * 1000.0,
+        report.logged_load_fraction() * 100.0,
+        report.compression_ratio(),
+    );
+    match &m.telemetry {
+        Some(snapshot) => println!(
+            "  telemetry: {} metric(s) embedded — `bugnet stats` prints them",
+            snapshot.entries.len()
+        ),
+        None => println!("  telemetry: none embedded (record with --metrics-json)"),
+    }
     for (t, tm) in dump.threads.iter().zip(&m.threads) {
         let window: u64 = t.checkpoints.iter().map(|c| c.fll.instructions).sum();
         let raw = tm.fll_bytes + tm.mrl_bytes;
@@ -122,6 +147,34 @@ pub fn print_info(dir: &Path, dump: &CrashDump) {
                     None => String::new(),
                 }
             );
+        }
+    }
+}
+
+/// Prints a telemetry snapshot as an aligned text table: one row per
+/// metric, histograms summarized by their interpolated quantiles.
+pub fn print_stats(dir: &Path, manifest: &DumpManifest, snapshot: &Snapshot) {
+    println!(
+        "telemetry snapshot of {} (format v{}, {} metric(s))",
+        dir.display(),
+        manifest.version,
+        snapshot.entries.len()
+    );
+    for (name, value) in &snapshot.entries {
+        match value {
+            MetricValue::Counter(v) => println!("  {name:<34} counter    {v}"),
+            MetricValue::Gauge { value, max } => {
+                println!("  {name:<34} gauge      {value} (high watermark {max})");
+            }
+            MetricValue::Histogram(h) => println!(
+                "  {name:<34} histogram  n={} mean={:.0} p50={:.0} p95={:.0} p99={:.0} max={}",
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.max,
+            ),
         }
     }
 }

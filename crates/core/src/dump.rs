@@ -439,6 +439,10 @@ pub struct DumpMeta {
     /// Checkpoints the log store discarded before the dump to stay within
     /// its capacity (context for "how much history is missing").
     pub evicted_checkpoints: u64,
+    /// Telemetry snapshot taken at dump time, embedded in the manifest so
+    /// the run's metrics survive alongside the logs. `None` keeps the
+    /// manifest byte-identical to pre-telemetry dumps.
+    pub telemetry: Option<bugnet_telemetry::Snapshot>,
 }
 
 /// The decoded manifest of a crash-dump directory.
@@ -461,6 +465,10 @@ pub struct DumpManifest {
     pub evicted_checkpoints: u64,
     /// Per-thread log tables, in thread-id order.
     pub threads: Vec<ThreadManifest>,
+    /// Telemetry snapshot embedded at dump time, if the recording ran with
+    /// a metrics registry attached. Stored as an optional trailing section
+    /// so its absence leaves the manifest bytes unchanged from older dumps.
+    pub telemetry: Option<bugnet_telemetry::Snapshot>,
 }
 
 impl DumpManifest {
@@ -729,6 +737,31 @@ impl DumpManifest {
                 digests,
             });
         }
+        // Optional trailing telemetry section (any version): a presence tag,
+        // a u32 length, and a `bugnet_telemetry` snapshot blob. Dumps
+        // written without a registry attached end right after the thread
+        // table, which keeps them byte-identical to pre-telemetry dumps.
+        let telemetry = if r.is_exhausted() {
+            None
+        } else {
+            match r.u8().ok_or_else(truncated)? {
+                1 => {
+                    let len = r.u32().ok_or_else(truncated)? as usize;
+                    let blob = r.take(len).ok_or_else(truncated)?;
+                    let snapshot = bugnet_telemetry::Snapshot::from_bytes(blob).map_err(|e| {
+                        DumpError::CorruptManifest {
+                            detail: format!("embedded telemetry snapshot: {e}"),
+                        }
+                    })?;
+                    Some(snapshot)
+                }
+                tag => {
+                    return Err(DumpError::CorruptManifest {
+                        detail: format!("invalid telemetry-presence tag {tag}"),
+                    })
+                }
+            }
+        };
         if !r.is_exhausted() {
             return Err(DumpError::TrailingBytes {
                 file: MANIFEST_FILE.to_string(),
@@ -743,6 +776,7 @@ impl DumpManifest {
             fault,
             evicted_checkpoints,
             threads,
+            telemetry,
         })
     }
 
@@ -796,6 +830,12 @@ impl DumpManifest {
                 put_u64(&mut w, d.stores);
                 put_u64(&mut w, d.instructions);
             }
+        }
+        if let Some(snapshot) = &self.telemetry {
+            let blob = snapshot.to_bytes();
+            w.push(1);
+            put_u32(&mut w, blob.len() as u32);
+            w.extend_from_slice(&blob);
         }
         let checksum = fnv1a(&w);
         put_u64(&mut w, checksum);
@@ -1167,6 +1207,7 @@ fn encode_codec_dump(
         fault: meta.fault.clone(),
         evicted_checkpoints: meta.evicted_checkpoints,
         threads,
+        telemetry: meta.telemetry.clone(),
     };
     files.insert(0, (MANIFEST_FILE.to_string(), manifest.encode()));
     Ok(EncodedDump { manifest, files })
@@ -1240,6 +1281,7 @@ pub fn write_dump_v1(
         fault: meta.fault.clone(),
         evicted_checkpoints: meta.evicted_checkpoints,
         threads,
+        telemetry: meta.telemetry.clone(),
     };
     files.insert(0, (MANIFEST_FILE.to_string(), manifest.encode()));
     commit_encoded(&mut StdIo::new(), dir, EncodedDump { manifest, files })
@@ -1727,7 +1769,7 @@ impl CrashDump {
         &self,
         mut fallback: impl FnMut(ThreadId) -> Option<Arc<Program>>,
     ) -> Result<DumpReplayReport, ReplayError> {
-        self.replay_inner(|t| t.image.clone().or_else(|| fallback(t.thread)))
+        self.replay_inner(|t| t.image.clone().or_else(|| fallback(t.thread)), None)
     }
 
     /// Replays against exactly the supplied program images, ignoring any
@@ -1740,12 +1782,45 @@ impl CrashDump {
         &self,
         mut program_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
     ) -> Result<DumpReplayReport, ReplayError> {
-        self.replay_inner(|t| program_of(t.thread))
+        self.replay_inner(|t| program_of(t.thread), None)
+    }
+
+    /// Like [`replay_with`](CrashDump::replay_with), but also feeds replay
+    /// telemetry into `stats` as it goes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ReplayError`] from an unreplayable interval.
+    pub fn replay_with_observed(
+        &self,
+        mut program_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
+        stats: &ReplayStats,
+    ) -> Result<DumpReplayReport, ReplayError> {
+        self.replay_inner(|t| program_of(t.thread), Some(stats))
+    }
+
+    /// Like [`replay`](CrashDump::replay), but also feeds replay telemetry
+    /// (interval latency, instruction and digest-comparison counters) into
+    /// `stats` as it goes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ReplayError`] from an unreplayable interval.
+    pub fn replay_observed(
+        &self,
+        mut fallback: impl FnMut(ThreadId) -> Option<Arc<Program>>,
+        stats: &ReplayStats,
+    ) -> Result<DumpReplayReport, ReplayError> {
+        self.replay_inner(
+            |t| t.image.clone().or_else(|| fallback(t.thread)),
+            Some(stats),
+        )
     }
 
     fn replay_inner(
         &self,
         mut resolve: impl FnMut(&ThreadDump) -> Option<Arc<Program>>,
+        stats: Option<&ReplayStats>,
     ) -> Result<DumpReplayReport, ReplayError> {
         let mut report = DumpReplayReport::default();
         for t in &self.threads {
@@ -1755,6 +1830,7 @@ impl CrashDump {
             };
             let replayer = Replayer::new(program);
             for cp in &t.checkpoints {
+                let started = stats.map(|_| std::time::Instant::now());
                 let replayed = replayer.replay_interval(&cp.fll)?;
                 let fault_reproduced = cp.fll.fault.map(|expected| {
                     replayed
@@ -1762,18 +1838,62 @@ impl CrashDump {
                         .map(|(pc, _)| pc == expected.pc)
                         .unwrap_or(false)
                 });
+                let digest_match = cp.digest.matches(&replayed.digest);
+                if let (Some(stats), Some(started)) = (stats, started) {
+                    stats.interval_ns.record_duration(started.elapsed());
+                    stats.intervals.inc();
+                    stats.instructions.add(replayed.instructions);
+                    stats.loads_from_log.add(replayed.loads_from_log);
+                    if digest_match {
+                        stats.digest_matches.inc();
+                    } else {
+                        stats.digest_mismatches.inc();
+                    }
+                }
                 report.intervals.push(DumpIntervalReplay {
                     thread: t.thread,
                     checkpoint: cp.fll.header.checkpoint,
                     instructions: replayed.instructions,
                     loads_from_log: replayed.loads_from_log,
                     loads_from_memory: replayed.loads_from_memory,
-                    digest_match: cp.digest.matches(&replayed.digest),
+                    digest_match,
                     fault_reproduced,
                 });
             }
         }
         Ok(report)
+    }
+}
+
+/// Telemetry handles for the dump replay path, registered under the
+/// `replay_*` metric names.
+#[derive(Debug, Clone)]
+pub struct ReplayStats {
+    /// Instructions replayed (`replay_instructions_total`).
+    pub instructions: Arc<bugnet_telemetry::Counter>,
+    /// Intervals replayed (`replay_intervals_total`).
+    pub intervals: Arc<bugnet_telemetry::Counter>,
+    /// Loads satisfied from the FLL (`replay_loads_from_log_total`).
+    pub loads_from_log: Arc<bugnet_telemetry::Counter>,
+    /// Digest comparisons that matched (`replay_digest_matches_total`).
+    pub digest_matches: Arc<bugnet_telemetry::Counter>,
+    /// Digest comparisons that diverged (`replay_digest_mismatches_total`).
+    pub digest_mismatches: Arc<bugnet_telemetry::Counter>,
+    /// Wall-clock latency of one interval replay (`replay_interval_ns`).
+    pub interval_ns: Arc<bugnet_telemetry::Histogram>,
+}
+
+impl ReplayStats {
+    /// Registers (or re-attaches to) the replay metrics in `registry`.
+    pub fn register(registry: &bugnet_telemetry::Registry) -> Self {
+        ReplayStats {
+            instructions: registry.counter("replay_instructions_total"),
+            intervals: registry.counter("replay_intervals_total"),
+            loads_from_log: registry.counter("replay_loads_from_log_total"),
+            digest_matches: registry.counter("replay_digest_matches_total"),
+            digest_mismatches: registry.counter("replay_digest_mismatches_total"),
+            interval_ns: registry.histogram("replay_interval_ns"),
+        }
     }
 }
 
@@ -2614,6 +2734,7 @@ mod tests {
                 description: "integer divide by zero".into(),
             }),
             evicted_checkpoints: 3,
+            telemetry: None,
         }
     }
 

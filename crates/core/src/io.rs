@@ -158,6 +158,119 @@ pub trait DumpIo: fmt::Debug {
 /// e.g. one fault plan observed by every dump attempt of a run.
 pub type SharedDumpIo = Arc<Mutex<dyn DumpIo + Send>>;
 
+/// Telemetry handles for the dump I/O path, resolved once per registry.
+/// Wrap any backend in [`InstrumentedIo`] to feed them: per-operation
+/// latency histograms, bytes written, transient (`EINTR`-style) errors the
+/// retry loop will absorb, and permanent failures.
+#[derive(Debug, Clone)]
+pub struct IoStats {
+    /// One latency histogram per [`IoOp`], indexed by `op_index`.
+    op_ns: [Arc<bugnet_telemetry::Histogram>; 7],
+    bytes_written: Arc<bugnet_telemetry::Counter>,
+    transient_errors: Arc<bugnet_telemetry::Counter>,
+    failures: Arc<bugnet_telemetry::Counter>,
+}
+
+/// The histogram slot an operation records into.
+fn op_index(op: IoOp) -> usize {
+    match op {
+        IoOp::CreateDir => 0,
+        IoOp::WriteFile => 1,
+        IoOp::SyncDir => 2,
+        IoOp::Rename => 3,
+        IoOp::RemoveDir => 4,
+        IoOp::ListDir => 5,
+        IoOp::Read => 6,
+    }
+}
+
+impl IoStats {
+    /// Registers (or re-resolves) the dump I/O metrics in `registry`.
+    pub fn register(registry: &bugnet_telemetry::Registry) -> Self {
+        let hist = |op: IoOp| registry.histogram(&format!("io_{op}_ns"));
+        IoStats {
+            op_ns: [
+                hist(IoOp::CreateDir),
+                hist(IoOp::WriteFile),
+                hist(IoOp::SyncDir),
+                hist(IoOp::Rename),
+                hist(IoOp::RemoveDir),
+                hist(IoOp::ListDir),
+                hist(IoOp::Read),
+            ],
+            bytes_written: registry.counter("io_bytes_written_total"),
+            transient_errors: registry.counter("io_transient_errors_total"),
+            failures: registry.counter("io_failures_total"),
+        }
+    }
+}
+
+/// A [`DumpIo`] middleware recording every operation into an [`IoStats`]:
+/// latency per op kind, bytes handed to `write_file`, and error counts
+/// (transient vs permanent). Wraps a borrowed backend so the dump writers
+/// can instrument whatever backend the caller supplied — including a
+/// fault-injecting one — without taking ownership.
+#[derive(Debug)]
+pub struct InstrumentedIo<'a> {
+    inner: &'a mut dyn DumpIo,
+    stats: IoStats,
+}
+
+impl<'a> InstrumentedIo<'a> {
+    /// Wraps `inner`, recording into `stats`.
+    pub fn new(inner: &'a mut dyn DumpIo, stats: IoStats) -> Self {
+        InstrumentedIo { inner, stats }
+    }
+
+    fn observe<T>(
+        &mut self,
+        op: IoOp,
+        f: impl FnOnce(&mut dyn DumpIo) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let started = std::time::Instant::now();
+        let result = f(self.inner);
+        self.stats.op_ns[op_index(op)].record_duration(started.elapsed());
+        if let Err(e) = &result {
+            if e.kind() == io::ErrorKind::Interrupted {
+                self.stats.transient_errors.inc();
+            } else {
+                self.stats.failures.inc();
+            }
+        }
+        result
+    }
+}
+
+impl DumpIo for InstrumentedIo<'_> {
+    fn create_dir_all(&mut self, path: &Path) -> io::Result<()> {
+        self.observe(IoOp::CreateDir, |io| io.create_dir_all(path))
+    }
+
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let result = self.observe(IoOp::WriteFile, |io| io.write_file(path, bytes));
+        if result.is_ok() {
+            self.stats.bytes_written.add(bytes.len() as u64);
+        }
+        result
+    }
+
+    fn sync_dir(&mut self, path: &Path) -> io::Result<()> {
+        self.observe(IoOp::SyncDir, |io| io.sync_dir(path))
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        self.observe(IoOp::Rename, |io| io.rename(from, to))
+    }
+
+    fn remove_dir_all(&mut self, path: &Path) -> io::Result<()> {
+        self.observe(IoOp::RemoveDir, |io| io.remove_dir_all(path))
+    }
+
+    fn list_dir(&mut self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.observe(IoOp::ListDir, |io| io.list_dir(path))
+    }
+}
+
 /// The real filesystem backend. Counts operations so tests can measure a
 /// write sequence's length before sweeping failures over every index.
 #[derive(Debug, Default)]

@@ -22,9 +22,11 @@
 
 use std::ops::Deref;
 use std::sync::mpsc;
+use std::sync::Arc;
 
 use bugnet_compress::{encode_container, CodecId};
 use bugnet_cpu::ArchState;
+use bugnet_telemetry::{Counter, Gauge, Histogram, Registry};
 use bugnet_types::{
     Addr, BugNetConfig, ByteSize, CheckpointId, InstrCount, ProcessId, ThreadId, Timestamp, Word,
 };
@@ -86,18 +88,39 @@ pub struct SealedCheckpoint {
 impl SealedCheckpoint {
     /// Serializes and compresses `logs` with `codec`.
     pub fn seal(logs: CheckpointLogs, codec: CodecId) -> Self {
+        SealedCheckpoint::seal_observed(logs, codec, None)
+    }
+
+    /// [`SealedCheckpoint::seal`] with optional telemetry: the whole seal is
+    /// spanned by the caller; this records the codec-only portion (the two
+    /// `encode_container` runs) plus raw/stored byte counters.
+    fn seal_observed(logs: CheckpointLogs, codec: CodecId, stats: Option<&StoreStats>) -> Self {
         let fll_raw = logs.fll.to_bytes();
         let mrl_raw = logs.mrl.to_bytes();
-        let fll_frame = encode_container(codec, &fll_raw);
-        let mrl_frame = encode_container(codec, &mrl_raw);
-        SealedCheckpoint {
+        let (fll_frame, mrl_frame) = {
+            let _span = stats.map(|s| s.codec_compress_ns.start_span());
+            (
+                encode_container(codec, &fll_raw),
+                encode_container(codec, &mrl_raw),
+            )
+        };
+        let sealed = SealedCheckpoint {
             logs,
             codec,
             fll_raw_bytes: fll_raw.len() as u64,
             mrl_raw_bytes: mrl_raw.len() as u64,
             fll_frame,
             mrl_frame,
+        };
+        if let Some(stats) = stats {
+            stats
+                .sealed_raw_bytes
+                .add(sealed.fll_raw_bytes + sealed.mrl_raw_bytes);
+            stats
+                .sealed_stored_bytes
+                .add(sealed.fll_stored_bytes() + sealed.mrl_stored_bytes());
         }
+        sealed
     }
 
     /// On-disk size of the FLL frame (container header + encoded bytes).
@@ -129,6 +152,76 @@ impl Deref for SealedCheckpoint {
     }
 }
 
+/// Telemetry handles for the per-thread recorder, resolved once against a
+/// [`Registry`] at attach time so the recording loop never touches the
+/// registry lock. Hot-path counts are tracked in the interval state and
+/// flushed here once per `end_interval` — the always-on overhead is a
+/// handful of counter adds per checkpoint interval, not per load.
+#[derive(Debug, Clone)]
+pub struct RecorderStats {
+    loads_seen: Arc<Counter>,
+    loads_logged: Arc<Counter>,
+    dict_hits: Arc<Counter>,
+    instructions: Arc<Counter>,
+    intervals: Arc<Counter>,
+    faults: Arc<Counter>,
+}
+
+impl RecorderStats {
+    /// Registers (or re-resolves) the recorder metrics in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        RecorderStats {
+            loads_seen: registry.counter("recorder_loads_seen_total"),
+            loads_logged: registry.counter("recorder_loads_logged_total"),
+            dict_hits: registry.counter("recorder_dict_hits_total"),
+            instructions: registry.counter("recorder_instructions_total"),
+            intervals: registry.counter("recorder_intervals_total"),
+            faults: registry.counter("recorder_faults_total"),
+        }
+    }
+}
+
+/// Telemetry handles for the store's write path (sealing, hand-off lanes,
+/// reconcile, eviction), resolved once at attach time. Cloned into every
+/// [`ThreadStoreHandle`] so concurrent writers record without any shared
+/// lock — all handles are striped counters and lock-free histograms.
+#[derive(Debug, Clone)]
+pub struct StoreStats {
+    /// Full interval-seal latency (serialize + compress), nanoseconds.
+    seal_ns: Arc<Histogram>,
+    /// Codec-only portion of sealing (the `encode_container` runs).
+    codec_compress_ns: Arc<Histogram>,
+    sealed_raw_bytes: Arc<Counter>,
+    sealed_stored_bytes: Arc<Counter>,
+    /// Intervals per hand-off batch at flush time.
+    handoff_batch_intervals: Arc<Histogram>,
+    reconcile_ns: Arc<Histogram>,
+    reconciled_intervals: Arc<Counter>,
+    evicted_checkpoints: Arc<Counter>,
+    /// Intervals drained from each lane at the last reconcile (per shard).
+    lane_depth: Vec<Arc<Gauge>>,
+}
+
+impl StoreStats {
+    /// Registers (or re-resolves) the store metrics in `registry` for a
+    /// store with `shards` hand-off lanes.
+    pub fn register(registry: &Registry, shards: usize) -> Self {
+        StoreStats {
+            seal_ns: registry.histogram("store_seal_ns"),
+            codec_compress_ns: registry.histogram("codec_compress_ns"),
+            sealed_raw_bytes: registry.counter("store_sealed_raw_bytes_total"),
+            sealed_stored_bytes: registry.counter("store_sealed_stored_bytes_total"),
+            handoff_batch_intervals: registry.histogram("store_handoff_batch_intervals"),
+            reconcile_ns: registry.histogram("store_reconcile_ns"),
+            reconciled_intervals: registry.counter("store_reconciled_intervals_total"),
+            evicted_checkpoints: registry.counter("store_evicted_checkpoints_total"),
+            lane_depth: (0..shards)
+                .map(|i| registry.gauge(&format!("store_lane{i}_depth")))
+                .collect(),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct IntervalState {
     header: FllHeader,
@@ -137,6 +230,11 @@ struct IntervalState {
     mrl: MrlBuilder,
     skipped_since_log: u64,
     loads_executed: u64,
+    /// First loads appended to the FLL (telemetry, tracked locally so the
+    /// hot path never touches a shared counter).
+    loads_logged: u64,
+    /// First loads the dictionary compressed to a rank (telemetry).
+    dict_hits: u64,
     instructions: u64,
     fault: Option<FaultRecord>,
     digest: ExecutionDigest,
@@ -157,6 +255,8 @@ pub struct ThreadRecorder {
     /// allocation (entry array + hash index) keeps `begin_interval` off the
     /// allocator on the hot recording path.
     spare_dictionary: Option<ValueDictionary>,
+    /// Telemetry sink, fed per-interval totals at `end_interval`.
+    stats: Option<RecorderStats>,
 }
 
 impl ThreadRecorder {
@@ -172,7 +272,16 @@ impl ThreadRecorder {
             current: None,
             intervals_completed: 0,
             spare_dictionary: None,
+            stats: None,
         }
+    }
+
+    /// Routes this recorder's per-interval totals (loads seen/logged,
+    /// dictionary hits, instructions, faults) into `stats`. Counts are
+    /// batched at interval end, so attaching telemetry does not touch the
+    /// per-load hot path.
+    pub fn attach_telemetry(&mut self, stats: RecorderStats) {
+        self.stats = Some(stats);
     }
 
     /// The thread this recorder belongs to.
@@ -257,6 +366,8 @@ impl ThreadRecorder {
             mrl: MrlBuilder::new(mrl_header, &self.cfg),
             skipped_since_log: 0,
             loads_executed: 0,
+            loads_logged: 0,
+            dict_hits: 0,
             instructions: 0,
             fault: None,
             digest: ExecutionDigest::new(),
@@ -285,8 +396,12 @@ impl ThreadRecorder {
         state.loads_executed += 1;
         state.digest.record_load(addr, value);
         if first_load {
+            state.loads_logged += 1;
             let encoded = match state.dictionary.encode(value) {
-                Some(rank) => EncodedValue::DictRank(rank),
+                Some(rank) => {
+                    state.dict_hits += 1;
+                    EncodedValue::DictRank(rank)
+                }
                 None => EncodedValue::Full(value),
             };
             let skipped = state.skipped_since_log;
@@ -358,6 +473,17 @@ impl ThreadRecorder {
     ) -> Option<CheckpointLogs> {
         let mut state = self.current.take()?;
         state.digest.record_final_state(final_state);
+        if let Some(stats) = &self.stats {
+            // The one telemetry touch per interval: batched totals.
+            stats.loads_seen.add(state.loads_executed);
+            stats.loads_logged.add(state.loads_logged);
+            stats.dict_hits.add(state.dict_hits);
+            stats.instructions.add(state.instructions);
+            stats.intervals.inc();
+            if state.fault.is_some() {
+                stats.faults.inc();
+            }
+        }
         self.spare_dictionary = Some(state.dictionary);
         let (stream, payload) = state.encoder.finish();
         let fll = FirstLoadLog::new(
@@ -452,6 +578,9 @@ pub struct ThreadStoreHandle {
     codec: CodecId,
     tx: mpsc::Sender<Vec<SealedCheckpoint>>,
     batch: Vec<SealedCheckpoint>,
+    /// Cloned from the store at mint time; all handles share lock-free
+    /// counters/histograms, so concurrent writers never contend here.
+    stats: Option<StoreStats>,
 }
 
 impl ThreadStoreHandle {
@@ -469,7 +598,11 @@ impl ThreadStoreHandle {
     /// batch is handed to the store in one send.
     pub fn push(&mut self, logs: CheckpointLogs) {
         let codec = self.codec;
-        self.push_sealed(SealedCheckpoint::seal(logs, codec));
+        let sealed = {
+            let _span = self.stats.as_ref().map(|s| s.seal_ns.start_span());
+            SealedCheckpoint::seal_observed(logs, codec, self.stats.as_ref())
+        };
+        self.push_sealed(sealed);
     }
 
     /// Buffers an already-sealed interval (sealed with this handle's codec).
@@ -494,6 +627,9 @@ impl ThreadStoreHandle {
     pub fn flush(&mut self) {
         if !self.batch.is_empty() {
             let batch = std::mem::take(&mut self.batch);
+            if let Some(stats) = &self.stats {
+                stats.handoff_batch_intervals.record(batch.len() as u64);
+            }
             let _ = self.tx.send(batch);
         }
     }
@@ -545,6 +681,8 @@ pub struct LogStore {
     evicted_checkpoints: u64,
     total_fll_bits: u64,
     total_mrl_bits: u64,
+    /// Telemetry sink; cloned into every minted [`ThreadStoreHandle`].
+    stats: Option<StoreStats>,
 }
 
 impl LogStore {
@@ -577,7 +715,16 @@ impl LogStore {
             evicted_checkpoints: 0,
             total_fll_bits: 0,
             total_mrl_bits: 0,
+            stats: None,
         }
+    }
+
+    /// Routes this store's write-path telemetry (seal latency, hand-off
+    /// batch sizes, per-lane depth, reconcile latency, evictions) into
+    /// `registry`. Attach *before* minting [`ThreadStoreHandle`]s — handles
+    /// copy the stats at mint time.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.stats = Some(StoreStats::register(registry, self.lanes.len()));
     }
 
     /// The back-end codec this store seals intervals with.
@@ -610,6 +757,7 @@ impl LogStore {
             codec: self.codec,
             tx: lane.tx.clone(),
             batch: Vec::new(),
+            stats: self.stats.clone(),
         }
     }
 
@@ -623,10 +771,18 @@ impl LogStore {
     /// evicting keeps the retained set a pure function of the pushed
     /// content, not of cross-thread arrival timing.
     pub fn reconcile(&mut self) -> usize {
+        let started = self.stats.as_ref().map(|_| std::time::Instant::now());
         let mut pending: Vec<SealedCheckpoint> = Vec::new();
-        for lane in self.lanes.iter().flatten() {
-            while let Ok(batch) = lane.rx.try_recv() {
-                pending.extend(batch);
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let mut drained = 0u64;
+            if let Some(lane) = lane {
+                while let Ok(batch) = lane.rx.try_recv() {
+                    drained += batch.len() as u64;
+                    pending.extend(batch);
+                }
+            }
+            if let Some(stats) = &self.stats {
+                stats.lane_depth[i].set(drained as i64);
             }
         }
         let ingested = pending.len();
@@ -635,6 +791,12 @@ impl LogStore {
         }
         if ingested > 0 {
             self.evict_to_capacity();
+        }
+        if let Some(stats) = &self.stats {
+            stats.reconciled_intervals.add(ingested as u64);
+            if let Some(started) = started {
+                stats.reconcile_ns.record_duration(started.elapsed());
+            }
         }
         ingested
     }
@@ -645,7 +807,12 @@ impl LogStore {
     /// through [`LogStore::thread_handle`] instead.
     pub fn push(&mut self, logs: CheckpointLogs) {
         let codec = self.codec;
-        self.push_sealed(SealedCheckpoint::seal(logs, codec));
+        let started = self.stats.as_ref().map(|_| std::time::Instant::now());
+        let sealed = SealedCheckpoint::seal_observed(logs, codec, self.stats.as_ref());
+        if let (Some(stats), Some(started)) = (&self.stats, started) {
+            stats.seal_ns.record_duration(started.elapsed());
+        }
+        self.push_sealed(sealed);
     }
 
     /// Appends an already-sealed interval and applies the eviction policy.
@@ -726,6 +893,9 @@ impl LogStore {
                     self.total_fll_bits -= fll_bits;
                     self.total_mrl_bits -= mrl_bits;
                     self.evicted_checkpoints += 1;
+                    if let Some(stats) = &self.stats {
+                        stats.evicted_checkpoints.inc();
+                    }
                 }
                 None => return,
             }

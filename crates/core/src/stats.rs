@@ -6,6 +6,8 @@
 
 use bugnet_types::ByteSize;
 
+use crate::fll::FirstLoadLog;
+use crate::mrl::MemoryRaceLog;
 use crate::recorder::CheckpointLogs;
 
 /// Summary of a collection of checkpoint logs.
@@ -39,18 +41,28 @@ impl LogSizeReport {
     where
         I: IntoIterator<Item = &'a CheckpointLogs>,
     {
+        Self::from_fll_mrl(logs.into_iter().map(|l| (&l.fll, &l.mrl)))
+    }
+
+    /// Builds a report over bare FLL/MRL pairs — the shape checkpoints come
+    /// back in when loaded from an on-disk dump, where the live
+    /// [`CheckpointLogs`] wrapper no longer exists.
+    pub fn from_fll_mrl<'a, I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a FirstLoadLog, &'a MemoryRaceLog)>,
+    {
         let mut report = LogSizeReport::default();
-        for l in logs {
+        for (fll, mrl) in pairs {
             report.intervals += 1;
-            report.instructions += l.fll.instructions;
-            report.loads_executed += l.fll.loads_executed;
-            report.loads_logged += l.fll.records();
-            report.dictionary_hits += l.fll.dictionary_hits();
-            report.fll_size += l.fll.size();
-            report.fll_payload_size += l.fll.payload_size();
-            report.fll_uncompressed_payload_size += l.fll.uncompressed_payload_size();
-            report.mrl_size += l.mrl.size();
-            report.mrl_entries += l.mrl.entries().len() as u64;
+            report.instructions += fll.instructions;
+            report.loads_executed += fll.loads_executed;
+            report.loads_logged += fll.records();
+            report.dictionary_hits += fll.dictionary_hits();
+            report.fll_size += fll.size();
+            report.fll_payload_size += fll.payload_size();
+            report.fll_uncompressed_payload_size += fll.uncompressed_payload_size();
+            report.mrl_size += mrl.size();
+            report.mrl_entries += mrl.entries().len() as u64;
         }
         report
     }
@@ -164,6 +176,32 @@ mod tests {
         assert!(repeated.dictionary_hit_rate() > 0.9);
         assert!(unique.dictionary_hit_rate() < 0.2);
         assert!(repeated.compression_ratio() > unique.compression_ratio());
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let a = LogSizeReport::from_logs([&sample_logs(3, false)]);
+        let b = LogSizeReport::from_logs([&sample_logs(5, true)]);
+        let c = LogSizeReport::from_logs([&sample_logs(7, false)]);
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn default_is_the_merge_identity() {
+        let a = LogSizeReport::from_logs([&sample_logs(9, true)]);
+        let mut left = LogSizeReport::default();
+        left.merge(&a);
+        assert_eq!(left, a);
+        let mut right = a;
+        right.merge(&LogSizeReport::default());
+        assert_eq!(right, a);
     }
 
     #[test]

@@ -30,10 +30,12 @@
 //! threads in id order); with eviction they remain digest-equal on replay.
 
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bugnet_compress::CodecId;
 use bugnet_core::recorder::{CheckpointLogs, LogStore, ThreadStoreHandle};
+use bugnet_telemetry::{Counter, Gauge, Histogram, Registry};
 use bugnet_types::ThreadId;
 
 /// Work items routed to the sealing workers. Adoption of a thread's store
@@ -76,6 +78,26 @@ pub struct FlushPipeline {
     submitted: u64,
     /// Intervals the store has reconciled through `drain_ready`/`flush`.
     reconciled: u64,
+    /// Telemetry handles, if a registry was attached.
+    stats: Option<FlushStats>,
+}
+
+/// Telemetry handles for the flush pipeline, registered under the
+/// `flush_*` metric names.
+#[derive(Debug, Clone)]
+struct FlushStats {
+    /// Intervals submitted but not yet reconciled (`flush_in_flight`;
+    /// the gauge's high watermark is the deepest the pipeline ever got).
+    in_flight: Arc<Gauge>,
+    /// Intervals handed to the workers (`flush_submitted_total`).
+    submitted: Arc<Counter>,
+    /// Intervals reconciled into the store (`flush_reconciled_total`).
+    reconciled: Arc<Counter>,
+    /// Wall-clock latency of a blocking barrier (`flush_barrier_ns`).
+    barrier_ns: Arc<Histogram>,
+    /// Intervals routed to each worker (`flush_worker{i}_submitted_total`):
+    /// the thread-affinity load balance across the pool.
+    worker_submitted: Vec<Arc<Counter>>,
 }
 
 impl FlushPipeline {
@@ -102,7 +124,23 @@ impl FlushPipeline {
             adopted: Vec::new(),
             submitted: 0,
             reconciled: 0,
+            stats: None,
         }
+    }
+
+    /// Attaches pipeline telemetry to `registry` (`flush_*` metrics). Seal
+    /// latency itself is recorded by the store handles the workers write
+    /// through, so this only covers pipeline-level flow.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.stats = Some(FlushStats {
+            in_flight: registry.gauge("flush_in_flight"),
+            submitted: registry.counter("flush_submitted_total"),
+            reconciled: registry.counter("flush_reconciled_total"),
+            barrier_ns: registry.histogram("flush_barrier_ns"),
+            worker_submitted: (0..self.senders.len())
+                .map(|i| registry.counter(&format!("flush_worker{i}_submitted_total")))
+                .collect(),
+        });
     }
 
     fn worker_loop(rx: mpsc::Receiver<Job>) {
@@ -164,19 +202,30 @@ impl FlushPipeline {
         self.senders[worker]
             .send(Job::Seal(Box::new(logs)))
             .expect("flush workers outlive the pipeline");
+        if let Some(stats) = &self.stats {
+            stats.submitted.inc();
+            stats.worker_submitted[worker].inc();
+            stats.in_flight.set(self.in_flight() as i64);
+        }
     }
 
     /// Non-blocking drain: reconciles whatever sealed batches the workers
     /// have already handed to the store's lanes. Called from the machine
     /// loop so the store tracks the execution closely without stalling it.
     pub fn drain_ready(&mut self, store: &mut LogStore) {
-        self.reconciled += store.reconcile() as u64;
+        let drained = store.reconcile() as u64;
+        self.reconciled += drained;
+        if let Some(stats) = &self.stats {
+            stats.reconciled.add(drained);
+            stats.in_flight.set(self.in_flight() as i64);
+        }
     }
 
     /// Blocking barrier: waits until every submitted interval has been
     /// sealed, handed off, and reconciled into `store`. Called before
     /// anything reads the store (end of a run, crash-dump writing).
     pub fn flush(&mut self, store: &mut LogStore) {
+        let started = self.stats.as_ref().map(|_| std::time::Instant::now());
         let (ack_tx, ack_rx) = mpsc::channel();
         for sender in &self.senders {
             sender
@@ -188,6 +237,9 @@ impl FlushPipeline {
             ack_rx.recv().expect("flush workers outlive the pipeline");
         }
         self.drain_ready(store);
+        if let (Some(stats), Some(started)) = (&self.stats, started) {
+            stats.barrier_ns.record_duration(started.elapsed());
+        }
         debug_assert_eq!(
             self.submitted, self.reconciled,
             "flush barrier lost intervals"

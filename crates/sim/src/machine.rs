@@ -8,8 +8,10 @@ use bugnet_core::dump::{
     self, DumpError, DumpFault, DumpFormat, DumpManifest, DumpMeta, DumpOptions,
 };
 use bugnet_core::fll::TerminationCause;
-use bugnet_core::io::{clean_orphaned_staging, DumpIo, SharedDumpIo, StdIo};
-use bugnet_core::recorder::{CheckpointLogs, LogStore, ThreadRecorder};
+use bugnet_core::io::{
+    clean_orphaned_staging, DumpIo, InstrumentedIo, IoStats, SharedDumpIo, StdIo,
+};
+use bugnet_core::recorder::{CheckpointLogs, LogStore, RecorderStats, ThreadRecorder};
 use bugnet_core::stats::LogSizeReport;
 use bugnet_core::{estimate_overhead, OverheadInputs, OverheadReport};
 use bugnet_cpu::{Cpu, Fault, MemoryPort, StepEvent};
@@ -58,6 +60,12 @@ pub struct RecordingOptions {
     /// Crash-dump filesystem backend; `None` uses the real filesystem
     /// ([`StdIo`]). The fault-injection seam.
     pub dump_io: Option<SharedDumpIo>,
+    /// Metrics registry the machine feeds while recording and dumping;
+    /// `None` (the default) records nothing and stays off every hot path.
+    /// When set, a telemetry snapshot is also embedded in any crash dump
+    /// the machine writes — which makes dump bytes depend on run timing,
+    /// so determinism-sensitive callers must leave this off.
+    pub telemetry: Option<Arc<bugnet_telemetry::Registry>>,
 }
 
 impl Default for RecordingOptions {
@@ -69,6 +77,7 @@ impl Default for RecordingOptions {
             embed_image: true,
             dump_on_crash: None,
             dump_io: None,
+            telemetry: None,
         }
     }
 }
@@ -127,6 +136,10 @@ impl MachineBuilder {
 
     /// Deprecated shim: prefer [`MachineBuilder::recording`] with
     /// [`RecordingOptions::codec`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `recording(RecordingOptions { codec, .. })`"
+    )]
     pub fn codec(mut self, codec: CodecId) -> Self {
         self.recording.codec = codec;
         self
@@ -134,6 +147,10 @@ impl MachineBuilder {
 
     /// Deprecated shim: prefer [`MachineBuilder::recording`] with
     /// [`RecordingOptions::flush_workers`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `recording(RecordingOptions { flush_workers, .. })`"
+    )]
     pub fn flush_workers(mut self, workers: usize) -> Self {
         self.recording.flush_workers = workers;
         self
@@ -141,6 +158,10 @@ impl MachineBuilder {
 
     /// Deprecated shim: prefer [`MachineBuilder::recording`] with
     /// [`RecordingOptions::dump_on_crash`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `recording(RecordingOptions { dump_on_crash, .. })`"
+    )]
     pub fn dump_on_crash(mut self, dir: impl Into<PathBuf>) -> Self {
         self.recording.dump_on_crash = Some(dir.into());
         self
@@ -148,6 +169,10 @@ impl MachineBuilder {
 
     /// Deprecated shim: prefer [`MachineBuilder::recording`] with
     /// [`RecordingOptions::embed_image`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `recording(RecordingOptions { embed_image, .. })`"
+    )]
     pub fn embed_image(mut self, on: bool) -> Self {
         self.recording.embed_image = on;
         self
@@ -155,6 +180,10 @@ impl MachineBuilder {
 
     /// Deprecated shim: prefer [`MachineBuilder::recording`] with
     /// [`RecordingOptions::dump_io`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `recording(RecordingOptions { dump_io, .. })`"
+    )]
     pub fn dump_io(mut self, io: SharedDumpIo) -> Self {
         self.recording.dump_io = Some(io);
         self
@@ -185,7 +214,11 @@ impl MachineBuilder {
         machine.embed_image = opts.embed_image;
         machine.dump_io = opts.dump_io;
         if opts.flush_workers > 0 && machine.log_store.is_some() {
-            machine.pipeline = Some(FlushPipeline::new(opts.flush_workers, opts.codec));
+            let mut pipeline = FlushPipeline::new(opts.flush_workers, opts.codec);
+            if let Some(registry) = &machine.telemetry {
+                pipeline.attach_telemetry(registry);
+            }
+            machine.pipeline = Some(pipeline);
         }
         machine
     }
@@ -288,6 +321,7 @@ pub struct Machine {
     dump_dir: Option<PathBuf>,
     embed_image: bool,
     dump_io: Option<SharedDumpIo>,
+    telemetry: Option<Arc<bugnet_telemetry::Registry>>,
     crash_dump: Option<Result<DumpManifest, DumpError>>,
 }
 
@@ -336,9 +370,19 @@ impl Machine {
         } else {
             opts.store_shards
         };
-        let log_store = bugnet_cfg
+        let mut log_store = bugnet_cfg
             .as_ref()
             .map(|cfg| LogStore::with_shards(cfg, opts.codec, shards));
+        if let Some(registry) = &opts.telemetry {
+            // Attach before any store handles are minted: handles clone the
+            // store's telemetry at creation time.
+            if let Some(store) = log_store.as_mut() {
+                store.attach_telemetry(registry);
+            }
+            for recorder in &mut recorders {
+                recorder.attach_telemetry(RecorderStats::register(registry));
+            }
+        }
         Machine {
             directory: Directory::new(cfg.cache.l1.block_bytes),
             dma: DmaEngine::new(),
@@ -359,10 +403,17 @@ impl Machine {
             dump_dir: None,
             embed_image: true,
             dump_io: None,
+            telemetry: opts.telemetry.clone(),
             crash_dump: None,
             memory,
             cfg,
         }
+    }
+
+    /// The metrics registry the machine records into, if one was attached
+    /// via [`RecordingOptions::telemetry`].
+    pub fn telemetry(&self) -> Option<&Arc<bugnet_telemetry::Registry>> {
+        self.telemetry.as_ref()
     }
 
     /// The machine configuration.
@@ -576,11 +627,15 @@ impl Machine {
     ) -> Result<DumpManifest, DumpError> {
         let meta = self.dump_meta(meta_store);
         let mut image_of = |thread: ThreadId| embed.then(|| self.program_of(thread)).flatten();
-        let mut run = |io: &mut dyn DumpIo| {
+        let mut inner = |io: &mut dyn DumpIo| {
             // Best-effort: litter from a crashed prior run must never block
             // writing this crash's dump.
             let _ = clean_orphaned_staging(io, dir);
             write(io, dir, &meta, dump_store, &mut image_of)
+        };
+        let mut run = |io: &mut dyn DumpIo| match &self.telemetry {
+            Some(registry) => inner(&mut InstrumentedIo::new(io, IoStats::register(registry))),
+            None => inner(io),
         };
         match &self.dump_io {
             Some(shared) => {
@@ -611,6 +666,7 @@ impl Machine {
             created: Timestamp(self.clock),
             fault,
             evicted_checkpoints: store.evicted_checkpoints(),
+            telemetry: self.telemetry.as_ref().map(|r| r.snapshot()),
         }
     }
 
@@ -1131,7 +1187,10 @@ mod tests {
         let workload = spec.build(1.0);
         let mut machine = MachineBuilder::new()
             .bugnet(bugnet_cfg(1_000_000))
-            .dump_on_crash(&dir)
+            .recording(RecordingOptions {
+                dump_on_crash: Some(dir.clone()),
+                ..RecordingOptions::default()
+            })
             .workload_spec("bug:bc-1.06:1000")
             .build_with_workload(&workload);
         machine.run_to_completion();
@@ -1162,7 +1221,10 @@ mod tests {
         let workload = SpecProfile::gzip().build_workload(5_000, 1);
         let mut machine = MachineBuilder::new()
             .bugnet(bugnet_cfg(5_000))
-            .dump_on_crash(&dir)
+            .recording(RecordingOptions {
+                dump_on_crash: Some(dir.clone()),
+                ..RecordingOptions::default()
+            })
             .build_with_workload(&workload);
         machine.run_to_completion();
         assert!(machine.crash_dump().is_none(), "clean run must not dump");
@@ -1189,7 +1251,10 @@ mod tests {
                 let dir = base.join(format!("{name}-{workers}"));
                 let mut machine = MachineBuilder::new()
                     .bugnet(bugnet_cfg(5_000))
-                    .flush_workers(workers)
+                    .recording(RecordingOptions {
+                        flush_workers: workers,
+                        ..RecordingOptions::default()
+                    })
                     .build_with_workload(workload);
                 machine.run_to_completion();
                 machine.write_crash_dump(&dir).expect("dump writes");
@@ -1298,7 +1363,10 @@ mod tests {
         let workload = SpecProfile::gzip().build_workload(10_000, 1);
         let mut machine = MachineBuilder::new()
             .bugnet(bugnet_cfg(5_000))
-            .codec(CodecId::Identity)
+            .recording(RecordingOptions {
+                codec: CodecId::Identity,
+                ..RecordingOptions::default()
+            })
             .build_with_workload(&workload);
         machine.run_to_completion();
         machine.write_crash_dump(&dir).unwrap();
@@ -1339,7 +1407,10 @@ mod tests {
         let workload = SpecProfile::gzip().build_workload(10_000, 1);
         let mut machine = MachineBuilder::new()
             .bugnet(bugnet_cfg(5_000))
-            .embed_image(false)
+            .recording(RecordingOptions {
+                embed_image: false,
+                ..RecordingOptions::default()
+            })
             .build_with_workload(&workload);
         machine.run_to_completion();
         machine.write_crash_dump(&dir).unwrap();
@@ -1448,8 +1519,11 @@ mod tests {
         let io = FaultIo::new(StdIo::new(), 1, FaultKind::Enospc);
         let mut machine = MachineBuilder::new()
             .bugnet(bugnet_cfg(1_000_000))
-            .dump_on_crash(&dir)
-            .dump_io(Arc::new(Mutex::new(io)))
+            .recording(RecordingOptions {
+                dump_on_crash: Some(dir.clone()),
+                dump_io: Some(Arc::new(Mutex::new(io))),
+                ..RecordingOptions::default()
+            })
             .build_with_workload(&workload);
         machine.run_to_completion();
         match machine.crash_dump() {
@@ -1472,7 +1546,10 @@ mod tests {
         let workload = BugSpec::all()[0].build(1.0);
         let mut machine = MachineBuilder::new()
             .bugnet(bugnet_cfg(1_000_000))
-            .dump_on_crash(&dir)
+            .recording(RecordingOptions {
+                dump_on_crash: Some(dir.clone()),
+                ..RecordingOptions::default()
+            })
             .build_with_workload(&workload);
         machine.run_to_completion();
         assert!(machine.crash_dump().unwrap().is_ok());

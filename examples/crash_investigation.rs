@@ -13,7 +13,7 @@
 //! Run with: `cargo run --release --example crash_investigation`
 
 use bugnet::core::dump::CrashDump;
-use bugnet::sim::MachineBuilder;
+use bugnet::sim::{MachineBuilder, RecordingOptions};
 use bugnet::types::BugNetConfig;
 use bugnet::workloads::registry;
 
@@ -28,7 +28,10 @@ fn main() {
     let mut machine = MachineBuilder::new()
         .bugnet(BugNetConfig::default().with_checkpoint_interval(100_000))
         .workload_spec(workload_spec)
-        .dump_on_crash(&dump_dir)
+        .recording(RecordingOptions {
+            dump_on_crash: Some(dump_dir.clone()),
+            ..RecordingOptions::default()
+        })
         .build_with_workload(&workload);
     let outcome = machine.run_to_completion();
     let crashed = outcome.faulted_thread().expect("the defect fires");

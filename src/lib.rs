@@ -10,6 +10,7 @@
 //! * [`cpu`] — the functional core used for recording and replay.
 //! * [`core`] — the BugNet recorder, logs, compressor and replayer.
 //! * [`fdr`] — the Flight Data Recorder baseline model.
+//! * [`telemetry`] — always-on counters, gauges and latency histograms.
 //! * [`workloads`] — synthetic SPEC-like and buggy workloads.
 //! * [`sim`] — the full-machine harness and experiment runners.
 //!
@@ -37,5 +38,6 @@ pub use bugnet_fdr as fdr;
 pub use bugnet_isa as isa;
 pub use bugnet_memsys as memsys;
 pub use bugnet_sim as sim;
+pub use bugnet_telemetry as telemetry;
 pub use bugnet_types as types;
 pub use bugnet_workloads as workloads;

@@ -7,7 +7,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use bugnet::core::dump::{verify_dump, CrashDump, DumpError, DumpFormat, DumpOptions};
-use bugnet::sim::MachineBuilder;
+use bugnet::sim::{MachineBuilder, RecordingOptions};
 use bugnet::types::{BugNetConfig, SplitMix64, ThreadId};
 use bugnet::workloads::registry;
 
@@ -23,7 +23,10 @@ fn record_dump(spec: &str, dir: &Path, interval: u64) {
     let mut machine = MachineBuilder::new()
         .bugnet(BugNetConfig::default().with_checkpoint_interval(interval))
         .workload_spec(spec)
-        .dump_on_crash(dir)
+        .recording(RecordingOptions {
+            dump_on_crash: Some(dir.to_path_buf()),
+            ..RecordingOptions::default()
+        })
         .build_with_workload(&workload);
     machine.run_to_completion();
     if machine.crash_dump().is_none() {
@@ -135,6 +138,7 @@ fn legacy_v1_dumps_still_load_and_replay() {
         created: Timestamp(0),
         fault: None,
         evicted_checkpoints: 0,
+        telemetry: None,
     };
     let written = write_dump_v1(&dir, &meta, machine.log_store().unwrap()).unwrap();
     assert_eq!(written.version, DUMP_VERSION_V1);
@@ -162,6 +166,7 @@ fn v2_dumps_are_strictly_smaller_than_v1_on_the_acceptance_workloads() {
             created: Timestamp(0),
             fault: None,
             evicted_checkpoints: 0,
+            telemetry: None,
         };
         let dir_v1 = temp_dir(&format!("size-v1-{interval}"));
         let dir_v2 = temp_dir(&format!("size-v2-{interval}"));
@@ -225,7 +230,10 @@ fn adhoc_program_dump_is_self_contained_and_replays_without_the_registry() {
     let mut machine = MachineBuilder::new()
         .bugnet(BugNetConfig::default().with_checkpoint_interval(1_000))
         .workload_spec(spec)
-        .dump_on_crash(&dir)
+        .recording(RecordingOptions {
+            dump_on_crash: Some(dir.clone()),
+            ..RecordingOptions::default()
+        })
         .build_with_workload(&workload);
     let outcome = machine.run_to_completion();
     let faulted = outcome.faulted_thread().expect("division by zero fires");
@@ -249,6 +257,62 @@ fn adhoc_program_dump_is_self_contained_and_replays_without_the_registry() {
         embedded.as_ref(),
         machine.program_of(ThreadId(0)).unwrap().as_ref()
     );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn embedded_telemetry_snapshot_round_trips_and_survives_salvage() {
+    use bugnet::core::dump::DumpManifest;
+    use bugnet::telemetry::{MetricValue, Registry};
+    use std::sync::Arc;
+
+    let spec = "spec:gzip:30000:1";
+    let dir = temp_dir("telemetry");
+    let workload = registry::resolve(spec).expect("spec resolves");
+    let registry = Arc::new(Registry::default());
+    let mut machine = MachineBuilder::new()
+        .bugnet(BugNetConfig::default().with_checkpoint_interval(5_000))
+        .workload_spec(spec)
+        .recording(RecordingOptions {
+            telemetry: Some(registry.clone()),
+            ..RecordingOptions::default()
+        })
+        .build_with_workload(&workload);
+    machine.run_to_completion();
+    machine.write_crash_dump(&dir).expect("dump writes");
+
+    // The manifest embeds a live snapshot with real recorder counts.
+    let dump = CrashDump::load(&dir).expect("load passes");
+    let embedded = dump.manifest.telemetry.as_ref().expect("snapshot embedded");
+    match embedded.entries.get("recorder_loads_seen_total") {
+        Some(MetricValue::Counter(n)) => assert!(*n > 0, "no loads counted"),
+        other => panic!("recorder_loads_seen_total missing or mistyped: {other:?}"),
+    }
+
+    // Strict load, bare manifest load and the lenient salvage path all see
+    // the same snapshot, and the checksummed manifest still verifies.
+    let manifest = DumpManifest::load(&dir).expect("manifest loads");
+    assert_eq!(manifest.telemetry, dump.manifest.telemetry);
+    let salvaged = CrashDump::load_salvage(&dir).expect("salvage runs");
+    assert!(salvaged.report.is_clean());
+    assert_eq!(salvaged.dump.manifest.telemetry, dump.manifest.telemetry);
+
+    assert!(
+        load_verify_replay(spec, &dir).expect("clean dump"),
+        "an instrumented dump must still replay to its digests"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn uninstrumented_dumps_embed_no_telemetry() {
+    // The default (no registry attached) must keep the manifest
+    // byte-identical to pre-telemetry dumps: no snapshot, nothing printed.
+    let spec = "spec:gzip:30000:1";
+    let dir = temp_dir("no-telemetry");
+    record_dump(spec, &dir, 5_000);
+    let dump = CrashDump::load(&dir).expect("load passes");
+    assert!(dump.manifest.telemetry.is_none());
     fs::remove_dir_all(&dir).unwrap();
 }
 
