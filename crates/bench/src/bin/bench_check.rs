@@ -21,11 +21,20 @@
 //! baseline comparison is needed — instrumentation that costs more than
 //! the ceiling of recorder throughput fails CI on any box.
 //!
+//! The columnar transform ratio (`*_columnar_compression_ratio`) is gated
+//! against an absolute FLOOR (`--min-columnar-ratio`, default 1.5): the
+//! v5 stream split + delta encoding is deterministic, so the ratio it
+//! achieves on the harness workload is machine-independent and must hold
+//! outright — a transform edit that stops restructuring the data (ratio
+//! drifting back towards row-LZ's ~1.02x) fails CI even if the committed
+//! baseline regressed alongside it.
+//!
 //! ```text
 //! cargo run --release -p bugnet_bench --bin throughput > current.json
 //! cargo run --release -p bugnet_bench --bin bench_check -- \
 //!     --baseline BENCH_baseline.json --current current.json \
-//!     [--tolerance 2.5] [--min-efficiency 0.5] [--max-overhead 0.03]
+//!     [--tolerance 2.5] [--min-efficiency 0.5] [--max-overhead 0.03] \
+//!     [--min-columnar-ratio 1.5]
 //! ```
 
 use std::env;
@@ -74,7 +83,14 @@ fn load_metrics(path: &str) -> Result<Vec<(String, f64)>, String> {
 /// metadata (loads, interval sizes) varies with harness options and is
 /// ignored.
 fn is_rate_metric(key: &str) -> bool {
-    key.ends_with("_per_sec") || key.ends_with("_ratio")
+    (key.ends_with("_per_sec") || key.ends_with("_ratio")) && !is_columnar_ratio_metric(key)
+}
+
+/// Columnar transform ratios are deterministic (same input, same split,
+/// same codec — no timing involved), so they are gated against an absolute
+/// floor in the CURRENT run instead of multiplicatively against a baseline.
+fn is_columnar_ratio_metric(key: &str) -> bool {
+    key.ends_with("_columnar_compression_ratio")
 }
 
 /// Efficiency metrics (`*_efficiency`) are hardware-normalized by the
@@ -98,6 +114,7 @@ fn main() -> ExitCode {
     let mut tolerance = 2.5f64;
     let mut min_efficiency = 0.5f64;
     let mut max_overhead = 0.03f64;
+    let mut min_columnar_ratio = 1.5f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -139,11 +156,22 @@ fn main() -> ExitCode {
                 }
                 i += 2;
             }
+            "--min-columnar-ratio" if i + 1 < args.len() => {
+                match args[i + 1].parse::<f64>() {
+                    Ok(m) if m >= 1.0 => min_columnar_ratio = m,
+                    _ => {
+                        eprintln!("bench_check: --min-columnar-ratio must be a number >= 1.0");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
             other => {
                 eprintln!(
                     "bench_check: unexpected argument `{other}`\n\
                      usage: bench_check --baseline <FILE> --current <FILE> \
-                     [--tolerance <X>] [--min-efficiency <E>] [--max-overhead <O>]"
+                     [--tolerance <X>] [--min-efficiency <E>] [--max-overhead <O>] \
+                     [--min-columnar-ratio <R>]"
                 );
                 return ExitCode::from(2);
             }
@@ -238,6 +266,30 @@ fn main() -> ExitCode {
             regressions += 1;
         }
     }
+    // Absolute-floor pass for the deterministic columnar transform ratios:
+    // the CURRENT run must clear the floor outright, and none recorded in
+    // the baseline may disappear.
+    for (key, cur) in current.iter().filter(|(k, _)| is_columnar_ratio_metric(k)) {
+        compared += 1;
+        let base = baseline
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, b)| format!("{b:>16.4}"))
+            .unwrap_or_else(|| format!("{:>16}", "-"));
+        let verdict = if *cur < min_columnar_ratio {
+            regressions += 1;
+            "BELOW FLOOR"
+        } else {
+            "ok"
+        };
+        println!("{key:<34} {base} {cur:>16.4} {min_columnar_ratio:>8.2}  {verdict}");
+    }
+    for (key, base) in baseline.iter().filter(|(k, _)| is_columnar_ratio_metric(k)) {
+        if !current.iter().any(|(k, _)| k == key) {
+            println!("{key:<34} {base:>16.4} {:>16} {:>8}  MISSING", "-", "-");
+            regressions += 1;
+        }
+    }
     if compared == 0 {
         eprintln!("bench_check: no rate metrics to compare");
         return ExitCode::from(2);
@@ -245,15 +297,16 @@ fn main() -> ExitCode {
     if regressions > 0 {
         eprintln!(
             "bench_check: {regressions} metric(s) regressed beyond {tolerance}x, \
-             fell below the {min_efficiency} efficiency floor, exceeded the \
-             {max_overhead} overhead ceiling, or went missing vs {baseline_path}"
+             fell below the {min_efficiency} efficiency or {min_columnar_ratio} \
+             columnar-ratio floors, exceeded the {max_overhead} overhead \
+             ceiling, or went missing vs {baseline_path}"
         );
         return ExitCode::from(1);
     }
     println!(
         "bench_check: all {compared} gated metrics pass \
          ({tolerance}x tolerance, {min_efficiency} efficiency floor, \
-         {max_overhead} overhead ceiling)"
+         {max_overhead} overhead ceiling, {min_columnar_ratio} columnar-ratio floor)"
     );
     ExitCode::SUCCESS
 }

@@ -44,6 +44,13 @@
 //!   next to the paper's Fig. 2). Ratios are gated by `bench_check`
 //!   alongside the rates; the reference ratio sits far above the 2.5x
 //!   tolerance, so a codec that stops compressing fails CI.
+//! * `fll_columnar_compression_ratio` / `fll_columnar_encode_mbytes_per_sec`
+//!   — the v5 seal transform (per-field stream split, delta/varint
+//!   encoding, LZ per stream) over the same recorded FLLs: row-serialized
+//!   bytes divided by columnar blob bytes. Row-wise LZ barely moves FLL
+//!   frames (~1.02x, see `lz_fll_compression_ratio`); the columnar
+//!   transform must beat 1.5x, enforced by `bench_check
+//!   --min-columnar-ratio` as an absolute floor.
 //! * `dump_write_intervals_per_sec` / `dump_write_p50_ms` /
 //!   `dump_write_p99_ms` / `dump_write_max_ms` — the full atomic dump
 //!   commit (encode, staging directory, per-file fsync, rename) of the
@@ -64,6 +71,7 @@ use std::time::{Duration, Instant};
 use bugnet_bench::ExperimentOptions;
 use bugnet_compress::{codec, CodecId};
 use bugnet_core::bitstream::{BitReader, BitWriter};
+use bugnet_core::columnar::{decode_fll_columnar, encode_fll_columnar};
 use bugnet_core::fll::{FirstLoadLog, TerminationCause};
 use bugnet_core::recorder::{LogStore, RecorderStats, ThreadRecorder, ThreadStoreHandle};
 use bugnet_core::{Replayer, ValueDictionary};
@@ -353,6 +361,36 @@ fn bench_compression(flls: &[FirstLoadLog]) -> Vec<Metric> {
     ]
 }
 
+/// Columnar-transform section: the v5 seal path (stream split, delta/varint
+/// coding, per-stream LZ) over the recorded FLLs, against their row
+/// serialization. The ratio is what a v5 dump actually saves over storing
+/// rows raw; the round-trip assert keeps the measured transform honest.
+fn bench_columnar(flls: &[FirstLoadLog]) -> Vec<Metric> {
+    let raw_total: usize = flls.iter().map(|f| f.to_bytes().len()).sum();
+    let (blobs, encode_secs) = time(|| {
+        flls.iter()
+            .map(|f| encode_fll_columnar(CodecId::Lz77, f))
+            .collect::<Vec<Vec<u8>>>()
+    });
+    let stored_total: usize = blobs.iter().map(|b| b.len()).sum();
+    for (fll, blob) in flls.iter().zip(&blobs) {
+        assert_eq!(
+            &decode_fll_columnar(blob).expect("columnar round trip"),
+            fll
+        );
+    }
+    vec![
+        Metric {
+            name: "fll_columnar_encode_mbytes_per_sec",
+            value: raw_total as f64 / encode_secs / 1e6,
+        },
+        Metric {
+            name: "fll_columnar_compression_ratio",
+            value: raw_total as f64 / stored_total.max(1) as f64,
+        },
+    ]
+}
+
 fn bench_dictionary(loads: &[(Addr, Word, bool)]) -> Metric {
     let mut dict = ValueDictionary::new(64, 3);
     let (hits, secs) = time(|| {
@@ -554,6 +592,7 @@ fn main() {
         bench_machine(opts.pick(200_000, 2_000_000), opts.pick(50_000, 1_000_000));
     metrics.extend(machine_metrics);
     metrics.extend(bench_compression(&machine_flls));
+    metrics.extend(bench_columnar(&machine_flls));
     metrics.extend(bench_dump_write(&machine, opts.pick(20, 50) as usize));
 
     println!("{{");

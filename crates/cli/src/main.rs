@@ -26,7 +26,7 @@ use bugnet_compress::CodecId;
 use bugnet_core::dump::{CrashDump, DumpFormat, DumpManifest, DumpOptions, ReplayStats};
 use bugnet_sim::{MachineBuilder, RecordingOptions};
 use bugnet_telemetry::Registry;
-use bugnet_types::{BugNetConfig, ByteSize, ThreadId};
+use bugnet_types::{BugNetConfig, ByteSize, CheckpointId, ThreadId};
 use bugnet_workloads::registry;
 
 mod report;
@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&mut args),
         "fsck" => cmd_fsck(&mut args),
         "replay" => cmd_replay(&mut args),
+        "bisect" => cmd_bisect(&mut args),
         "stats" => cmd_stats(&mut args),
         "workloads" => cmd_workloads(&mut args),
         "help" | "--help" | "-h" => {
@@ -71,7 +72,7 @@ USAGE:
     bugnet dump --workload <SPEC> --out <DIR> [--interval <N>] [--dict <N>]
                 [--max-instructions <N>] [--codec <identity|lz>]
                 [--flush-workers <N>] [--shards <N>]
-                [--format <v2|v3|v4>] [--no-embed-image]
+                [--format <v2|v3|v4|v5>] [--no-embed-image]
                 [--metrics-json <FILE>]
         Record a workload on the simulated machine and write the retained
         log window to <DIR> as a crash-dump directory. Faults dump
@@ -82,9 +83,11 @@ USAGE:
         frame compressor (default: lz); --flush-workers seals intervals on
         N background threads and --shards sets the store's hand-off lane
         count (recorded content is identical for any worker/shard count).
-        Format v4 (the default) embeds the program images
+        Format v5 (the default) stores each log as columnar,
+        delta-encoded per-field streams and embeds the program images
         content-addressed, so threads sharing one image store it once;
-        --format v3 writes one image per thread, --format v2 the legacy
+        --format v4 writes the row-serialized layout with the same image
+        dedup, --format v3 one image per thread, --format v2 the legacy
         codec-only format, --no-embed-image omits the images.
         --metrics-json turns on run telemetry, writes the metric
         snapshot to <FILE> as JSON and embeds it in the dump manifest
@@ -109,16 +112,29 @@ USAGE:
         rejected. Exits 0 only when the dump is fully intact; a damaged
         but salvageable dump exits 1 with the loss report.
 
-    bugnet replay <DIR> [--workload <SPEC>] [--salvage] [--metrics-json <FILE>]
+    bugnet replay <DIR> [--at <N>] [--workload <SPEC>] [--salvage]
+                  [--metrics-json <FILE>]
         Replay every retained interval and compare against the recorded
         execution digests. Self-contained (v3+) dumps replay from their
         embedded program images; v1/v2 dumps rebuild the programs from the
         manifest's workload spec. --workload overrides both (a mismatch
-        against the recorded spec is reported up front). --salvage accepts
-        a damaged dump and replays up to the last fully-intact interval of
-        each thread instead of refusing to load. --metrics-json records
-        replay telemetry (instructions, interval latency, digest
-        comparisons) and writes the snapshot to <FILE> as JSON.
+        against the recorded spec is reported up front). --at <N> seeks
+        straight to checkpoint N and replays from there onward — every
+        interval carries its full start-of-interval state, so earlier
+        intervals are never re-executed. --salvage accepts a damaged dump
+        and replays up to the last fully-intact interval of each thread
+        instead of refusing to load. --metrics-json records replay
+        telemetry (instructions, interval latency, digest comparisons)
+        and writes the snapshot to <FILE> as JSON.
+
+    bugnet bisect <DIR> [--workload <SPEC>]
+        Binary-search each thread's retained window for the first interval
+        whose replay digest diverges from the recording. A state-smearing
+        bug that corrupts every interval after some point is found in
+        O(log n) interval replays instead of replaying the whole window;
+        a non-monotone divergence pattern falls back to a linear scan so
+        the answer is always the true first divergence. Exits 0 when every
+        probed interval matches.
 
     bugnet stats <DIR> [--format <text|json|prom>]
         Print the telemetry snapshot embedded in the dump manifest — the
@@ -257,7 +273,9 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
     let format = match args.option("--format")? {
         None => DumpFormat::default(),
         Some(name) => DumpFormat::parse(&name).ok_or_else(|| {
-            CliError::usage(format!("--format expects `v2`, `v3` or `v4`, got `{name}`"))
+            CliError::usage(format!(
+                "--format expects `v2`, `v3`, `v4` or `v5`, got `{name}`"
+            ))
         })?,
     };
     let embed_image = !args.flag("--no-embed-image");
@@ -277,8 +295,8 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         store_shards,
         embed_image,
         // The automatic crash-time dump always writes the current format;
-        // v2/v3 dumps are written explicitly after the run instead.
-        dump_on_crash: (format == DumpFormat::V4).then(|| out.clone()),
+        // v2/v3/v4 dumps are written explicitly after the run instead.
+        dump_on_crash: (format == DumpFormat::V5).then(|| out.clone()),
         dump_io: None,
         telemetry: telemetry.clone(),
     };
@@ -463,10 +481,22 @@ fn cmd_fsck(args: &mut Args) -> Result<(), CliError> {
 
 fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
     let dir = dump_dir_arg(args)?;
+    let at = args.option_u64("--at")?;
     let override_spec = args.option("--workload")?;
     let salvage = args.flag("--salvage");
     let metrics_json = args.option("--metrics-json")?.map(PathBuf::from);
     args.finish()?;
+    if at.is_some() && override_spec.is_some() {
+        return Err(CliError::usage(
+            "--at replays from the dump's own images (registry fallback for the \
+             rest) and cannot be combined with --workload",
+        ));
+    }
+    if at.is_some() && metrics_json.is_some() {
+        return Err(CliError::usage(
+            "--at does not record replay telemetry; drop --metrics-json",
+        ));
+    }
     let telemetry = metrics_json.as_ref().map(|_| Registry::default());
     let stats = telemetry.as_ref().map(ReplayStats::register);
     let dump = if salvage {
@@ -488,84 +518,103 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
     } else {
         CrashDump::load(&dir).map_err(|e| CliError::data(e.to_string()))?
     };
-    let report = match override_spec {
-        // Explicit override: replay against exactly the named workload,
-        // ignoring any embedded images.
-        Some(spec) => {
-            if !registry::specs_equivalent(&spec, &dump.manifest.workload) {
-                // Say so up front: a digest divergence below is then the
-                // *expected* outcome of the override, not dump corruption.
-                eprintln!(
-                    "bugnet: warning: dump was recorded from workload \
+    let report = if let Some(n) = at {
+        // Checkpoint-seeking time travel: every FLL header carries the full
+        // start-of-interval architectural state, so replay jumps straight
+        // to checkpoint `n` — intervals before it are skipped, never
+        // re-executed.
+        let from = CheckpointId(
+            u32::try_from(n).map_err(|_| CliError::usage(format!("--at {n} overflows u32")))?,
+        );
+        let programs: Vec<_> = registry::resolve(&dump.manifest.workload)
+            .map(|w| w.threads.iter().map(|t| t.program.clone()).collect())
+            .unwrap_or_default();
+        println!("seeking to checkpoint {n}: earlier intervals are skipped, not replayed");
+        dump.replay_from(from, |thread: ThreadId| {
+            programs.get(thread.0 as usize).cloned()
+        })
+    } else {
+        match override_spec {
+            // Explicit override: replay against exactly the named workload,
+            // ignoring any embedded images.
+            Some(spec) => {
+                if !registry::specs_equivalent(&spec, &dump.manifest.workload) {
+                    // Say so up front: a digest divergence below is then the
+                    // *expected* outcome of the override, not dump corruption.
+                    eprintln!(
+                        "bugnet: warning: dump was recorded from workload \
                      `{}` but --workload overrides it with `{spec}`; if the \
                      programs differ, digest divergence below is expected",
-                    dump.manifest.workload
-                );
-            }
-            let workload = registry::resolve(&spec)
-                .map_err(|e| CliError::data(format!("cannot rebuild workload `{spec}`: {e}")))?;
-            let programs: Vec<_> = workload.threads.iter().map(|t| t.program.clone()).collect();
-            println!("replaying against override workload `{spec}`");
-            let program_of = |thread: ThreadId| programs.get(thread.0 as usize).cloned();
-            match &stats {
-                Some(s) => dump.replay_with_observed(program_of, s),
-                None => dump.replay_with(program_of),
-            }
-        }
-        // Self-contained dump: every program comes from the checksummed
-        // dump itself, no workload registry involved.
-        None if dump.is_self_contained() => {
-            println!("replaying from embedded program images (self-contained dump)");
-            match &stats {
-                Some(s) => dump.replay_observed(|_| None, s),
-                None => dump.replay(|_| None),
-            }
-        }
-        // Not (fully) self-contained: v1/v2 dump, or image embedding was
-        // off for some threads. Rebuild the missing programs from the
-        // recorded workload spec; embedded images still take precedence
-        // per thread inside `replay`.
-        None => {
-            let spec = dump.manifest.workload.clone();
-            let embedded = dump.manifest.embedded_images();
-            match registry::resolve(&spec) {
-                Ok(workload) => {
-                    let programs: Vec<_> =
-                        workload.threads.iter().map(|t| t.program.clone()).collect();
-                    println!("replaying from workload spec `{spec}` (registry fallback)");
-                    let fallback = |thread: ThreadId| programs.get(thread.0 as usize).cloned();
-                    match &stats {
-                        Some(s) => dump.replay_observed(fallback, s),
-                        None => dump.replay(fallback),
-                    }
-                }
-                // The spec is unresolvable but some threads do carry their
-                // image: replay those and report the rest as unreplayable
-                // rather than refusing the whole dump.
-                Err(e) if embedded > 0 => {
-                    eprintln!(
-                        "bugnet: warning: workload `{spec}` cannot be rebuilt ({e}); \
-                         replaying the {embedded} thread(s) with embedded images only"
+                        dump.manifest.workload
                     );
-                    match &stats {
-                        Some(s) => dump.replay_observed(|_| None, s),
-                        None => dump.replay(|_| None),
-                    }
                 }
-                Err(e) => {
-                    return Err(CliError::data(format!(
-                        "dump embeds no program images and workload `{spec}` \
+                let workload = registry::resolve(&spec).map_err(|e| {
+                    CliError::data(format!("cannot rebuild workload `{spec}`: {e}"))
+                })?;
+                let programs: Vec<_> = workload.threads.iter().map(|t| t.program.clone()).collect();
+                println!("replaying against override workload `{spec}`");
+                let program_of = |thread: ThreadId| programs.get(thread.0 as usize).cloned();
+                match &stats {
+                    Some(s) => dump.replay_with_observed(program_of, s),
+                    None => dump.replay_with(program_of),
+                }
+            }
+            // Self-contained dump: every program comes from the checksummed
+            // dump itself, no workload registry involved.
+            None if dump.is_self_contained() => {
+                println!("replaying from embedded program images (self-contained dump)");
+                match &stats {
+                    Some(s) => dump.replay_observed(|_| None, s),
+                    None => dump.replay(|_| None),
+                }
+            }
+            // Not (fully) self-contained: v1/v2 dump, or image embedding was
+            // off for some threads. Rebuild the missing programs from the
+            // recorded workload spec; embedded images still take precedence
+            // per thread inside `replay`.
+            None => {
+                let spec = dump.manifest.workload.clone();
+                let embedded = dump.manifest.embedded_images();
+                match registry::resolve(&spec) {
+                    Ok(workload) => {
+                        let programs: Vec<_> =
+                            workload.threads.iter().map(|t| t.program.clone()).collect();
+                        println!("replaying from workload spec `{spec}` (registry fallback)");
+                        let fallback = |thread: ThreadId| programs.get(thread.0 as usize).cloned();
+                        match &stats {
+                            Some(s) => dump.replay_observed(fallback, s),
+                            None => dump.replay(fallback),
+                        }
+                    }
+                    // The spec is unresolvable but some threads do carry their
+                    // image: replay those and report the rest as unreplayable
+                    // rather than refusing the whole dump.
+                    Err(e) if embedded > 0 => {
+                        eprintln!(
+                            "bugnet: warning: workload `{spec}` cannot be rebuilt ({e}); \
+                         replaying the {embedded} thread(s) with embedded images only"
+                        );
+                        match &stats {
+                            Some(s) => dump.replay_observed(|_| None, s),
+                            None => dump.replay(|_| None),
+                        }
+                    }
+                    Err(e) => {
+                        return Err(CliError::data(format!(
+                            "dump embeds no program images and workload `{spec}` \
                          cannot be rebuilt: {e}; pass --workload <SPEC> to override"
-                    )))
+                        )))
+                    }
                 }
             }
         }
     }
     .map_err(|e| CliError::data(format!("replay failed: {e}")))?;
     if report.intervals.is_empty() && report.unreplayable_threads.is_empty() {
-        return Err(CliError::data(
-            "dump contains no checkpoints to replay (empty archive)",
-        ));
+        return Err(CliError::data(match at {
+            Some(n) => format!("no retained interval at or after checkpoint {n}"),
+            None => "dump contains no checkpoints to replay (empty archive)".into(),
+        }));
     }
     report::print_replay(&dump.manifest, &report);
     if let (Some(path), Some(registry)) = (&metrics_json, &telemetry) {
@@ -578,6 +627,47 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
             "replay DIVERGED on {} of {} interval(s)",
             report.divergences().len(),
             report.intervals.len()
+        )))
+    }
+}
+
+fn cmd_bisect(args: &mut Args) -> Result<(), CliError> {
+    let dir = dump_dir_arg(args)?;
+    let override_spec = args.option("--workload")?;
+    args.finish()?;
+    let dump = CrashDump::load(&dir).map_err(|e| CliError::data(e.to_string()))?;
+    // Same program resolution as replay: embedded images first (inside
+    // `bisect`), then the workload registry for threads without one.
+    let programs: Vec<_> = match &override_spec {
+        Some(spec) => {
+            if !registry::specs_equivalent(spec, &dump.manifest.workload) {
+                eprintln!(
+                    "bugnet: warning: dump was recorded from workload `{}` but \
+                     --workload overrides the fallback with `{spec}`",
+                    dump.manifest.workload
+                );
+            }
+            registry::resolve(spec)
+                .map_err(|e| CliError::data(format!("cannot rebuild workload `{spec}`: {e}")))?
+                .threads
+                .iter()
+                .map(|t| t.program.clone())
+                .collect()
+        }
+        None => registry::resolve(&dump.manifest.workload)
+            .map(|w| w.threads.iter().map(|t| t.program.clone()).collect())
+            .unwrap_or_default(),
+    };
+    let report = dump
+        .bisect(|thread| programs.get(thread.0 as usize).cloned())
+        .map_err(|e| CliError::data(format!("bisect failed: {e}")))?;
+    report::print_bisect(&dir, &report);
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError::data(format!(
+            "replay diverges from the recording on {} thread(s)",
+            report.divergences.len()
         )))
     }
 }

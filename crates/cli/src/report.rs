@@ -3,9 +3,16 @@
 
 use std::path::Path;
 
-use bugnet_core::dump::{CrashDump, DumpManifest, DumpReplayReport, SalvageReport};
+use bugnet_compress::streams_info;
+use bugnet_core::columnar::{
+    encode_fll_columnar, encode_mrl_columnar, fll_stream_name, mrl_stream_name,
+};
+use bugnet_core::dump::{
+    BisectReport, CrashDump, DumpManifest, DumpReplayReport, SalvageReport, DUMP_VERSION_V5,
+};
 use bugnet_core::stats::LogSizeReport;
 use bugnet_telemetry::{MetricValue, Snapshot};
+use bugnet_types::ByteSize;
 
 /// Prints the manifest summary and the per-checkpoint statistics table
 /// (records, sizes, dictionary hits, compression ratio — the quantities of
@@ -46,6 +53,42 @@ pub fn print_info(dir: &Path, dump: &CrashDump) {
         m.total_fll_stored_size() + m.total_mrl_stored_size(),
         m.backend_ratio()
     );
+    if m.version >= DUMP_VERSION_V5 {
+        // Re-encode the decoded logs exactly as the sealer did — sealing is
+        // deterministic, so these are the per-stream sizes on disk.
+        let mut fll = [(0u64, 0u64); 5];
+        let mut mrl = [(0u64, 0u64); 5];
+        for cp in dump.threads.iter().flat_map(|t| t.checkpoints.iter()) {
+            let fll_blob = encode_fll_columnar(m.codec, &cp.fll);
+            let mrl_blob = encode_mrl_columnar(m.codec, &cp.mrl);
+            for (acc, blob) in [(&mut fll, fll_blob), (&mut mrl, mrl_blob)] {
+                for info in streams_info(&blob).expect("just-encoded blob parses") {
+                    let (raw, stored) = &mut acc[info.id as usize];
+                    *raw += u64::from(info.raw_len);
+                    *stored += u64::from(info.stored_len);
+                }
+            }
+        }
+        for (label, name, acc) in [
+            ("FLL", fll_stream_name as fn(u8) -> &'static str, fll),
+            ("MRL", mrl_stream_name, mrl),
+        ] {
+            let streams = acc
+                .iter()
+                .enumerate()
+                .map(|(id, (raw, stored))| {
+                    format!(
+                        "{} {} -> {}",
+                        name(id as u8),
+                        ByteSize::from_bytes(*raw),
+                        ByteSize::from_bytes(*stored)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!("  columnar : {label} streams (split -> stored): {streams}");
+        }
+    }
     if m.version >= 3 {
         if m.is_self_contained() {
             let dedup = if m.unique_images() < m.embedded_images() {
@@ -207,6 +250,29 @@ pub fn print_salvage(dir: &Path, report: &SalvageReport) {
         "  intervals: {} intact, {} lost; images: {} lost",
         report.intact_intervals, report.lost_intervals, report.lost_images
     );
+}
+
+/// Prints the `bugnet bisect` outcome: probe economy and the first
+/// divergent interval of each thread that has one.
+pub fn print_bisect(dir: &Path, report: &BisectReport) {
+    println!(
+        "bisect {}: {} interval replay(s) probed {} retained interval(s)",
+        dir.display(),
+        report.probes,
+        report.intervals
+    );
+    for d in &report.divergences {
+        println!(
+            "  {}: first divergent interval is checkpoint {} (index {} in the retained window)",
+            d.thread, d.checkpoint, d.index
+        );
+    }
+    for t in &report.unreplayable_threads {
+        println!("  {t}: no program image — skipped");
+    }
+    if report.is_clean() {
+        println!("clean: every probed interval replays to its recorded digest");
+    }
 }
 
 /// Prints the per-interval replay outcomes and the divergence summary.

@@ -18,6 +18,9 @@
 //! * [`frame`] — the self-describing container (codec id, raw/encoded
 //!   lengths, FNV-1a checksum of the raw payload) wrapped around every
 //!   compressed payload.
+//! * [`columnar`] — the v5 columnar/delta transform stage: zigzag varints,
+//!   lossless `u64` delta coding, and the multi-stream container that runs
+//!   each per-field stream through the codec independently.
 //! * [`lz`] — the hand-rolled LZ77-class codec: hash-chain match finder,
 //!   greedy parse with one-step lazy matching, byte-oriented token stream.
 //!
@@ -34,9 +37,13 @@
 //! assert!(codec(CodecId::Lz77).compress(&raw).len() < raw.len());
 //! ```
 
+pub mod columnar;
 pub mod frame;
 pub mod lz;
 
+pub use columnar::{
+    decode_streams, encode_streams, streams_info, ColumnarError, ColumnarStreamInfo, COLUMNAR_MAGIC,
+};
 pub use frame::{
     container_info, decode_container, encode_container, ContainerInfo, FrameError,
     CONTAINER_HEADER_BYTES,

@@ -45,6 +45,17 @@
 //!   The loader verifies the hash and shares one decoded [`Program`] across
 //!   the threads.
 //!
+//! Since format v5 every FLL/MRL frame payload is *columnar*: a multi-stream
+//! blob (see [`crate::columnar`]) that splits the log into per-field streams
+//! — L-Counts, value-type bits, dictionary ranks and full load values for
+//! the FLL; per-entry fields for the MRL — delta/varint codes the monotone
+//! or near-monotone ones, and runs every stream through the back-end codec
+//! in its own self-describing container. The outer v3 frame framing (length
+//! prefix + stored-bytes checksum) is unchanged, embedded program images
+//! keep the single-container layout, and the manifest still records the
+//! *row-serialized* raw sizes, so compression ratios stay comparable across
+//! format versions.
+//!
 //! Dumps are committed *atomically*: the writers encode every file in
 //! memory, stage them in a `<dir>.staging-<nonce>` sibling, fsync, and
 //! rename into place (see [`crate::io`]). A dump directory therefore either
@@ -67,10 +78,14 @@ use std::io;
 use std::path::Path;
 use std::sync::Arc;
 
-use bugnet_compress::{container_info, decode_container, encode_container, CodecId, FrameError};
+use bugnet_compress::{
+    container_info, decode_container, encode_container, streams_info, CodecId, ColumnarError,
+    FrameError,
+};
 use bugnet_isa::{decode_image, encode_image, Program};
 use bugnet_types::{Addr, BugNetConfig, ByteSize, CheckpointId, InstrCount, ThreadId, Timestamp};
 
+use crate::columnar::{decode_fll_columnar, decode_mrl_columnar, ColumnarCodecError};
 use crate::digest::{fnv1a, ExecutionDigest};
 use crate::fll::FirstLoadLog;
 use crate::io::{commit_atomic, DumpIo, IoFailure, IoOp, StdIo};
@@ -86,11 +101,19 @@ pub const FLL_FILE_MAGIC: [u8; 4] = *b"BNFL";
 pub const MRL_FILE_MAGIC: [u8; 4] = *b"BNMR";
 /// Magic bytes opening a per-thread program-image file.
 pub const IMAGE_FILE_MAGIC: [u8; 4] = *b"BNIM";
-/// Current crash-dump format version: like v3, but embedded program images
-/// are content-addressed — the manifest records each image's FNV-1a hash,
-/// the file is named `image-<hash>.bni`, and threads running the same
-/// binary share one image file instead of storing a copy per thread.
-pub const DUMP_VERSION: u32 = 4;
+/// Current crash-dump format version: like v4, but every FLL/MRL frame is a
+/// *columnar* multi-stream blob — the log is split into per-field streams
+/// (delta/varint coded where the field is monotone or near-monotone) and
+/// each stream passes through the back-end codec independently. Outer frame
+/// framing and embedded images are unchanged from v4.
+pub const DUMP_VERSION: u32 = 5;
+/// The v5 format: columnar, delta-encoded FLL/MRL frames (the current
+/// default, [`DUMP_VERSION`]).
+pub const DUMP_VERSION_V5: u32 = 5;
+/// The v4 format: like v3, but embedded program images are content-addressed
+/// (`image-<hash>.bni`) and shared between threads running the same binary.
+/// Still fully loadable and writable via [`write_dump_v4`].
+pub const DUMP_VERSION_V4: u32 = 4;
 /// The v3 format: each thread's full program image is embedded as a
 /// codec-compressed, checksummed per-thread `image-<tid>.bni` section,
 /// making dumps self-contained. Still fully loadable and writable via
@@ -116,20 +139,24 @@ pub enum DumpFormat {
     V2,
     /// Self-contained: per-thread embedded images ([`DUMP_VERSION_V3`]).
     V3,
-    /// Self-contained with content-addressed, deduplicated images — the
-    /// current default ([`DUMP_VERSION`]).
-    #[default]
+    /// Self-contained with content-addressed, deduplicated images
+    /// ([`DUMP_VERSION_V4`]).
     V4,
+    /// Columnar, delta-encoded log frames — the current default
+    /// ([`DUMP_VERSION`]).
+    #[default]
+    V5,
 }
 
 impl DumpFormat {
-    /// Parses a format name as the CLI spells it (`v2`/`v3`/`v4`, bare
+    /// Parses a format name as the CLI spells it (`v2`/`v3`/`v4`/`v5`, bare
     /// digits accepted).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "v2" | "2" => Some(DumpFormat::V2),
             "v3" | "3" => Some(DumpFormat::V3),
             "v4" | "4" => Some(DumpFormat::V4),
+            "v5" | "5" => Some(DumpFormat::V5),
             _ => None,
         }
     }
@@ -139,7 +166,8 @@ impl DumpFormat {
         match self {
             DumpFormat::V2 => DUMP_VERSION_V2,
             DumpFormat::V3 => DUMP_VERSION_V3,
-            DumpFormat::V4 => DUMP_VERSION,
+            DumpFormat::V4 => DUMP_VERSION_V4,
+            DumpFormat::V5 => DUMP_VERSION,
         }
     }
 }
@@ -917,9 +945,10 @@ struct EncodedDump {
 }
 
 /// Writes the retained window of `store` to `dir` as a crash-dump directory
-/// in the current (v4) format: the sealed frames the store already holds are
-/// written out verbatim, so serial and parallel flushing produce
-/// byte-identical dumps and dump time pays no compression cost. `image_of`
+/// in the current (v5, columnar) format: the sealed columnar frames the
+/// store already holds are written out verbatim, so serial and parallel
+/// flushing produce byte-identical dumps and dump time pays no compression
+/// cost. `image_of`
 /// supplies each thread's program image; threads for which it returns a
 /// program get a codec-compressed, checksummed, content-addressed
 /// `image-<hash>.bni` section (threads running the same binary share one
@@ -961,6 +990,40 @@ pub fn write_dump_with_io(
     io: &mut dyn DumpIo,
 ) -> Result<DumpManifest, DumpError> {
     let encoded = encode_codec_dump(meta, store, DUMP_VERSION, image_of)?;
+    commit_encoded(io, dir, encoded)
+}
+
+/// Writes a dump in the v4 format (row-serialized frames, content-addressed
+/// images, no columnar transform). Retained so the v4 loading path stays
+/// exercised by tests and so old tooling can be handed a compatible dump,
+/// mirroring the earlier version transitions; new dumps should use
+/// [`write_dump`].
+///
+/// # Errors
+///
+/// As [`write_dump`].
+pub fn write_dump_v4(
+    dir: &Path,
+    meta: &DumpMeta,
+    store: &LogStore,
+    image_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
+) -> Result<DumpManifest, DumpError> {
+    write_dump_v4_with_io(dir, meta, store, image_of, &mut StdIo::new())
+}
+
+/// [`write_dump_v4`] against an explicit [`DumpIo`] backend.
+///
+/// # Errors
+///
+/// As [`write_dump`].
+pub fn write_dump_v4_with_io(
+    dir: &Path,
+    meta: &DumpMeta,
+    store: &LogStore,
+    image_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
+    io: &mut dyn DumpIo,
+) -> Result<DumpManifest, DumpError> {
+    let encoded = encode_codec_dump(meta, store, DUMP_VERSION_V4, image_of)?;
     commit_encoded(io, dir, encoded)
 }
 
@@ -1039,10 +1102,13 @@ fn commit_encoded(
     Ok(encoded.manifest)
 }
 
-/// Shared body of the v2/v3/v4 writers: encodes the whole dump in memory
-/// and performs no I/O. All versions pass the store's sealed frames through
-/// untouched; v3+ additionally embeds program images, v4 content-addresses
-/// them so identical images are stored once.
+/// Shared body of the v2–v5 writers: encodes the whole dump in memory and
+/// performs no I/O. v5 passes the store's sealed columnar frames through
+/// untouched; v2–v4 re-serialize the row layout and re-run the codec at
+/// dump time (sealing is deterministic, so the legacy bytes are identical
+/// to what pre-columnar stores produced — the golden fixtures pin this).
+/// v3+ additionally embeds program images, v4+ content-addresses them so
+/// identical images are stored once.
 fn encode_codec_dump(
     meta: &DumpMeta,
     store: &LogStore,
@@ -1090,12 +1156,19 @@ fn encode_codec_dump(
             }
             fll_bytes += entry.fll_raw_bytes;
             mrl_bytes += entry.mrl_raw_bytes;
-            if version >= 3 {
+            if version >= DUMP_VERSION_V5 {
                 fll_stored_bytes += put_frame_v3(&mut fll_file, &entry.fll_frame);
                 mrl_stored_bytes += put_frame_v3(&mut mrl_file, &entry.mrl_frame);
             } else {
-                fll_stored_bytes += put_frame_v2(&mut fll_file, &entry.fll_frame);
-                mrl_stored_bytes += put_frame_v2(&mut mrl_file, &entry.mrl_frame);
+                let fll_container = encode_container(codec, &entry.fll.to_bytes());
+                let mrl_container = encode_container(codec, &entry.mrl.to_bytes());
+                if version >= 3 {
+                    fll_stored_bytes += put_frame_v3(&mut fll_file, &fll_container);
+                    mrl_stored_bytes += put_frame_v3(&mut mrl_file, &mrl_container);
+                } else {
+                    fll_stored_bytes += put_frame_v2(&mut fll_file, &fll_container);
+                    mrl_stored_bytes += put_frame_v2(&mut mrl_file, &mrl_container);
+                }
             }
             digests.push(DigestSummary::from(&entry.digest));
         }
@@ -1410,6 +1483,82 @@ fn read_codec_frame(
     Ok((payload, len as u64))
 }
 
+/// Reads one v5 frame: the outer framing of [`put_frame_v3`] (length
+/// prefix, payload, FNV-1a checksum over the stored bytes), but the payload
+/// is a columnar multi-stream blob carried *verbatim* — each per-field
+/// stream stays inside its own codec container until [`CrashDump::load`]
+/// joins the streams back into a log. This validates the framing, the
+/// stored-bytes checksum, the blob's structure, and that every stream was
+/// encoded with the manifest's codec; per-stream payload checksums are
+/// verified when the streams are decoded.
+fn read_frame_v5(
+    r: &mut ByteReader<'_>,
+    file: &str,
+    index: u32,
+    manifest_codec: CodecId,
+) -> Result<(Vec<u8>, u64), DumpError> {
+    let truncated = || DumpError::Truncated { file: file.into() };
+    let len = r.u32().ok_or_else(truncated)? as usize;
+    let blob = r.take(len).ok_or_else(truncated)?;
+    let expected = r.u64().ok_or_else(truncated)?;
+    let actual = fnv1a(blob);
+    if expected != actual {
+        return Err(DumpError::ChecksumMismatch {
+            file: file.into(),
+            frame: Some(index),
+            expected,
+            actual,
+        });
+    }
+    let streams = streams_info(blob).map_err(|e| columnar_frame_error(file, index, e))?;
+    for info in &streams {
+        if info.codec != manifest_codec {
+            return Err(DumpError::Inconsistent {
+                file: file.into(),
+                detail: format!(
+                    "frame {index} stream {} uses codec {}, manifest declares {manifest_codec}",
+                    info.id, info.codec
+                ),
+            });
+        }
+    }
+    Ok((blob.to_vec(), len as u64))
+}
+
+/// Maps a columnar-container [`ColumnarError`] to the dump-level error
+/// vocabulary, surfacing per-stream checksum mismatches as such.
+fn columnar_frame_error(file: &str, index: u32, e: ColumnarError) -> DumpError {
+    match e {
+        ColumnarError::Stream {
+            error: FrameError::Checksum { expected, actual },
+            ..
+        } => DumpError::ChecksumMismatch {
+            file: file.into(),
+            frame: Some(index),
+            expected,
+            actual,
+        },
+        other => DumpError::CorruptLog {
+            file: file.into(),
+            frame: index,
+            detail: other.to_string(),
+        },
+    }
+}
+
+/// Maps a columnar join failure ([`ColumnarCodecError`]) to the dump-level
+/// error vocabulary.
+fn columnar_log_error(file: &str, index: u32, e: ColumnarCodecError) -> DumpError {
+    match e {
+        ColumnarCodecError::Container(inner) => columnar_frame_error(file, index, inner),
+        other => DumpError::CorruptLog {
+            file: file.into(),
+            frame: index,
+            detail: other.to_string(),
+        },
+    }
+}
+
 /// Maps a container [`FrameError`] to the dump-level error vocabulary.
 fn frame_error(file: &str, index: u32, e: FrameError) -> DumpError {
     match e {
@@ -1438,11 +1587,15 @@ fn frame_error(file: &str, index: u32, e: FrameError) -> DumpError {
 }
 
 /// Reads the frames of one per-thread log file, validating its header, every
-/// frame (checksums in v1, containers in v2+), that the file ends exactly
-/// after the last frame, and that the frame count matches the manifest even
-/// when extra well-formed frames were appended. The same framing carries
-/// the FLL/MRL checkpoint frames (`expect_frames` = the manifest's
-/// checkpoint count) and the v3 program image (`expect_frames` = 1).
+/// frame (checksums in v1, containers in v2+, columnar blobs in v5 log
+/// files), that the file ends exactly after the last frame, and that the
+/// frame count matches the manifest even when extra well-formed frames were
+/// appended. The same framing carries the FLL/MRL checkpoint frames
+/// (`expect_frames` = the manifest's checkpoint count) and the v3+ program
+/// image (`expect_frames` = 1). `columnar` selects the v5 columnar frame
+/// payload; it is set for v5 FLL/MRL files only — image files keep the
+/// single-container layout in every version.
+#[allow(clippy::too_many_arguments)]
 fn read_log_file(
     dir: &Path,
     file: &str,
@@ -1451,6 +1604,7 @@ fn read_log_file(
     codec: CodecId,
     thread: ThreadId,
     expect_frames: u32,
+    columnar: bool,
 ) -> Result<LogFileContents, DumpError> {
     let path = dir.join(file);
     let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
@@ -1489,7 +1643,11 @@ fn read_log_file(
     let mut payloads = Vec::with_capacity(frames as usize);
     let mut stored_bytes = 0u64;
     for i in 0..frames {
-        if file_version >= 3 {
+        if columnar {
+            let (payload, stored) = read_frame_v5(&mut r, file, i, codec)?;
+            payloads.push(payload);
+            stored_bytes += stored;
+        } else if file_version >= 3 {
             let (payload, stored) = read_frame_v3(&mut r, file, i, codec)?;
             payloads.push(payload);
             stored_bytes += stored;
@@ -1531,6 +1689,15 @@ fn read_log_file(
 fn count_clean_extra_frames(r: &mut ByteReader<'_>, file: &str, codec: CodecId) -> u64 {
     let mut extra = 0u64;
     loop {
+        // v5 columnar blobs and v2/v3 containers are structurally disjoint
+        // (a blob opens with the columnar magic, which is not a codec id),
+        // so speculating every generation cannot double-count a frame.
+        let mut v5 = *r;
+        if read_frame_v5(&mut v5, file, 0, codec).is_ok() {
+            *r = v5;
+            extra += 1;
+            continue;
+        }
         let mut v3 = *r;
         if read_frame_v3(&mut v3, file, 0, codec).is_ok() {
             *r = v3;
@@ -1579,6 +1746,7 @@ impl CrashDump {
         for t in &manifest.threads {
             let fll_file = t.fll_file();
             let mrl_file = t.mrl_file();
+            let columnar = manifest.version >= DUMP_VERSION_V5;
             let fll = read_log_file(
                 dir,
                 &fll_file,
@@ -1587,6 +1755,7 @@ impl CrashDump {
                 manifest.codec,
                 t.thread,
                 t.checkpoints,
+                columnar,
             )?;
             let mrl = read_log_file(
                 dir,
@@ -1596,11 +1765,17 @@ impl CrashDump {
                 manifest.codec,
                 t.thread,
                 t.checkpoints,
+                columnar,
             )?;
             let fll_frames = fll.payloads;
             let mrl_frames = mrl.payloads;
-            check_payload_total(&fll_file, &fll_frames, t.fll_bytes)?;
-            check_payload_total(&mrl_file, &mrl_frames, t.mrl_bytes)?;
+            if !columnar {
+                // v5 manifests keep declaring *row-serialized* raw sizes
+                // while the frame payloads are columnar blobs; the row-size
+                // cross-check happens after the logs are decoded below.
+                check_payload_total(&fll_file, &fll_frames, t.fll_bytes)?;
+                check_payload_total(&mrl_file, &mrl_frames, t.mrl_bytes)?;
+            }
             check_stored_total(&fll_file, fll.stored_bytes, t.fll_stored_bytes)?;
             check_stored_total(&mrl_file, mrl.stored_bytes, t.mrl_stored_bytes)?;
             let image = if t.has_image {
@@ -1635,6 +1810,7 @@ impl CrashDump {
                         manifest.codec,
                         owner,
                         1,
+                        false,
                     )?;
                     check_payload_total(&image_file, &contents.payloads, t.image_raw_bytes)?;
                     check_stored_total(&image_file, contents.stored_bytes, t.image_stored_bytes)?;
@@ -1669,19 +1845,30 @@ impl CrashDump {
             };
             let mut checkpoints = Vec::with_capacity(fll_frames.len());
             let mut instructions = 0u64;
+            let (mut fll_row_bytes, mut mrl_row_bytes) = (0u64, 0u64);
             for (i, (fll_bytes, mrl_bytes)) in fll_frames.iter().zip(&mrl_frames).enumerate() {
-                let fll =
+                let fll = if columnar {
+                    decode_fll_columnar(fll_bytes)
+                        .map_err(|e| columnar_log_error(&fll_file, i as u32, e))?
+                } else {
                     FirstLoadLog::from_bytes(fll_bytes).map_err(|e| DumpError::CorruptLog {
                         file: fll_file.clone(),
                         frame: i as u32,
                         detail: e.to_string(),
-                    })?;
-                let mrl =
+                    })?
+                };
+                let mrl = if columnar {
+                    decode_mrl_columnar(mrl_bytes)
+                        .map_err(|e| columnar_log_error(&mrl_file, i as u32, e))?
+                } else {
                     MemoryRaceLog::from_bytes(mrl_bytes).ok_or_else(|| DumpError::CorruptLog {
                         file: mrl_file.clone(),
                         frame: i as u32,
                         detail: "memory race log failed to decode".into(),
-                    })?;
+                    })?
+                };
+                fll_row_bytes += fll.serialized_len();
+                mrl_row_bytes += mrl.serialized_len();
                 if fll.header.thread != t.thread {
                     return Err(DumpError::Inconsistent {
                         file: fll_file.clone(),
@@ -1729,6 +1916,31 @@ impl CrashDump {
                     ),
                 });
             }
+            if columnar {
+                // The columnar payload check deferred from above: the
+                // manifest's raw sizes are row-serialized semantics, so they
+                // are validated against the decoded logs, not the blobs.
+                if fll_row_bytes != t.fll_bytes {
+                    return Err(DumpError::Inconsistent {
+                        file: fll_file.clone(),
+                        detail: format!(
+                            "decoded logs re-serialize to {fll_row_bytes} bytes, manifest \
+                             declares {}",
+                            t.fll_bytes
+                        ),
+                    });
+                }
+                if mrl_row_bytes != t.mrl_bytes {
+                    return Err(DumpError::Inconsistent {
+                        file: mrl_file.clone(),
+                        detail: format!(
+                            "decoded logs re-serialize to {mrl_row_bytes} bytes, manifest \
+                             declares {}",
+                            t.mrl_bytes
+                        ),
+                    });
+                }
+            }
             threads.push(ThreadDump {
                 thread: t.thread,
                 image,
@@ -1769,7 +1981,110 @@ impl CrashDump {
         &self,
         mut fallback: impl FnMut(ThreadId) -> Option<Arc<Program>>,
     ) -> Result<DumpReplayReport, ReplayError> {
-        self.replay_inner(|t| t.image.clone().or_else(|| fallback(t.thread)), None)
+        self.replay_inner(
+            |t| t.image.clone().or_else(|| fallback(t.thread)),
+            None,
+            None,
+        )
+    }
+
+    /// Checkpoint-seeking time travel: like [`replay`](CrashDump::replay),
+    /// but replays only the intervals whose checkpoint id is `from` or
+    /// later. Every FLL header carries the complete architectural state at
+    /// the start of its interval, so seeking is free — intervals before
+    /// `from` are skipped outright, never re-executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ReplayError`] from an unreplayable interval.
+    pub fn replay_from(
+        &self,
+        from: CheckpointId,
+        mut fallback: impl FnMut(ThreadId) -> Option<Arc<Program>>,
+    ) -> Result<DumpReplayReport, ReplayError> {
+        self.replay_inner(
+            |t| t.image.clone().or_else(|| fallback(t.thread)),
+            None,
+            Some(from),
+        )
+    }
+
+    /// Searches for each thread's first interval whose replayed digest
+    /// diverges from the recorded one, replaying as few intervals as it can
+    /// get away with: under the usual failure mode — corruption persists
+    /// from some interval onward — a binary search plus a two-probe
+    /// verification finds the frontier in `O(log n)` interval replays. When
+    /// the verification detects that divergence is *not* monotone (say, a
+    /// single tampered digest in the middle of a clean window), it falls
+    /// back to a linear scan so the answer is still the true first
+    /// divergence. Program images resolve exactly as in
+    /// [`replay`](CrashDump::replay): embedded image first, `fallback` for
+    /// threads without one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ReplayError`] from an interval that cannot be
+    /// replayed at all.
+    pub fn bisect(
+        &self,
+        mut fallback: impl FnMut(ThreadId) -> Option<Arc<Program>>,
+    ) -> Result<BisectReport, ReplayError> {
+        let mut report = BisectReport::default();
+        for t in &self.threads {
+            report.intervals += t.checkpoints.len() as u64;
+            let Some(program) = t.image.clone().or_else(|| fallback(t.thread)) else {
+                report.unreplayable_threads.push(t.thread);
+                continue;
+            };
+            let replayer = Replayer::new(program);
+            let n = t.checkpoints.len();
+            let mut probes = 0u64;
+            let probe = |i: usize, probes: &mut u64| -> Result<bool, ReplayError> {
+                *probes += 1;
+                let cp = &t.checkpoints[i];
+                let replayed = replayer.replay_interval(&cp.fll)?;
+                Ok(cp.digest.matches(&replayed.digest))
+            };
+            // Binary search for the match/diverge frontier, assuming all
+            // intervals before it match and all after it diverge.
+            let (mut lo, mut hi) = (0usize, n);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if probe(mid, &mut probes)? {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            let mut first = None;
+            if lo < n {
+                // Verify the monotonicity assumption around the candidate:
+                // it must diverge and its predecessor must match.
+                if !probe(lo, &mut probes)? && (lo == 0 || probe(lo - 1, &mut probes)?) {
+                    first = Some(lo);
+                }
+            }
+            if first.is_none() {
+                // Either every probe matched (a lone divergence can hide
+                // from the binary search) or the frontier shape was
+                // violated: scan for the ground truth.
+                for i in 0..n {
+                    if !probe(i, &mut probes)? {
+                        first = Some(i);
+                        break;
+                    }
+                }
+            }
+            report.probes += probes;
+            if let Some(index) = first {
+                report.divergences.push(BisectDivergence {
+                    thread: t.thread,
+                    checkpoint: t.checkpoints[index].fll.header.checkpoint,
+                    index: index as u32,
+                });
+            }
+        }
+        Ok(report)
     }
 
     /// Replays against exactly the supplied program images, ignoring any
@@ -1782,7 +2097,7 @@ impl CrashDump {
         &self,
         mut program_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
     ) -> Result<DumpReplayReport, ReplayError> {
-        self.replay_inner(|t| program_of(t.thread), None)
+        self.replay_inner(|t| program_of(t.thread), None, None)
     }
 
     /// Like [`replay_with`](CrashDump::replay_with), but also feeds replay
@@ -1796,7 +2111,7 @@ impl CrashDump {
         mut program_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
         stats: &ReplayStats,
     ) -> Result<DumpReplayReport, ReplayError> {
-        self.replay_inner(|t| program_of(t.thread), Some(stats))
+        self.replay_inner(|t| program_of(t.thread), Some(stats), None)
     }
 
     /// Like [`replay`](CrashDump::replay), but also feeds replay telemetry
@@ -1814,6 +2129,7 @@ impl CrashDump {
         self.replay_inner(
             |t| t.image.clone().or_else(|| fallback(t.thread)),
             Some(stats),
+            None,
         )
     }
 
@@ -1821,6 +2137,7 @@ impl CrashDump {
         &self,
         mut resolve: impl FnMut(&ThreadDump) -> Option<Arc<Program>>,
         stats: Option<&ReplayStats>,
+        from: Option<CheckpointId>,
     ) -> Result<DumpReplayReport, ReplayError> {
         let mut report = DumpReplayReport::default();
         for t in &self.threads {
@@ -1830,6 +2147,9 @@ impl CrashDump {
             };
             let replayer = Replayer::new(program);
             for cp in &t.checkpoints {
+                if from.is_some_and(|from| cp.fll.header.checkpoint < from) {
+                    continue;
+                }
                 let started = stats.map(|_| std::time::Instant::now());
                 let replayed = replayer.replay_interval(&cp.fll)?;
                 let fault_reproduced = cp.fll.fault.map(|expected| {
@@ -1895,6 +2215,41 @@ impl ReplayStats {
             interval_ns: registry.histogram("replay_interval_ns"),
         }
     }
+}
+
+/// Result of [`CrashDump::bisect`]: the per-thread digest-divergence
+/// frontier and how much replay work finding it took.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BisectReport {
+    /// First divergent interval of each thread that has one, in thread
+    /// order.
+    pub divergences: Vec<BisectDivergence>,
+    /// Threads that could not be replayed (no embedded image and no
+    /// fallback program).
+    pub unreplayable_threads: Vec<ThreadId>,
+    /// Interval replays performed across all threads.
+    pub probes: u64,
+    /// Retained intervals across all threads.
+    pub intervals: u64,
+}
+
+impl BisectReport {
+    /// Whether every replayable interval matched its recorded digest.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// One thread's first digest-divergent interval, found by
+/// [`CrashDump::bisect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BisectDivergence {
+    /// Thread the interval belongs to.
+    pub thread: ThreadId,
+    /// Checkpoint identifier of the first divergent interval.
+    pub checkpoint: CheckpointId,
+    /// Index of the interval within the thread's retained window.
+    pub index: u32,
 }
 
 fn check_payload_total(file: &str, frames: &[Vec<u8>], declared: u64) -> Result<(), DumpError> {
@@ -2207,6 +2562,7 @@ impl SalvagedFile {
 /// rejecting the file on the first problem like [`read_log_file`]. Frame
 /// integrity relies on the same per-frame checksums the strict path uses;
 /// nothing that fails a checksum is ever recovered.
+#[allow(clippy::too_many_arguments)]
 fn salvage_log_file(
     dir: &Path,
     file: &str,
@@ -2215,6 +2571,7 @@ fn salvage_log_file(
     codec: CodecId,
     thread: ThreadId,
     expect_frames: u32,
+    columnar: bool,
 ) -> SalvagedFile {
     let path = dir.join(file);
     let bytes = match fs::read(&path) {
@@ -2279,7 +2636,9 @@ fn salvage_log_file(
     let mut frames = Vec::with_capacity(limit as usize);
     for i in 0..limit {
         let offset = r.position();
-        let parsed = if version >= 3 {
+        let parsed = if columnar {
+            read_frame_v5(&mut r, file, i, codec)
+        } else if version >= 3 {
             read_frame_v3(&mut r, file, i, codec)
         } else if version == DUMP_VERSION_V2 {
             read_frame_v2(&mut r, file, i, codec)
@@ -2349,6 +2708,7 @@ impl CrashDump {
                 .find(|t| t.has_image && t.image_file() == file)
                 .map(|t| t.thread)
         };
+        let columnar = manifest.version >= DUMP_VERSION_V5;
         for t in &manifest.threads {
             let fll_file = t.fll_file();
             let mrl_file = t.mrl_file();
@@ -2360,6 +2720,7 @@ impl CrashDump {
                 manifest.codec,
                 t.thread,
                 t.checkpoints,
+                columnar,
             );
             let mrl = salvage_log_file(
                 dir,
@@ -2369,6 +2730,7 @@ impl CrashDump {
                 manifest.codec,
                 t.thread,
                 t.checkpoints,
+                columnar,
             );
             let mut fll_intact = fll.frames.len() as u32;
             let mut mrl_intact = mrl.frames.len() as u32;
@@ -2384,28 +2746,43 @@ impl CrashDump {
             for i in 0..fll.frames.len().min(mrl.frames.len()) {
                 let ff = &fll.frames[i];
                 let mf = &mrl.frames[i];
-                let decoded_fll = match FirstLoadLog::from_bytes(&ff.payload) {
+                let parsed_fll = if columnar {
+                    decode_fll_columnar(&ff.payload)
+                        .map_err(|e| columnar_log_error(&fll_file, i as u32, e))
+                } else {
+                    FirstLoadLog::from_bytes(&ff.payload).map_err(|e| DumpError::CorruptLog {
+                        file: fll_file.clone(),
+                        frame: i as u32,
+                        detail: e.to_string(),
+                    })
+                };
+                let decoded_fll = match parsed_fll {
                     Ok(log) => log,
                     Err(e) => {
                         fll_intact = i as u32;
                         fll_off = Some(ff.offset);
-                        fll_cause = Some(DumpError::CorruptLog {
-                            file: fll_file.clone(),
-                            frame: i as u32,
-                            detail: e.to_string(),
-                        });
+                        fll_cause = Some(e);
                         break;
                     }
                 };
-                let Some(decoded_mrl) = MemoryRaceLog::from_bytes(&mf.payload) else {
-                    mrl_intact = i as u32;
-                    mrl_off = Some(mf.offset);
-                    mrl_cause = Some(DumpError::CorruptLog {
+                let parsed_mrl = if columnar {
+                    decode_mrl_columnar(&mf.payload)
+                        .map_err(|e| columnar_log_error(&mrl_file, i as u32, e))
+                } else {
+                    MemoryRaceLog::from_bytes(&mf.payload).ok_or_else(|| DumpError::CorruptLog {
                         file: mrl_file.clone(),
                         frame: i as u32,
                         detail: "memory race log failed to decode".into(),
-                    });
-                    break;
+                    })
+                };
+                let decoded_mrl = match parsed_mrl {
+                    Ok(log) => log,
+                    Err(e) => {
+                        mrl_intact = i as u32;
+                        mrl_off = Some(mf.offset);
+                        mrl_cause = Some(e);
+                        break;
+                    }
                 };
                 if decoded_fll.header.thread != t.thread {
                     fll_intact = i as u32;
@@ -2446,9 +2823,17 @@ impl CrashDump {
                     break;
                 };
                 instructions = total;
-                fll_bytes += ff.payload.len() as u64;
+                // The adjusted manifest keeps each version's raw-size
+                // semantics: row-serialized sizes in v5 (the payloads are
+                // columnar blobs), payload sizes otherwise.
+                if columnar {
+                    fll_bytes += decoded_fll.serialized_len();
+                    mrl_bytes += decoded_mrl.serialized_len();
+                } else {
+                    fll_bytes += ff.payload.len() as u64;
+                    mrl_bytes += mf.payload.len() as u64;
+                }
                 fll_stored += ff.stored;
-                mrl_bytes += mf.payload.len() as u64;
                 mrl_stored += mf.stored;
                 checkpoints.push(DumpedCheckpoint {
                     fll: decoded_fll,
@@ -2487,6 +2872,7 @@ impl CrashDump {
                             manifest.codec,
                             owner,
                             1,
+                            false,
                         );
                         let mut intact = salvaged.frames.len().min(1) as u32;
                         let mut cause = salvaged.cause;
@@ -2944,7 +3330,7 @@ mod tests {
         let dir_v2 = temp_dir("size-v2");
         let store = store_with_logs(2, 3);
         write_dump_v1(&dir_v1, &meta(), &store).unwrap();
-        write_dump(&dir_v2, &meta(), &store, |_| None).unwrap();
+        write_dump_v2(&dir_v2, &meta(), &store).unwrap();
         let total = |dir: &std::path::Path| -> u64 {
             fs::read_dir(dir)
                 .unwrap()
@@ -2976,7 +3362,7 @@ mod tests {
                 .unwrap(),
         );
         let dir = temp_dir("identity-v2");
-        let written = write_dump(&dir, &meta(), &store, |_| None).unwrap();
+        let written = write_dump_v2(&dir, &meta(), &store).unwrap();
         assert_eq!(written.codec, CodecId::Identity);
         let dump = CrashDump::load(&dir).unwrap();
         assert_eq!(dump.manifest.codec, CodecId::Identity);
@@ -2996,11 +3382,12 @@ mod tests {
         let manifest = write_dump(&dir, &meta(), &store, |_| None).unwrap();
         let path = dir.join(manifest.threads[0].fll_file());
         let mut bytes = fs::read(&path).unwrap();
-        // Duplicate the first frame (length prefix + container) at the end:
-        // every byte of the addition checksums cleanly, so only the
-        // frame-count cross-check can catch it.
+        // Duplicate the first frame (length prefix + columnar blob +
+        // stored-bytes checksum) at the end: every byte of the addition
+        // checksums cleanly, so only the frame-count cross-check can catch
+        // it.
         let first_len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
-        let frame = bytes[16..20 + first_len].to_vec();
+        let frame = bytes[16..20 + first_len + 8].to_vec();
         bytes.extend_from_slice(&frame);
         fs::write(&path, &bytes).unwrap();
         let err = CrashDump::load(&dir).unwrap_err();

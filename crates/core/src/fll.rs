@@ -44,7 +44,7 @@ pub enum TerminationCause {
 
 impl TerminationCause {
     /// Compact tag used in the serialized log dump.
-    fn to_tag(self) -> u64 {
+    pub(crate) fn to_tag(self) -> u64 {
         match self {
             TerminationCause::IntervalFull => 0,
             TerminationCause::Interrupt => 1,
@@ -55,7 +55,7 @@ impl TerminationCause {
         }
     }
 
-    fn from_tag(tag: u64) -> Option<Self> {
+    pub(crate) fn from_tag(tag: u64) -> Option<Self> {
         Some(match tag {
             0 => TerminationCause::IntervalFull,
             1 => TerminationCause::Interrupt,
@@ -462,6 +462,31 @@ impl FirstLoadLog {
         Ok(out)
     }
 
+    /// Exact length in bytes of [`FirstLoadLog::to_bytes`], computed without
+    /// serializing. The columnar (v5) seal path uses it to keep the raw-size
+    /// accounting of the row layout without paying for a dead serialization.
+    pub fn serialized_len(&self) -> u64 {
+        // Mirrors `to_bytes` field for field: widths + dictionary entries
+        // (9 bytes), header, instructions + loads (128), termination tag
+        // (3), fault flag (1) and optional trailer, payload accounting
+        // (3 × 64), the 4 re-alignment bits, the stream bit length (64) and
+        // the stream's whole-byte image.
+        let mut bits = 72
+            + FllHeader::encoded_bits(self.codec.checkpoint_id_bits)
+            + 64
+            + 64
+            + 3
+            + 1
+            + 192
+            + 4
+            + 64
+            + self.stream.as_bytes().len() as u64 * 8;
+        if self.fault.is_some() {
+            bits += FaultRecord::encoded_bits();
+        }
+        bits.div_ceil(8)
+    }
+
     /// Serializes the complete log — codec widths, header, metadata and the
     /// packed record stream — into a byte vector. The header and the record
     /// stream go through the writer's byte-aligned bulk path. This is the
@@ -689,6 +714,42 @@ mod tests {
             assert_eq!(rec.skipped, *skipped);
             assert_eq!(rec.value, *value);
         }
+    }
+
+    #[test]
+    fn serialized_len_matches_to_bytes_exactly() {
+        // The columnar seal path trusts `serialized_len` for raw-size
+        // accounting instead of serializing; the two must never drift.
+        let plain = make_log(&[
+            (0, EncodedValue::Full(Word::new(0xdead_beef))),
+            (3, EncodedValue::DictRank(5)),
+            (1_000_000, EncodedValue::DictRank(0)),
+        ]);
+        assert_eq!(plain.serialized_len(), plain.to_bytes().len() as u64);
+
+        let mut enc = FllEncoder::new(codec());
+        enc.push(7, EncodedValue::Full(Word::new(1)));
+        let (stream, payload) = enc.finish();
+        let with_fault = FirstLoadLog::new(
+            header(),
+            codec(),
+            stream,
+            payload,
+            10,
+            1,
+            TerminationCause::Fault,
+            Some(FaultRecord {
+                pc: Addr::new(0x400010),
+                icount_in_interval: InstrCount(9),
+            }),
+        );
+        assert_eq!(
+            with_fault.serialized_len(),
+            with_fault.to_bytes().len() as u64
+        );
+
+        let empty = make_log(&[]);
+        assert_eq!(empty.serialized_len(), empty.to_bytes().len() as u64);
     }
 
     #[test]

@@ -78,6 +78,23 @@ pub struct MemoryRaceLog {
 }
 
 impl MemoryRaceLog {
+    /// Reassembles a log from its parts (used by the columnar decoder).
+    pub(crate) fn from_parts(
+        header: MrlHeader,
+        entries: Vec<RaceEntry>,
+        suppressed: u64,
+        entry_bits: u64,
+        checkpoint_id_bits: u32,
+    ) -> Self {
+        MemoryRaceLog {
+            header,
+            entries,
+            suppressed,
+            entry_bits,
+            checkpoint_id_bits,
+        }
+    }
+
     /// The recorded ordering edges.
     pub fn entries(&self) -> &[RaceEntry] {
         &self.entries
@@ -86,6 +103,16 @@ impl MemoryRaceLog {
     /// Edges dropped by the transitive-reduction filter.
     pub fn suppressed_entries(&self) -> u64 {
         self.suppressed
+    }
+
+    /// Nominal bits per entry (paper accounting, used by the columnar split).
+    pub(crate) fn entry_bits(&self) -> u64 {
+        self.entry_bits
+    }
+
+    /// C-ID width this log was encoded with.
+    pub(crate) fn checkpoint_id_bits(&self) -> u32 {
+        self.checkpoint_id_bits
     }
 
     /// Size of the log (header + entries).
@@ -99,6 +126,13 @@ impl MemoryRaceLog {
     /// Whether the interval saw no cross-thread ordering events.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Exact length in bytes of [`MemoryRaceLog::to_bytes`], computed
+    /// without serializing — the byte-aligned layout is a 45-byte header
+    /// plus 24 bytes per entry.
+    pub fn serialized_len(&self) -> u64 {
+        45 + self.entries.len() as u64 * 24
     }
 
     /// Serializes the log into a byte vector through the bitstream writer's
@@ -357,6 +391,21 @@ mod tests {
         // Truncated buffers are rejected.
         assert_eq!(MemoryRaceLog::from_bytes(&bytes[..bytes.len() - 1]), None);
         assert_eq!(MemoryRaceLog::from_bytes(&[]), None);
+    }
+
+    #[test]
+    fn serialized_len_matches_to_bytes_exactly() {
+        // Mirrors the FLL test: the columnar seal path accounts raw sizes
+        // via `serialized_len` without serializing.
+        let cfg = BugNetConfig::default();
+        let empty = MrlBuilder::new(header(), &cfg).finish();
+        assert_eq!(empty.serialized_len(), empty.to_bytes().len() as u64);
+
+        let mut b = MrlBuilder::new(header(), &cfg);
+        b.record(InstrCount(10), remote(1, 0, 100));
+        b.record(InstrCount(20), remote(1, 0, 200));
+        let log = b.finish();
+        assert_eq!(log.serialized_len(), log.to_bytes().len() as u64);
     }
 
     #[test]

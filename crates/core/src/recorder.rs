@@ -24,13 +24,14 @@ use std::ops::Deref;
 use std::sync::mpsc;
 use std::sync::Arc;
 
-use bugnet_compress::{encode_container, CodecId};
+use bugnet_compress::{encode_streams, streams_info, CodecId};
 use bugnet_cpu::ArchState;
 use bugnet_telemetry::{Counter, Gauge, Histogram, Registry};
 use bugnet_types::{
     Addr, BugNetConfig, ByteSize, CheckpointId, InstrCount, ProcessId, ThreadId, Timestamp, Word,
 };
 
+use crate::columnar::{fll_stream_name, mrl_stream_name, split_fll, split_mrl};
 use crate::dictionary::ValueDictionary;
 use crate::digest::ExecutionDigest;
 use crate::fll::{
@@ -58,14 +59,17 @@ impl CheckpointLogs {
     }
 }
 
-/// A checkpoint interval's logs together with their serialized, compressed
-/// on-disk frames (the self-describing containers of [`bugnet_compress`]).
+/// A checkpoint interval's logs together with their sealed on-disk frames:
+/// the columnar multi-stream blobs of [`crate::columnar`] (per-field
+/// streams, delta/varint coded, each behind its own self-describing
+/// container of [`bugnet_compress`]).
 ///
-/// Sealing — serializing the FLL/MRL and running the back-end compressor —
-/// is the CPU-heavy part of flushing an interval, and it is a pure function
-/// of the logs and the codec. That makes it safe to run on background
-/// worker threads: parallel and serial flushing produce byte-identical
-/// frames, so the dumps they write are byte-identical too.
+/// Sealing — splitting the FLL/MRL into per-field streams and running the
+/// back-end compressor over each — is the CPU-heavy part of flushing an
+/// interval, and it is a pure function of the logs and the codec. That
+/// makes it safe to run on background worker threads: parallel and serial
+/// flushing produce byte-identical frames, so the dumps they write are
+/// byte-identical too.
 ///
 /// Dereferences to the underlying [`CheckpointLogs`], so readers that only
 /// care about the structured logs keep working unchanged.
@@ -75,40 +79,46 @@ pub struct SealedCheckpoint {
     pub logs: CheckpointLogs,
     /// Codec the frames were sealed with.
     pub codec: CodecId,
-    /// Container holding the serialized, compressed FLL.
+    /// Columnar multi-stream blob holding the compressed FLL.
     pub fll_frame: Vec<u8>,
-    /// Container holding the serialized, compressed MRL.
+    /// Columnar multi-stream blob holding the compressed MRL.
     pub mrl_frame: Vec<u8>,
-    /// Serialized FLL payload size before compression.
+    /// Row-serialized ([`FirstLoadLog::to_bytes`]) FLL size — the raw-size
+    /// baseline all compression ratios are measured against.
     pub fll_raw_bytes: u64,
-    /// Serialized MRL payload size before compression.
+    /// Row-serialized MRL size.
     pub mrl_raw_bytes: u64,
 }
 
 impl SealedCheckpoint {
-    /// Serializes and compresses `logs` with `codec`.
+    /// Splits `logs` into columnar streams and compresses them with `codec`.
     pub fn seal(logs: CheckpointLogs, codec: CodecId) -> Self {
         SealedCheckpoint::seal_observed(logs, codec, None)
     }
 
     /// [`SealedCheckpoint::seal`] with optional telemetry: the whole seal is
-    /// spanned by the caller; this records the codec-only portion (the two
-    /// `encode_container` runs) plus raw/stored byte counters.
+    /// spanned by the caller; this records the columnar split
+    /// (`codec_transform_ns`) and the codec runs (`codec_compress_ns`)
+    /// separately, plus raw/stored and per-stream byte counters.
     fn seal_observed(logs: CheckpointLogs, codec: CodecId, stats: Option<&StoreStats>) -> Self {
-        let fll_raw = logs.fll.to_bytes();
-        let mrl_raw = logs.mrl.to_bytes();
+        let (fll_streams, mrl_streams) = {
+            let _span = stats.map(|s| s.codec_transform_ns.start_span());
+            let fll = split_fll(&logs.fll)
+                .expect("recorder-produced FLL decomposes into columnar streams");
+            (fll, split_mrl(&logs.mrl))
+        };
         let (fll_frame, mrl_frame) = {
             let _span = stats.map(|s| s.codec_compress_ns.start_span());
             (
-                encode_container(codec, &fll_raw),
-                encode_container(codec, &mrl_raw),
+                encode_streams(codec, &fll_streams),
+                encode_streams(codec, &mrl_streams),
             )
         };
         let sealed = SealedCheckpoint {
+            fll_raw_bytes: logs.fll.serialized_len(),
+            mrl_raw_bytes: logs.mrl.serialized_len(),
             logs,
             codec,
-            fll_raw_bytes: fll_raw.len() as u64,
-            mrl_raw_bytes: mrl_raw.len() as u64,
             fll_frame,
             mrl_frame,
         };
@@ -119,6 +129,16 @@ impl SealedCheckpoint {
             stats
                 .sealed_stored_bytes
                 .add(sealed.fll_stored_bytes() + sealed.mrl_stored_bytes());
+            for info in streams_info(&sealed.fll_frame).expect("just-encoded blob parses") {
+                if let Some(counter) = stats.fll_stream_bytes.get(info.id as usize) {
+                    counter.add(u64::from(info.stored_len));
+                }
+            }
+            for info in streams_info(&sealed.mrl_frame).expect("just-encoded blob parses") {
+                if let Some(counter) = stats.mrl_stream_bytes.get(info.id as usize) {
+                    counter.add(u64::from(info.stored_len));
+                }
+            }
         }
         sealed
     }
@@ -187,12 +207,19 @@ impl RecorderStats {
 /// lock — all handles are striped counters and lock-free histograms.
 #[derive(Debug, Clone)]
 pub struct StoreStats {
-    /// Full interval-seal latency (serialize + compress), nanoseconds.
+    /// Full interval-seal latency (transform + compress), nanoseconds.
     seal_ns: Arc<Histogram>,
-    /// Codec-only portion of sealing (the `encode_container` runs).
+    /// Columnar-split portion of sealing (row logs → per-field streams).
+    codec_transform_ns: Arc<Histogram>,
+    /// Codec-only portion of sealing (the per-stream `encode_streams` runs).
     codec_compress_ns: Arc<Histogram>,
     sealed_raw_bytes: Arc<Counter>,
     sealed_stored_bytes: Arc<Counter>,
+    /// Post-codec stored bytes per FLL columnar stream, indexed by stream id
+    /// (`columnar_fll_<stream>_bytes_total`).
+    fll_stream_bytes: Vec<Arc<Counter>>,
+    /// Post-codec stored bytes per MRL columnar stream, indexed by stream id.
+    mrl_stream_bytes: Vec<Arc<Counter>>,
     /// Intervals per hand-off batch at flush time.
     handoff_batch_intervals: Arc<Histogram>,
     reconcile_ns: Arc<Histogram>,
@@ -208,9 +235,20 @@ impl StoreStats {
     pub fn register(registry: &Registry, shards: usize) -> Self {
         StoreStats {
             seal_ns: registry.histogram("store_seal_ns"),
+            codec_transform_ns: registry.histogram("codec_transform_ns"),
             codec_compress_ns: registry.histogram("codec_compress_ns"),
             sealed_raw_bytes: registry.counter("store_sealed_raw_bytes_total"),
             sealed_stored_bytes: registry.counter("store_sealed_stored_bytes_total"),
+            fll_stream_bytes: (0..5u8)
+                .map(|i| {
+                    registry.counter(&format!("columnar_fll_{}_bytes_total", fll_stream_name(i)))
+                })
+                .collect(),
+            mrl_stream_bytes: (0..5u8)
+                .map(|i| {
+                    registry.counter(&format!("columnar_mrl_{}_bytes_total", mrl_stream_name(i)))
+                })
+                .collect(),
             handoff_batch_intervals: registry.histogram("store_handoff_batch_intervals"),
             reconcile_ns: registry.histogram("store_reconcile_ns"),
             reconciled_intervals: registry.counter("store_reconciled_intervals_total"),
@@ -1141,14 +1179,20 @@ mod tests {
     }
 
     #[test]
-    fn sealing_round_trips_through_the_container() {
+    fn sealing_round_trips_through_the_columnar_blob() {
         let logs = small_logs(0, 1, 40);
         let sealed = SealedCheckpoint::seal(logs.clone(), CodecId::Lz77);
         assert!(sealed.fll_stored_bytes() > 0);
-        let (codec, raw) = bugnet_compress::decode_container(&sealed.fll_frame).unwrap();
-        assert_eq!(codec, CodecId::Lz77);
-        assert_eq!(raw, logs.fll.to_bytes());
-        assert_eq!(sealed.fll_raw_bytes, raw.len() as u64);
+        for info in streams_info(&sealed.fll_frame).unwrap() {
+            assert_eq!(info.codec, CodecId::Lz77);
+        }
+        let decoded = crate::columnar::decode_fll_columnar(&sealed.fll_frame).unwrap();
+        assert_eq!(decoded, logs.fll);
+        let decoded_mrl = crate::columnar::decode_mrl_columnar(&sealed.mrl_frame).unwrap();
+        assert_eq!(decoded_mrl, logs.mrl);
+        // Raw-byte accounting keeps the row-serialized baseline.
+        assert_eq!(sealed.fll_raw_bytes, logs.fll.to_bytes().len() as u64);
+        assert_eq!(sealed.mrl_raw_bytes, logs.mrl.to_bytes().len() as u64);
         // Deref keeps structured-log readers working on sealed entries.
         assert_eq!(sealed.fll, logs.fll);
     }

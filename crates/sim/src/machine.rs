@@ -126,66 +126,9 @@ impl MachineBuilder {
     }
 
     /// Sets every recording/dump knob at once. Fields left at their
-    /// [`RecordingOptions::default`] values keep the builder defaults; the
-    /// per-field setters below survive as shims that rewrite the same
-    /// struct.
+    /// [`RecordingOptions::default`] values keep the builder defaults.
     pub fn recording(mut self, opts: RecordingOptions) -> Self {
         self.recording = opts;
-        self
-    }
-
-    /// Deprecated shim: prefer [`MachineBuilder::recording`] with
-    /// [`RecordingOptions::codec`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `recording(RecordingOptions { codec, .. })`"
-    )]
-    pub fn codec(mut self, codec: CodecId) -> Self {
-        self.recording.codec = codec;
-        self
-    }
-
-    /// Deprecated shim: prefer [`MachineBuilder::recording`] with
-    /// [`RecordingOptions::flush_workers`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `recording(RecordingOptions { flush_workers, .. })`"
-    )]
-    pub fn flush_workers(mut self, workers: usize) -> Self {
-        self.recording.flush_workers = workers;
-        self
-    }
-
-    /// Deprecated shim: prefer [`MachineBuilder::recording`] with
-    /// [`RecordingOptions::dump_on_crash`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `recording(RecordingOptions { dump_on_crash, .. })`"
-    )]
-    pub fn dump_on_crash(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.recording.dump_on_crash = Some(dir.into());
-        self
-    }
-
-    /// Deprecated shim: prefer [`MachineBuilder::recording`] with
-    /// [`RecordingOptions::embed_image`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `recording(RecordingOptions { embed_image, .. })`"
-    )]
-    pub fn embed_image(mut self, on: bool) -> Self {
-        self.recording.embed_image = on;
-        self
-    }
-
-    /// Deprecated shim: prefer [`MachineBuilder::recording`] with
-    /// [`RecordingOptions::dump_io`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `recording(RecordingOptions { dump_io, .. })`"
-    )]
-    pub fn dump_io(mut self, io: SharedDumpIo) -> Self {
-        self.recording.dump_io = Some(io);
         self
     }
 
@@ -520,9 +463,9 @@ impl Machine {
     /// Writes the retained log window of every thread to `dir` as an on-disk
     /// crash-dump directory (paper §4.8). The manifest records the recorder
     /// configuration, the workload identity string and the first fault
-    /// observed, if any; unless [`MachineBuilder::embed_image`] was turned
+    /// observed, if any; unless [`RecordingOptions::embed_image`] was turned
     /// off, each thread's full program image is embedded (content-addressed,
-    /// format v4), so the dump replays offline without the workload registry.
+    /// format v5), so the dump replays offline without the workload registry.
     /// Callable at any point — after a crash for the paper's scenario, or
     /// after a clean run to archive the logs.
     ///
@@ -573,7 +516,8 @@ impl Machine {
             dump_store,
             embed,
             move |io, dir, meta, s, image_of| match format {
-                DumpFormat::V4 => dump::write_dump_with_io(dir, meta, s, image_of, io),
+                DumpFormat::V5 => dump::write_dump_with_io(dir, meta, s, image_of, io),
+                DumpFormat::V4 => dump::write_dump_v4_with_io(dir, meta, s, image_of, io),
                 DumpFormat::V3 => dump::write_dump_v3_with_io(dir, meta, s, image_of, io),
                 DumpFormat::V2 => dump::write_dump_v2_with_io(dir, meta, s, io),
             },
@@ -600,7 +544,7 @@ impl Machine {
     }
 
     /// Replaces the [`DumpIo`] backend crash dumps are written through (see
-    /// [`MachineBuilder::dump_io`]). Lets the fault-injection tests reuse
+    /// [`RecordingOptions::dump_io`]). Lets the fault-injection tests reuse
     /// one recorded run across many injected-failure dump attempts.
     pub fn set_dump_io(&mut self, io: SharedDumpIo) {
         self.dump_io = Some(io);
@@ -1288,8 +1232,8 @@ mod tests {
             .build_with_workload(&workload);
         machine.run_to_completion();
 
-        // Defaults: v4, the store's codec, images embedded.
-        let d4 = base.join("v4");
+        // Defaults: v5, the store's codec, images embedded.
+        let d4 = base.join("v5");
         machine
             .write_crash_dump_with(&d4, &DumpOptions::default())
             .unwrap();

@@ -6,9 +6,11 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use bugnet::core::dump::{verify_dump, CrashDump, DumpError, DumpFormat, DumpOptions};
+use bugnet::core::dump::{
+    verify_dump, CrashDump, DumpError, DumpFormat, DumpOptions, DUMP_VERSION_V5,
+};
 use bugnet::sim::{MachineBuilder, RecordingOptions};
-use bugnet::types::{BugNetConfig, SplitMix64, ThreadId};
+use bugnet::types::{BugNetConfig, CheckpointId, SplitMix64, ThreadId};
 use bugnet::workloads::registry;
 
 fn temp_dir(name: &str) -> PathBuf {
@@ -281,8 +283,10 @@ fn embedded_telemetry_snapshot_round_trips_and_survives_salvage() {
     machine.run_to_completion();
     machine.write_crash_dump(&dir).expect("dump writes");
 
-    // The manifest embeds a live snapshot with real recorder counts.
+    // The manifest embeds a live snapshot with real recorder counts — in a
+    // v5 (columnar) dump, which is what `bugnet stats` decodes by default.
     let dump = CrashDump::load(&dir).expect("load passes");
+    assert_eq!(dump.manifest.version, DUMP_VERSION_V5);
     let embedded = dump.manifest.telemetry.as_ref().expect("snapshot embedded");
     match embedded.entries.get("recorder_loads_seen_total") {
         Some(MetricValue::Counter(n)) => assert!(*n > 0, "no loads counted"),
@@ -313,6 +317,164 @@ fn uninstrumented_dumps_embed_no_telemetry() {
     record_dump(spec, &dir, 5_000);
     let dump = CrashDump::load(&dir).expect("load passes");
     assert!(dump.manifest.telemetry.is_none());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn v5_dumps_replay_digest_identical_to_v4_and_are_smaller() {
+    // The columnar transform is a wire-layout change only: the decoded
+    // logs, the recorded digests and the replayed digests must all be
+    // byte-identical between v4 and v5 dumps of the same run — and on the
+    // acceptance workload the columnar layout must actually shrink the dump.
+    let spec = "spec:gzip:30000:1";
+    let machine = recorded_machine(spec, 5_000);
+    let dir_v4 = temp_dir("v4-vs-v5-v4");
+    let dir_v5 = temp_dir("v4-vs-v5-v5");
+    for (dir, format) in [(&dir_v4, DumpFormat::V4), (&dir_v5, DumpFormat::V5)] {
+        machine
+            .write_crash_dump_with(
+                dir,
+                &DumpOptions {
+                    format,
+                    ..DumpOptions::default()
+                },
+            )
+            .unwrap();
+    }
+    let v4 = CrashDump::load(&dir_v4).expect("v4 loads");
+    let v5 = CrashDump::load(&dir_v5).expect("v5 loads");
+    assert_eq!(v5.manifest.version, DUMP_VERSION_V5);
+    assert_eq!(v4.threads.len(), v5.threads.len());
+    for (t4, t5) in v4.threads.iter().zip(&v5.threads) {
+        assert_eq!(t4.checkpoints, t5.checkpoints, "decoded logs must match");
+    }
+    let r4 = v4.replay(|_| None).expect("v4 replays");
+    let r5 = v5.replay(|_| None).expect("v5 replays");
+    assert!(r4.all_match() && r5.all_match());
+    assert_eq!(r4, r5, "per-interval replay reports must be identical");
+
+    let total = |dir: &Path| -> u64 {
+        fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum()
+    };
+    let (b4, b5) = (total(&dir_v4), total(&dir_v5));
+    assert!(
+        b5 < b4,
+        "v5 dump ({b5} bytes) must be smaller than v4 ({b4})"
+    );
+    fs::remove_dir_all(&dir_v4).unwrap();
+    fs::remove_dir_all(&dir_v5).unwrap();
+}
+
+#[test]
+fn replay_from_seeks_to_the_checkpoint_without_replaying_earlier_intervals() {
+    let spec = "spec:gzip:30000:1";
+    let dir = temp_dir("replay-from");
+    record_dump(spec, &dir, 5_000);
+    let dump = CrashDump::load(&dir).expect("load passes");
+    let n = dump.threads[0].checkpoints.len();
+    assert!(n >= 4, "need several checkpoints, got {n}");
+    let from = dump.threads[0].checkpoints[n / 2].fll.header.checkpoint;
+
+    let report = dump.replay_from(from, |_| None).expect("seek replays");
+    assert!(report.all_match(), "{:?}", report.divergences());
+    // Earlier intervals are skipped outright — they never appear in the
+    // report, and only the tail from `from` onward was replayed.
+    assert_eq!(report.intervals.len(), n - n / 2);
+    assert!(report.intervals.iter().all(|i| i.checkpoint >= from));
+    assert_eq!(report.intervals[0].checkpoint, from);
+
+    // Seeking past the retained window replays nothing.
+    let last = dump.threads[0].checkpoints[n - 1].fll.header.checkpoint;
+    let past = dump
+        .replay_from(CheckpointId(last.0 + 1), |_| None)
+        .expect("empty seek");
+    assert!(past.intervals.is_empty());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bisect_finds_the_first_divergent_interval() {
+    let spec = "spec:gzip:60000:1";
+    let dir = temp_dir("bisect");
+    record_dump(spec, &dir, 5_000);
+    let clean = CrashDump::load(&dir).expect("load passes");
+    let n = clean.threads[0].checkpoints.len();
+    assert!(n >= 8, "need a window worth bisecting, got {n}");
+
+    // A clean dump bisects clean — and must probe everything to say so.
+    let report = clean.bisect(|_| None).expect("bisect runs");
+    assert!(report.is_clean());
+    assert_eq!(report.intervals, n as u64);
+    assert!(report.probes >= report.intervals);
+
+    // Monotone corruption — every digest from interval k onward tampered —
+    // is the binary-search fast path: the frontier is found in O(log n)
+    // probes, far fewer than a full scan.
+    let k = n / 2;
+    let mut tampered = clean.clone();
+    for cp in &mut tampered.threads[0].checkpoints[k..] {
+        cp.digest.hash ^= 0xbad;
+    }
+    let report = tampered.bisect(|_| None).expect("bisect runs");
+    assert_eq!(report.divergences.len(), 1);
+    assert_eq!(report.divergences[0].index, k as u32);
+    assert_eq!(
+        report.divergences[0].checkpoint,
+        clean.threads[0].checkpoints[k].fll.header.checkpoint
+    );
+    assert!(
+        report.probes < report.intervals,
+        "monotone divergence must need fewer probes ({}) than intervals ({})",
+        report.probes,
+        report.intervals
+    );
+
+    // A lone tampered digest violates the monotone-frontier assumption;
+    // the linear fallback still reports the true first divergence.
+    let mut lone = clean.clone();
+    lone.threads[0].checkpoints[k].digest.hash ^= 0xbad;
+    let report = lone.bisect(|_| None).expect("bisect runs");
+    assert_eq!(report.divergences.len(), 1);
+    assert_eq!(report.divergences[0].index, k as u32);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn salvage_recovers_the_intact_prefix_of_a_truncated_v5_columnar_frame() {
+    let spec = "spec:gzip:30000:1";
+    let dir = temp_dir("v5-salvage");
+    record_dump(spec, &dir, 5_000);
+    let clean = CrashDump::load(&dir).expect("load passes");
+    assert_eq!(clean.manifest.version, DUMP_VERSION_V5);
+    let total = clean.threads[0].checkpoints.len();
+    assert!(total >= 4);
+
+    // Chop the tail off the columnar FLL: the final frame is now torn.
+    let fll = dir.join(clean.manifest.threads[0].fll_file());
+    let bytes = fs::read(&fll).unwrap();
+    fs::write(&fll, &bytes[..bytes.len() - 200]).unwrap();
+
+    // The strict loader refuses the damaged dump outright...
+    CrashDump::load(&dir).expect_err("strict load must reject the torn frame");
+
+    // ...while salvage keeps every intact leading frame and replays it.
+    let salvaged = CrashDump::load_salvage(&dir).expect("salvage runs");
+    assert!(!salvaged.report.is_clean());
+    let kept = salvaged.dump.threads[0].checkpoints.len();
+    assert!(
+        kept > 0 && kept < total,
+        "salvage kept {kept} of {total} intervals"
+    );
+    assert_eq!(
+        salvaged.dump.threads[0].checkpoints[..],
+        clean.threads[0].checkpoints[..kept],
+        "the salvaged prefix decodes to the original logs"
+    );
+    let replay = salvaged.dump.replay(|_| None).expect("prefix replays");
+    assert!(replay.all_match(), "{:?}", replay.divergences());
     fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -1,21 +1,27 @@
-//! Golden-dump compatibility test: a small format-v2 dump is committed to
-//! the repository, and this test proves the current tree still loads,
-//! verifies and replays it. Format work (v3 and whatever comes after) can
-//! therefore never silently break loading of old dumps — the failure shows
-//! up here, in CI, against bytes that predate the change.
+//! Golden-dump compatibility tests: small format-v2 and format-v4 dumps are
+//! committed to the repository, and these tests prove the current tree still
+//! loads, verifies and replays them. Format work (v5 and whatever comes
+//! after) can therefore never silently break loading of old dumps — the
+//! failure shows up here, in CI, against bytes that predate the change.
 
 use std::path::PathBuf;
 
-use bugnet::core::dump::{verify_dump, CrashDump, DumpFormat, DumpOptions, DUMP_VERSION_V2};
+use bugnet::core::dump::{
+    verify_dump, CrashDump, DumpFormat, DumpOptions, DUMP_VERSION_V2, DUMP_VERSION_V4,
+};
 use bugnet::types::{BugNetConfig, ThreadId};
 use bugnet::workloads::registry;
 
-/// Workload and recorder parameters the committed fixture was written with.
+/// Workload and recorder parameters the committed fixtures were written with.
 const GOLDEN_SPEC: &str = "spec:gzip:8000:1";
 const GOLDEN_INTERVAL: u64 = 2_000;
 
 fn fixture_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden-v2")
+}
+
+fn fixture_dir_v4() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden-v4")
 }
 
 #[test]
@@ -52,7 +58,39 @@ fn committed_v2_dump_still_loads_verifies_and_replays() {
     assert!(replay.all_match(), "{:?}", replay.divergences());
 }
 
-/// Writes the fixture. Run manually (once, or after an *intentional*
+#[test]
+fn committed_v4_dump_still_loads_verifies_and_replays() {
+    let dir = fixture_dir_v4();
+    assert!(
+        dir.join("manifest.bnd").exists(),
+        "fixture missing at {} — run `cargo test --test golden_dump -- \
+         --ignored regenerate_golden_fixture_v4` to create it",
+        dir.display()
+    );
+
+    let report = verify_dump(&dir).expect("golden v4 dump verifies");
+    assert!(
+        report.checkpoints >= 4,
+        "checkpoints = {}",
+        report.checkpoints
+    );
+    assert_eq!(report.records, report.records_decoded);
+    assert!(report.images >= 1, "v4 dumps embed program images");
+
+    let dump = CrashDump::load(&dir).expect("golden v4 dump loads");
+    assert_eq!(dump.manifest.version, DUMP_VERSION_V4);
+    assert_eq!(dump.manifest.workload, GOLDEN_SPEC);
+    assert!(dump.is_self_contained());
+
+    // v4 dumps are self-contained: the embedded image replays the digests
+    // recorded in the committed manifest, no workload registry needed.
+    let replay = dump
+        .replay(|_: ThreadId| None)
+        .expect("golden dump replays");
+    assert!(replay.all_match(), "{:?}", replay.divergences());
+}
+
+/// Writes the v2 fixture. Run manually (once, or after an *intentional*
 /// format-v2 change, which should be impossible — v2 is frozen):
 ///
 /// ```text
@@ -61,8 +99,22 @@ fn committed_v2_dump_still_loads_verifies_and_replays() {
 #[test]
 #[ignore = "writes the committed fixture; run manually"]
 fn regenerate_golden_fixture() {
+    regenerate(DumpFormat::V2, &fixture_dir());
+}
+
+/// Writes the v4 fixture. Same rules as the v2 one: v4 bytes are frozen.
+///
+/// ```text
+/// cargo test --test golden_dump -- --ignored regenerate_golden_fixture_v4
+/// ```
+#[test]
+#[ignore = "writes the committed fixture; run manually"]
+fn regenerate_golden_fixture_v4() {
+    regenerate(DumpFormat::V4, &fixture_dir_v4());
+}
+
+fn regenerate(format: DumpFormat, dir: &std::path::Path) {
     use bugnet::sim::MachineBuilder;
-    let dir = fixture_dir();
     let workload = registry::resolve(GOLDEN_SPEC).unwrap();
     let mut machine = MachineBuilder::new()
         .bugnet(BugNetConfig::default().with_checkpoint_interval(GOLDEN_INTERVAL))
@@ -71,15 +123,15 @@ fn regenerate_golden_fixture() {
     machine.run_to_completion();
     let manifest = machine
         .write_crash_dump_with(
-            &dir,
+            dir,
             &DumpOptions {
-                format: DumpFormat::V2,
+                format,
                 ..DumpOptions::default()
             },
         )
         .unwrap();
     println!(
-        "wrote golden v2 fixture to {}: {} checkpoint(s)",
+        "wrote golden {format:?} fixture to {}: {} checkpoint(s)",
         dir.display(),
         manifest.total_checkpoints()
     );
