@@ -20,6 +20,9 @@
 //! the harness measures them as a same-machine A/B fraction, so no
 //! baseline comparison is needed — instrumentation that costs more than
 //! the ceiling of recorder throughput fails CI on any box.
+//! `trace_overhead_frac` has its own ceiling (`--max-trace-overhead`,
+//! default 0.03) so the tracing tax can be tightened or relaxed
+//! independently of telemetry's.
 //!
 //! The columnar transform ratio (`*_columnar_compression_ratio`) is gated
 //! against an absolute FLOOR (`--min-columnar-ratio`, default 1.5): the
@@ -34,7 +37,7 @@
 //! cargo run --release -p bugnet_bench --bin bench_check -- \
 //!     --baseline BENCH_baseline.json --current current.json \
 //!     [--tolerance 2.5] [--min-efficiency 0.5] [--max-overhead 0.03] \
-//!     [--min-columnar-ratio 1.5]
+//!     [--max-trace-overhead 0.03] [--min-columnar-ratio 1.5]
 //! ```
 
 use std::env;
@@ -103,8 +106,15 @@ fn is_efficiency_metric(key: &str) -> bool {
 
 /// Overhead metrics (`*_overhead_frac`) are same-machine A/B fractions
 /// (lower is better), gated against an absolute ceiling in the CURRENT run.
+/// The trace fraction is carved out into its own pass so its ceiling can be
+/// set independently.
 fn is_overhead_metric(key: &str) -> bool {
-    key.ends_with("_overhead_frac")
+    key.ends_with("_overhead_frac") && !is_trace_overhead_metric(key)
+}
+
+/// The tracing self-overhead fraction, gated by `--max-trace-overhead`.
+fn is_trace_overhead_metric(key: &str) -> bool {
+    key == "trace_overhead_frac"
 }
 
 fn main() -> ExitCode {
@@ -114,6 +124,7 @@ fn main() -> ExitCode {
     let mut tolerance = 2.5f64;
     let mut min_efficiency = 0.5f64;
     let mut max_overhead = 0.03f64;
+    let mut max_trace_overhead = 0.03f64;
     let mut min_columnar_ratio = 1.5f64;
     let mut i = 0;
     while i < args.len() {
@@ -156,6 +167,16 @@ fn main() -> ExitCode {
                 }
                 i += 2;
             }
+            "--max-trace-overhead" if i + 1 < args.len() => {
+                match args[i + 1].parse::<f64>() {
+                    Ok(m) if (0.0..=1.0).contains(&m) => max_trace_overhead = m,
+                    _ => {
+                        eprintln!("bench_check: --max-trace-overhead must be in [0.0, 1.0]");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
             "--min-columnar-ratio" if i + 1 < args.len() => {
                 match args[i + 1].parse::<f64>() {
                     Ok(m) if m >= 1.0 => min_columnar_ratio = m,
@@ -171,7 +192,7 @@ fn main() -> ExitCode {
                     "bench_check: unexpected argument `{other}`\n\
                      usage: bench_check --baseline <FILE> --current <FILE> \
                      [--tolerance <X>] [--min-efficiency <E>] [--max-overhead <O>] \
-                     [--min-columnar-ratio <R>]"
+                     [--max-trace-overhead <O>] [--min-columnar-ratio <R>]"
                 );
                 return ExitCode::from(2);
             }
@@ -266,6 +287,29 @@ fn main() -> ExitCode {
             regressions += 1;
         }
     }
+    // Same ceiling shape for the tracing self-overhead fraction, under its
+    // own `--max-trace-overhead` knob.
+    for (key, cur) in current.iter().filter(|(k, _)| is_trace_overhead_metric(k)) {
+        compared += 1;
+        let base = baseline
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, b)| format!("{b:>16.4}"))
+            .unwrap_or_else(|| format!("{:>16}", "-"));
+        let verdict = if *cur > max_trace_overhead {
+            regressions += 1;
+            "ABOVE CEILING"
+        } else {
+            "ok"
+        };
+        println!("{key:<34} {base} {cur:>16.4} {max_trace_overhead:>8.2}  {verdict}");
+    }
+    for (key, base) in baseline.iter().filter(|(k, _)| is_trace_overhead_metric(k)) {
+        if !current.iter().any(|(k, _)| k == key) {
+            println!("{key:<34} {base:>16.4} {:>16} {:>8}  MISSING", "-", "-");
+            regressions += 1;
+        }
+    }
     // Absolute-floor pass for the deterministic columnar transform ratios:
     // the CURRENT run must clear the floor outright, and none recorded in
     // the baseline may disappear.
@@ -298,15 +342,17 @@ fn main() -> ExitCode {
         eprintln!(
             "bench_check: {regressions} metric(s) regressed beyond {tolerance}x, \
              fell below the {min_efficiency} efficiency or {min_columnar_ratio} \
-             columnar-ratio floors, exceeded the {max_overhead} overhead \
-             ceiling, or went missing vs {baseline_path}"
+             columnar-ratio floors, exceeded the {max_overhead} overhead or \
+             {max_trace_overhead} trace-overhead ceilings, or went missing \
+             vs {baseline_path}"
         );
         return ExitCode::from(1);
     }
     println!(
         "bench_check: all {compared} gated metrics pass \
          ({tolerance}x tolerance, {min_efficiency} efficiency floor, \
-         {max_overhead} overhead ceiling, {min_columnar_ratio} columnar-ratio floor)"
+         {max_overhead} overhead ceiling, {max_trace_overhead} trace-overhead \
+         ceiling, {min_columnar_ratio} columnar-ratio floor)"
     );
     ExitCode::SUCCESS
 }

@@ -65,6 +65,11 @@
 //!   fraction is gated by `bench_check` at an absolute ceiling
 //!   (`--max-overhead`, default 0.03): always-on instrumentation that
 //!   costs more than 3% of recorder throughput fails CI.
+//! * `recorder_traced_loads_per_sec` / `trace_overhead_frac` — the same
+//!   A/B comparison with a `bugnet_trace` session attached instead of a
+//!   telemetry registry (the recorder emits one span per sealed interval).
+//!   Gated separately by `bench_check --max-trace-overhead` (default
+//!   0.03): opt-in tracing that taxes the recording hot path fails CI.
 
 use std::time::{Duration, Instant};
 
@@ -77,6 +82,7 @@ use bugnet_core::recorder::{LogStore, RecorderStats, ThreadRecorder, ThreadStore
 use bugnet_core::{Replayer, ValueDictionary};
 use bugnet_sim::{Machine, MachineBuilder};
 use bugnet_telemetry::{Histogram, MetricValue, Registry};
+use bugnet_trace::TraceSession;
 use bugnet_types::{Addr, BugNetConfig, ProcessId, SplitMix64, ThreadId, Timestamp, Word};
 use bugnet_workloads::spec::SpecProfile;
 
@@ -121,21 +127,25 @@ fn load_stream(len: usize) -> Vec<(Addr, Word, bool)> {
 
 /// Drives one recorder over a load stream, returning the finished FLLs.
 fn record_stream(loads: &[(Addr, Word, bool)], interval: u64, thread: u32) -> Vec<FirstLoadLog> {
-    record_stream_with(loads, interval, thread, None)
+    record_stream_with(loads, interval, thread, None, None)
 }
 
-/// [`record_stream`] with an optional telemetry registry attached — the
-/// instrumented arm of the self-overhead benchmark.
+/// [`record_stream`] with an optional telemetry registry and/or trace
+/// session attached — the instrumented arms of the self-overhead benchmarks.
 fn record_stream_with(
     loads: &[(Addr, Word, bool)],
     interval: u64,
     thread: u32,
     telemetry: Option<&Registry>,
+    trace: Option<&TraceSession>,
 ) -> Vec<FirstLoadLog> {
     let cfg = BugNetConfig::default().with_checkpoint_interval(interval);
     let mut recorder = ThreadRecorder::new(cfg, ProcessId(1), ThreadId(thread));
     if let Some(registry) = telemetry {
         recorder.attach_telemetry(RecorderStats::register(registry));
+    }
+    if let Some(session) = trace {
+        recorder.attach_trace(session.thread("bench-recorder"));
     }
     let mut flls = Vec::new();
     recorder.begin_interval(Default::default(), Timestamp(0));
@@ -511,7 +521,7 @@ fn bench_telemetry_overhead(loads: &[(Addr, Word, bool)], interval: u64) -> Vec<
         let (flls, secs) = time(|| record_stream(loads, interval, 0));
         assert!(!flls.is_empty());
         plain_best = plain_best.min(secs);
-        let (flls, secs) = time(|| record_stream_with(loads, interval, 0, Some(&registry)));
+        let (flls, secs) = time(|| record_stream_with(loads, interval, 0, Some(&registry), None));
         assert!(!flls.is_empty());
         instrumented_best = instrumented_best.min(secs);
     }
@@ -533,6 +543,44 @@ fn bench_telemetry_overhead(loads: &[(Addr, Word, bool)], interval: u64) -> Vec<
         Metric {
             name: "telemetry_overhead_frac",
             value: (1.0 - instrumented_rate / plain_rate).max(0.0),
+        },
+    ]
+}
+
+/// Trace self-overhead section: the recorder microbench with and without a
+/// [`TraceSession`] attached, best-of-[`OVERHEAD_REPS`] each — the same A/B
+/// shape as [`bench_telemetry_overhead`]. The recorder emits one span per
+/// sealed interval into a lock-free per-thread ring, so the per-load hot
+/// path is untouched and the fraction should sit near zero; `bench_check
+/// --max-trace-overhead` (0.03) enforces it.
+fn bench_trace_overhead(loads: &[(Addr, Word, bool)], interval: u64) -> Vec<Metric> {
+    let session = TraceSession::with_capacity("bench-trace-overhead", 1 << 12);
+    let mut plain_best = f64::INFINITY;
+    let mut traced_best = f64::INFINITY;
+    for _ in 0..OVERHEAD_REPS {
+        let (flls, secs) = time(|| record_stream(loads, interval, 0));
+        assert!(!flls.is_empty());
+        plain_best = plain_best.min(secs);
+        let (flls, secs) = time(|| record_stream_with(loads, interval, 0, None, Some(&session)));
+        assert!(!flls.is_empty());
+        traced_best = traced_best.min(secs);
+    }
+    // The traced arm must actually have traced: every closed interval of
+    // every repetition emitted a span.
+    assert!(
+        session.emitted_events() > 0,
+        "traced arm emitted no events — attach_trace wiring broken"
+    );
+    let plain_rate = loads.len() as f64 / plain_best;
+    let traced_rate = loads.len() as f64 / traced_best;
+    vec![
+        Metric {
+            name: "recorder_traced_loads_per_sec",
+            value: traced_rate,
+        },
+        Metric {
+            name: "trace_overhead_frac",
+            value: (1.0 - traced_rate / plain_rate).max(0.0),
         },
     ]
 }
@@ -582,6 +630,7 @@ fn main() {
     let (recorder_metrics, records) = bench_recorder(&loads, interval);
     metrics.extend(recorder_metrics);
     metrics.extend(bench_telemetry_overhead(&loads, interval));
+    metrics.extend(bench_trace_overhead(&loads, interval));
     metrics.extend(bench_mt_sweep(
         opts.pick(500_000, 5_000_000) as usize,
         interval,

@@ -24,8 +24,10 @@ use std::sync::Arc;
 
 use bugnet_compress::CodecId;
 use bugnet_core::dump::{CrashDump, DumpFormat, DumpManifest, DumpOptions, ReplayStats};
+use bugnet_core::profile::{profile_dump, ProfileOptions};
 use bugnet_sim::{MachineBuilder, RecordingOptions};
-use bugnet_telemetry::Registry;
+use bugnet_telemetry::{Registry, Snapshot};
+use bugnet_trace::TraceSession;
 use bugnet_types::{BugNetConfig, ByteSize, CheckpointId, ThreadId};
 use bugnet_workloads::registry;
 
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
         "fsck" => cmd_fsck(&mut args),
         "replay" => cmd_replay(&mut args),
         "bisect" => cmd_bisect(&mut args),
+        "profile" => cmd_profile(&mut args),
         "stats" => cmd_stats(&mut args),
         "workloads" => cmd_workloads(&mut args),
         "help" | "--help" | "-h" => {
@@ -73,7 +76,7 @@ USAGE:
                 [--max-instructions <N>] [--codec <identity|lz>]
                 [--flush-workers <N>] [--shards <N>]
                 [--format <v2|v3|v4|v5>] [--no-embed-image]
-                [--metrics-json <FILE>]
+                [--metrics-json <FILE>] [--trace-out <FILE>]
         Record a workload on the simulated machine and write the retained
         log window to <DIR> as a crash-dump directory. Faults dump
         automatically at crash time, exactly like the paper's OS trigger.
@@ -93,6 +96,10 @@ USAGE:
         snapshot to <FILE> as JSON and embeds it in the dump manifest
         (readable later with `bugnet stats <DIR>`). Telemetry makes
         dump bytes timing-dependent, so it is off by default.
+        --trace-out records a span/instant timeline of the run (recorder
+        intervals, interval seals, flush workers, dump i/o) and writes it
+        as Chrome trace-event JSON, loadable at ui.perfetto.dev. Tracing
+        never changes dump bytes.
 
     bugnet info <DIR>
         Decode the manifest and print per-thread, per-checkpoint log
@@ -113,7 +120,7 @@ USAGE:
         but salvageable dump exits 1 with the loss report.
 
     bugnet replay <DIR> [--at <N>] [--workload <SPEC>] [--salvage]
-                  [--metrics-json <FILE>]
+                  [--metrics-json <FILE>] [--trace-out <FILE>]
         Replay every retained interval and compare against the recorded
         execution digests. Self-contained (v3+) dumps replay from their
         embedded program images; v1/v2 dumps rebuild the programs from the
@@ -125,7 +132,8 @@ USAGE:
         and replays up to the last fully-intact interval of each thread
         instead of refusing to load. --metrics-json records replay
         telemetry (instructions, interval latency, digest comparisons)
-        and writes the snapshot to <FILE> as JSON.
+        and writes the snapshot to <FILE> as JSON. --trace-out writes a
+        per-interval replay timeline as Chrome trace-event JSON.
 
     bugnet bisect <DIR> [--workload <SPEC>]
         Binary-search each thread's retained window for the first interval
@@ -136,6 +144,19 @@ USAGE:
         the answer is always the true first divergence. Exits 0 when every
         probed interval matches.
 
+    bugnet profile <DIR> [--top <N>] [--sample-every <N>]
+                   [--workload <SPEC>] [--trace-out <FILE>]
+        Re-execute the dump through the interpreter's sampling hook and
+        print where the recorded execution spent its instructions: a
+        hot-PC histogram symbolized against the embedded program image,
+        a per-interval breakdown (instructions, logged vs regenerated
+        loads, dictionary hits, race edges) and the MRL race timeline.
+        --top bounds the hot-PC table (default 20); --sample-every N
+        samples every Nth instruction (default 1 = exact). --trace-out
+        additionally writes the profile as Chrome trace-event JSON on a
+        virtual timebase (one instruction = one microsecond), so
+        Perfetto shows the recorded execution itself.
+
     bugnet stats <DIR> [--format <text|json|prom>]
         Print the telemetry snapshot embedded in the dump manifest — the
         run metrics of the recording that produced the dump (recorder
@@ -143,6 +164,12 @@ USAGE:
         timings). Dumps record one when written with --metrics-json;
         others exit 1. --format selects plain text (default), JSON, or
         Prometheus text exposition.
+
+    bugnet stats --diff <EARLIER.json> <LATER.json> [--format <text|json|prom>]
+        Diff two metric snapshots written by --metrics-json: counters
+        and histogram moments subtract (later minus earlier, saturating
+        at zero), gauges keep their later value. Use it to isolate what
+        one phase of a run contributed.
 
     bugnet workloads
         List the workload spec strings `dump` accepts.
@@ -280,6 +307,7 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
     };
     let embed_image = !args.flag("--no-embed-image");
     let metrics_json = args.option("--metrics-json")?.map(PathBuf::from);
+    let trace_out = args.option("--trace-out")?.map(PathBuf::from);
     args.finish()?;
 
     let workload = registry::resolve(&spec).map_err(CliError::usage)?;
@@ -287,6 +315,9 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         .with_checkpoint_interval(interval)
         .with_dictionary_entries(dict);
     let telemetry = metrics_json.as_ref().map(|_| Arc::new(Registry::default()));
+    let trace = trace_out
+        .as_ref()
+        .map(|_| Arc::new(TraceSession::with_capacity("bugnet-record", 1 << 16)));
     // One struct per concern, mirrored straight into the library API: how
     // the run records, and how the dump is written.
     let recording = RecordingOptions {
@@ -299,6 +330,7 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
         dump_on_crash: (format == DumpFormat::V5).then(|| out.clone()),
         dump_io: None,
         telemetry: telemetry.clone(),
+        trace: trace.clone(),
     };
     let dump_opts = DumpOptions {
         format,
@@ -377,6 +409,9 @@ fn cmd_dump(args: &mut Args) -> Result<(), CliError> {
     if let (Some(path), Some(registry)) = (&metrics_json, &telemetry) {
         write_metrics_json(path, registry.as_ref())?;
     }
+    if let (Some(path), Some(session)) = (&trace_out, &trace) {
+        write_trace_json(path, session)?;
+    }
     Ok(())
 }
 
@@ -389,6 +424,21 @@ fn write_metrics_json(path: &Path, registry: &Registry) -> Result<(), CliError> 
         "telemetry: {} metric(s) written to {}",
         snapshot.entries.len(),
         path.display()
+    );
+    Ok(())
+}
+
+/// Writes a trace session to `path` as Chrome trace-event JSON and says so.
+fn write_trace_json(path: &Path, session: &TraceSession) -> Result<(), CliError> {
+    session
+        .write_chrome_json(path)
+        .map_err(|e| CliError::data(format!("cannot write {}: {e}", path.display())))?;
+    println!(
+        "trace: {} event(s) on {} track(s) written to {} ({} dropped) — load at ui.perfetto.dev",
+        session.emitted_events(),
+        session.thread_count(),
+        path.display(),
+        session.dropped_events(),
     );
     Ok(())
 }
@@ -485,6 +535,7 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
     let override_spec = args.option("--workload")?;
     let salvage = args.flag("--salvage");
     let metrics_json = args.option("--metrics-json")?.map(PathBuf::from);
+    let trace_out = args.option("--trace-out")?.map(PathBuf::from);
     args.finish()?;
     if at.is_some() && override_spec.is_some() {
         return Err(CliError::usage(
@@ -497,8 +548,17 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
             "--at does not record replay telemetry; drop --metrics-json",
         ));
     }
+    if at.is_some() && trace_out.is_some() {
+        return Err(CliError::usage(
+            "--at does not record a replay timeline; drop --trace-out",
+        ));
+    }
     let telemetry = metrics_json.as_ref().map(|_| Registry::default());
     let stats = telemetry.as_ref().map(ReplayStats::register);
+    let trace = trace_out
+        .as_ref()
+        .map(|_| TraceSession::with_capacity("bugnet-replay", 1 << 16));
+    let mut tracer = trace.as_ref().map(|s| s.thread("replay"));
     let dump = if salvage {
         let salvaged = CrashDump::load_salvage(&dir)
             .map_err(|e| CliError::data(format!("unsalvageable: {e}")))?;
@@ -554,18 +614,24 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
                 let programs: Vec<_> = workload.threads.iter().map(|t| t.program.clone()).collect();
                 println!("replaying against override workload `{spec}`");
                 let program_of = |thread: ThreadId| programs.get(thread.0 as usize).cloned();
-                match &stats {
-                    Some(s) => dump.replay_with_observed(program_of, s),
-                    None => dump.replay_with(program_of),
+                match tracer.as_mut() {
+                    Some(t) => dump.replay_with_traced(program_of, stats.as_ref(), t),
+                    None => match &stats {
+                        Some(s) => dump.replay_with_observed(program_of, s),
+                        None => dump.replay_with(program_of),
+                    },
                 }
             }
             // Self-contained dump: every program comes from the checksummed
             // dump itself, no workload registry involved.
             None if dump.is_self_contained() => {
                 println!("replaying from embedded program images (self-contained dump)");
-                match &stats {
-                    Some(s) => dump.replay_observed(|_| None, s),
-                    None => dump.replay(|_| None),
+                match tracer.as_mut() {
+                    Some(t) => dump.replay_traced(|_| None, stats.as_ref(), t),
+                    None => match &stats {
+                        Some(s) => dump.replay_observed(|_| None, s),
+                        None => dump.replay(|_| None),
+                    },
                 }
             }
             // Not (fully) self-contained: v1/v2 dump, or image embedding was
@@ -581,9 +647,12 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
                             workload.threads.iter().map(|t| t.program.clone()).collect();
                         println!("replaying from workload spec `{spec}` (registry fallback)");
                         let fallback = |thread: ThreadId| programs.get(thread.0 as usize).cloned();
-                        match &stats {
-                            Some(s) => dump.replay_observed(fallback, s),
-                            None => dump.replay(fallback),
+                        match tracer.as_mut() {
+                            Some(t) => dump.replay_traced(fallback, stats.as_ref(), t),
+                            None => match &stats {
+                                Some(s) => dump.replay_observed(fallback, s),
+                                None => dump.replay(fallback),
+                            },
                         }
                     }
                     // The spec is unresolvable but some threads do carry their
@@ -594,9 +663,12 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
                             "bugnet: warning: workload `{spec}` cannot be rebuilt ({e}); \
                          replaying the {embedded} thread(s) with embedded images only"
                         );
-                        match &stats {
-                            Some(s) => dump.replay_observed(|_| None, s),
-                            None => dump.replay(|_| None),
+                        match tracer.as_mut() {
+                            Some(t) => dump.replay_traced(|_| None, stats.as_ref(), t),
+                            None => match &stats {
+                                Some(s) => dump.replay_observed(|_| None, s),
+                                None => dump.replay(|_| None),
+                            },
                         }
                     }
                     Err(e) => {
@@ -619,6 +691,9 @@ fn cmd_replay(args: &mut Args) -> Result<(), CliError> {
     report::print_replay(&dump.manifest, &report);
     if let (Some(path), Some(registry)) = (&metrics_json, &telemetry) {
         write_metrics_json(path, registry)?;
+    }
+    if let (Some(path), Some(session)) = (&trace_out, &trace) {
+        write_trace_json(path, session)?;
     }
     if report.all_match() {
         Ok(())
@@ -672,7 +747,61 @@ fn cmd_bisect(args: &mut Args) -> Result<(), CliError> {
     }
 }
 
+fn cmd_profile(args: &mut Args) -> Result<(), CliError> {
+    let dir = dump_dir_arg(args)?;
+    let top = args.option_u64("--top")?.unwrap_or(20) as usize;
+    let sample_every = args.option_u64("--sample-every")?.unwrap_or(1);
+    let override_spec = args.option("--workload")?;
+    let trace_out = args.option("--trace-out")?.map(PathBuf::from);
+    args.finish()?;
+    let dump = CrashDump::load(&dir).map_err(|e| CliError::data(e.to_string()))?;
+    // Program resolution mirrors replay: embedded images first (inside
+    // `profile_dump`), the workload registry for threads without one.
+    let programs: Vec<_> = match &override_spec {
+        Some(spec) => {
+            if !registry::specs_equivalent(spec, &dump.manifest.workload) {
+                eprintln!(
+                    "bugnet: warning: dump was recorded from workload `{}` but \
+                     --workload overrides the fallback with `{spec}`",
+                    dump.manifest.workload
+                );
+            }
+            registry::resolve(spec)
+                .map_err(|e| CliError::data(format!("cannot rebuild workload `{spec}`: {e}")))?
+                .threads
+                .iter()
+                .map(|t| t.program.clone())
+                .collect()
+        }
+        None => registry::resolve(&dump.manifest.workload)
+            .map(|w| w.threads.iter().map(|t| t.program.clone()).collect())
+            .unwrap_or_default(),
+    };
+    let options = ProfileOptions { sample_every };
+    let profile = profile_dump(
+        &dump,
+        |thread| programs.get(thread.0 as usize).cloned(),
+        &options,
+    )
+    .map_err(|e| CliError::data(format!("profile failed: {e}")))?;
+    println!("profiling {}:", dir.display());
+    print!("{}", profile.render_text(top));
+    if let Some(path) = &trace_out {
+        // Exact-fit session: the profile is materialized, so the ring can
+        // be sized to never drop an event.
+        let events = profile.intervals.len() + profile.races.len() + 64;
+        let session = TraceSession::with_capacity("bugnet-profile", events.next_power_of_two());
+        profile.write_trace(&session);
+        write_trace_json(path, &session)?;
+    }
+    Ok(())
+}
+
 fn cmd_stats(args: &mut Args) -> Result<(), CliError> {
+    let diff = args.option("--diff")?.map(PathBuf::from);
+    if let Some(earlier_path) = diff {
+        return cmd_stats_diff(args, &earlier_path);
+    }
     let dir = dump_dir_arg(args)?;
     let format = args.option("--format")?.unwrap_or_else(|| "text".into());
     args.finish()?;
@@ -688,6 +817,38 @@ fn cmd_stats(args: &mut Args) -> Result<(), CliError> {
         "json" => println!("{}", snapshot.to_json()),
         "prom" => print!("{}", snapshot.to_prometheus()),
         "text" => report::print_stats(&dir, &manifest, snapshot),
+        other => {
+            return Err(CliError::usage(format!(
+                "--format expects `text`, `json` or `prom`, got `{other}`"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// `bugnet stats --diff <EARLIER.json> <LATER.json>`: load two snapshots
+/// written by `--metrics-json` and print later-minus-earlier.
+fn cmd_stats_diff(args: &mut Args, earlier_path: &Path) -> Result<(), CliError> {
+    let later_path = args
+        .next_positional()
+        .map(PathBuf::from)
+        .ok_or_else(|| CliError::usage("stats --diff <EARLIER.json> needs a <LATER.json> too"))?;
+    let format = args.option("--format")?.unwrap_or_else(|| "text".into());
+    args.finish()?;
+    let read = |path: &Path| -> Result<Snapshot, CliError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::data(format!("cannot read {}: {e}", path.display())))?;
+        Snapshot::from_json(&text).map_err(|e| {
+            CliError::data(format!("{} is not a metrics snapshot: {e}", path.display()))
+        })
+    };
+    let earlier = read(earlier_path)?;
+    let later = read(&later_path)?;
+    let delta = later.delta(&earlier);
+    match format.as_str() {
+        "json" => println!("{}", delta.to_json()),
+        "prom" => print!("{}", delta.to_prometheus()),
+        "text" => report::print_stats_diff(earlier_path, &later_path, &delta),
         other => {
             return Err(CliError::usage(format!(
                 "--format expects `text`, `json` or `prom`, got `{other}`"

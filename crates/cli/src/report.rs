@@ -222,6 +222,32 @@ pub fn print_stats(dir: &Path, manifest: &DumpManifest, snapshot: &Snapshot) {
     }
 }
 
+/// Prints the later-minus-earlier delta of two metric snapshots. JSON
+/// snapshots store histograms as precomputed moments (no buckets), so a
+/// diffed histogram reports count/sum-derived figures only.
+pub fn print_stats_diff(earlier: &Path, later: &Path, delta: &Snapshot) {
+    println!(
+        "telemetry delta {} -> {} ({} metric(s))",
+        earlier.display(),
+        later.display(),
+        delta.entries.len()
+    );
+    for (name, value) in &delta.entries {
+        match value {
+            MetricValue::Counter(v) => println!("  {name:<34} counter    +{v}"),
+            MetricValue::Gauge { value, max } => {
+                println!("  {name:<34} gauge      {value} (high watermark {max}, later value)");
+            }
+            MetricValue::Histogram(h) => println!(
+                "  {name:<34} histogram  n=+{} sum=+{} mean={:.0}",
+                h.count,
+                h.sum,
+                h.mean(),
+            ),
+        }
+    }
+}
+
 /// Prints the `bugnet fsck` salvage report: per-file intact/lost frame
 /// counts, the first corrupt offset and the typed rejection cause, plus the
 /// joint interval and image totals.

@@ -1985,6 +1985,7 @@ impl CrashDump {
             |t| t.image.clone().or_else(|| fallback(t.thread)),
             None,
             None,
+            None,
         )
     }
 
@@ -2006,6 +2007,7 @@ impl CrashDump {
             |t| t.image.clone().or_else(|| fallback(t.thread)),
             None,
             Some(from),
+            None,
         )
     }
 
@@ -2097,7 +2099,7 @@ impl CrashDump {
         &self,
         mut program_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
     ) -> Result<DumpReplayReport, ReplayError> {
-        self.replay_inner(|t| program_of(t.thread), None, None)
+        self.replay_inner(|t| program_of(t.thread), None, None, None)
     }
 
     /// Like [`replay_with`](CrashDump::replay_with), but also feeds replay
@@ -2111,7 +2113,7 @@ impl CrashDump {
         mut program_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
         stats: &ReplayStats,
     ) -> Result<DumpReplayReport, ReplayError> {
-        self.replay_inner(|t| program_of(t.thread), Some(stats), None)
+        self.replay_inner(|t| program_of(t.thread), Some(stats), None, None)
     }
 
     /// Like [`replay`](CrashDump::replay), but also feeds replay telemetry
@@ -2130,7 +2132,48 @@ impl CrashDump {
             |t| t.image.clone().or_else(|| fallback(t.thread)),
             Some(stats),
             None,
+            None,
         )
+    }
+
+    /// Like [`replay`](CrashDump::replay), but emits one `interval` span
+    /// (category `replay`, instruction-count arg) per replayed interval
+    /// into `tracer`, plus `digest_mismatch` instants where the replay
+    /// diverges — the timeline twin of
+    /// [`replay_observed`](CrashDump::replay_observed)'s aggregates.
+    /// `stats` may be supplied as well; the two observers are independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ReplayError`] from an unreplayable interval.
+    pub fn replay_traced(
+        &self,
+        mut fallback: impl FnMut(ThreadId) -> Option<Arc<Program>>,
+        stats: Option<&ReplayStats>,
+        tracer: &mut bugnet_trace::ThreadTracer,
+    ) -> Result<DumpReplayReport, ReplayError> {
+        self.replay_inner(
+            |t| t.image.clone().or_else(|| fallback(t.thread)),
+            stats,
+            None,
+            Some(tracer),
+        )
+    }
+
+    /// Like [`replay_with`](CrashDump::replay_with), but emits timeline
+    /// events into `tracer` as [`replay_traced`](CrashDump::replay_traced)
+    /// does.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ReplayError`] from an unreplayable interval.
+    pub fn replay_with_traced(
+        &self,
+        mut program_of: impl FnMut(ThreadId) -> Option<Arc<Program>>,
+        stats: Option<&ReplayStats>,
+        tracer: &mut bugnet_trace::ThreadTracer,
+    ) -> Result<DumpReplayReport, ReplayError> {
+        self.replay_inner(|t| program_of(t.thread), stats, None, Some(tracer))
     }
 
     fn replay_inner(
@@ -2138,6 +2181,7 @@ impl CrashDump {
         mut resolve: impl FnMut(&ThreadDump) -> Option<Arc<Program>>,
         stats: Option<&ReplayStats>,
         from: Option<CheckpointId>,
+        mut tracer: Option<&mut bugnet_trace::ThreadTracer>,
     ) -> Result<DumpReplayReport, ReplayError> {
         let mut report = DumpReplayReport::default();
         for t in &self.threads {
@@ -2151,6 +2195,7 @@ impl CrashDump {
                     continue;
                 }
                 let started = stats.map(|_| std::time::Instant::now());
+                let trace_start = tracer.as_ref().map(|tr| tr.now());
                 let replayed = replayer.replay_interval(&cp.fll)?;
                 let fault_reproduced = cp.fll.fault.map(|expected| {
                     replayed
@@ -2168,6 +2213,18 @@ impl CrashDump {
                         stats.digest_matches.inc();
                     } else {
                         stats.digest_mismatches.inc();
+                    }
+                }
+                if let (Some(tr), Some(start)) = (tracer.as_deref_mut(), trace_start) {
+                    tr.span_since_arg(
+                        "interval",
+                        "replay",
+                        start,
+                        "instructions",
+                        replayed.instructions,
+                    );
+                    if !digest_match {
+                        tr.instant("digest_mismatch", "replay");
                     }
                 }
                 report.intervals.push(DumpIntervalReplay {

@@ -271,6 +271,86 @@ impl DumpIo for InstrumentedIo<'_> {
     }
 }
 
+/// The span name an operation traces under (its [`IoOp`] display name,
+/// as a static string for [`bugnet_trace::TraceEvent`]).
+fn op_span_name(op: IoOp) -> &'static str {
+    match op {
+        IoOp::CreateDir => "create_dir",
+        IoOp::WriteFile => "write",
+        IoOp::SyncDir => "sync",
+        IoOp::Rename => "rename",
+        IoOp::RemoveDir => "remove",
+        IoOp::ListDir => "list",
+        IoOp::Read => "read",
+    }
+}
+
+/// A [`DumpIo`] middleware emitting one timeline span (category `io`) per
+/// operation into a [`bugnet_trace::ThreadTracer`] — the trace twin of
+/// [`InstrumentedIo`], stackable with it (trace outside, stats inside, or
+/// either alone). Writes carry their byte count as a span argument.
+#[derive(Debug)]
+pub struct TracedIo<'a> {
+    inner: &'a mut dyn DumpIo,
+    tracer: bugnet_trace::ThreadTracer,
+}
+
+impl<'a> TracedIo<'a> {
+    /// Wraps `inner`, emitting spans into `tracer`.
+    pub fn new(inner: &'a mut dyn DumpIo, tracer: bugnet_trace::ThreadTracer) -> Self {
+        TracedIo { inner, tracer }
+    }
+
+    fn observe<T>(
+        &mut self,
+        op: IoOp,
+        arg: Option<u64>,
+        f: impl FnOnce(&mut dyn DumpIo) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let start = self.tracer.now();
+        let result = f(self.inner);
+        match arg {
+            Some(bytes) => {
+                self.tracer
+                    .span_since_arg(op_span_name(op), "io", start, "bytes", bytes);
+            }
+            None => self.tracer.span_since(op_span_name(op), "io", start),
+        }
+        if result.is_err() {
+            self.tracer.instant("io_error", "io");
+        }
+        result
+    }
+}
+
+impl DumpIo for TracedIo<'_> {
+    fn create_dir_all(&mut self, path: &Path) -> io::Result<()> {
+        self.observe(IoOp::CreateDir, None, |io| io.create_dir_all(path))
+    }
+
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.observe(IoOp::WriteFile, Some(bytes.len() as u64), |io| {
+            io.write_file(path, bytes)
+        })
+    }
+
+    fn sync_dir(&mut self, path: &Path) -> io::Result<()> {
+        self.observe(IoOp::SyncDir, None, |io| io.sync_dir(path))
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        self.observe(IoOp::Rename, None, |io| io.rename(from, to))
+    }
+
+    fn remove_dir_all(&mut self, path: &Path) -> io::Result<()> {
+        self.observe(IoOp::RemoveDir, None, |io| io.remove_dir_all(path))
+    }
+
+    fn list_dir(&mut self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.observe(IoOp::ListDir, None, |io| io.list_dir(path))
+    }
+}
+
 /// The real filesystem backend. Counts operations so tests can measure a
 /// write sequence's length before sweeping failures over every index.
 #[derive(Debug, Default)]

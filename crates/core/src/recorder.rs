@@ -27,6 +27,7 @@ use std::sync::Arc;
 use bugnet_compress::{encode_streams, streams_info, CodecId};
 use bugnet_cpu::ArchState;
 use bugnet_telemetry::{Counter, Gauge, Histogram, Registry};
+use bugnet_trace::{ThreadTracer, TraceSession};
 use bugnet_types::{
     Addr, BugNetConfig, ByteSize, CheckpointId, InstrCount, ProcessId, ThreadId, Timestamp, Word,
 };
@@ -276,6 +277,8 @@ struct IntervalState {
     instructions: u64,
     fault: Option<FaultRecord>,
     digest: ExecutionDigest,
+    /// Trace-clock time the interval opened (0 when tracing is off).
+    start_ns: u64,
 }
 
 /// Per-thread recording state machine.
@@ -295,6 +298,8 @@ pub struct ThreadRecorder {
     spare_dictionary: Option<ValueDictionary>,
     /// Telemetry sink, fed per-interval totals at `end_interval`.
     stats: Option<RecorderStats>,
+    /// Timeline sink, fed one span per interval at `end_interval`.
+    tracer: Option<ThreadTracer>,
 }
 
 impl ThreadRecorder {
@@ -311,6 +316,7 @@ impl ThreadRecorder {
             intervals_completed: 0,
             spare_dictionary: None,
             stats: None,
+            tracer: None,
         }
     }
 
@@ -320,6 +326,15 @@ impl ThreadRecorder {
     /// per-load hot path.
     pub fn attach_telemetry(&mut self, stats: RecorderStats) {
         self.stats = Some(stats);
+    }
+
+    /// Routes this recorder's timeline onto `tracer`: one `interval` span
+    /// (category `recorder`, instruction count attached) per closed interval
+    /// and a `fault` instant when an interval ends in a fault. Like
+    /// telemetry, events are emitted only at `end_interval` — the per-load
+    /// hot path is untouched.
+    pub fn attach_trace(&mut self, tracer: ThreadTracer) {
+        self.tracer = Some(tracer);
     }
 
     /// The thread this recorder belongs to.
@@ -409,6 +424,7 @@ impl ThreadRecorder {
             instructions: 0,
             fault: None,
             digest: ExecutionDigest::new(),
+            start_ns: self.tracer.as_ref().map(|t| t.now()).unwrap_or_default(),
         });
         checkpoint
     }
@@ -511,6 +527,19 @@ impl ThreadRecorder {
     ) -> Option<CheckpointLogs> {
         let mut state = self.current.take()?;
         state.digest.record_final_state(final_state);
+        if let Some(tracer) = &mut self.tracer {
+            // The one trace touch per interval, mirroring the telemetry batch.
+            tracer.span_since_arg(
+                "interval",
+                "recorder",
+                state.start_ns,
+                "instructions",
+                state.instructions,
+            );
+            if state.fault.is_some() {
+                tracer.instant("fault", "recorder");
+            }
+        }
         if let Some(stats) = &self.stats {
             // The one telemetry touch per interval: batched totals.
             stats.loads_seen.add(state.loads_executed);
@@ -619,6 +648,9 @@ pub struct ThreadStoreHandle {
     /// Cloned from the store at mint time; all handles share lock-free
     /// counters/histograms, so concurrent writers never contend here.
     stats: Option<StoreStats>,
+    /// Per-handle timeline track minted from the store's trace session:
+    /// `seal` spans and `handoff` lane-send spans (category `store`).
+    tracer: Option<ThreadTracer>,
 }
 
 impl ThreadStoreHandle {
@@ -636,10 +668,20 @@ impl ThreadStoreHandle {
     /// batch is handed to the store in one send.
     pub fn push(&mut self, logs: CheckpointLogs) {
         let codec = self.codec;
+        let trace_start = self.tracer.as_ref().map(|t| t.now());
         let sealed = {
             let _span = self.stats.as_ref().map(|s| s.seal_ns.start_span());
             SealedCheckpoint::seal_observed(logs, codec, self.stats.as_ref())
         };
+        if let (Some(tracer), Some(start)) = (&mut self.tracer, trace_start) {
+            tracer.span_since_arg(
+                "seal",
+                "store",
+                start,
+                "stored_bytes",
+                sealed.fll_stored_bytes() + sealed.mrl_stored_bytes(),
+            );
+        }
         self.push_sealed(sealed);
     }
 
@@ -668,7 +710,12 @@ impl ThreadStoreHandle {
             if let Some(stats) = &self.stats {
                 stats.handoff_batch_intervals.record(batch.len() as u64);
             }
+            let trace_start = self.tracer.as_ref().map(|t| t.now());
+            let intervals = batch.len() as u64;
             let _ = self.tx.send(batch);
+            if let (Some(tracer), Some(start)) = (&mut self.tracer, trace_start) {
+                tracer.span_since_arg("handoff", "store", start, "intervals", intervals);
+            }
         }
     }
 }
@@ -721,6 +768,12 @@ pub struct LogStore {
     total_mrl_bits: u64,
     /// Telemetry sink; cloned into every minted [`ThreadStoreHandle`].
     stats: Option<StoreStats>,
+    /// Trace session handles are minted from; kept so every
+    /// [`ThreadStoreHandle`] gets its own timeline track.
+    trace: Option<Arc<TraceSession>>,
+    /// The store's own track: serial-path `seal` spans and `reconcile`
+    /// spans (category `store`).
+    tracer: Option<ThreadTracer>,
 }
 
 impl LogStore {
@@ -754,6 +807,8 @@ impl LogStore {
             total_fll_bits: 0,
             total_mrl_bits: 0,
             stats: None,
+            trace: None,
+            tracer: None,
         }
     }
 
@@ -763,6 +818,16 @@ impl LogStore {
     /// copy the stats at mint time.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.stats = Some(StoreStats::register(registry, self.lanes.len()));
+    }
+
+    /// Routes this store's timeline onto `session`: the store's own track
+    /// carries serial-path `seal` and `reconcile` spans, and every
+    /// [`ThreadStoreHandle`] minted afterwards gets a `store-t<tid>` track
+    /// with its `seal`/`handoff` spans. Attach *before* minting handles —
+    /// like telemetry, handles capture their track at mint time.
+    pub fn attach_trace(&mut self, session: &Arc<TraceSession>) {
+        self.tracer = Some(session.thread("store"));
+        self.trace = Some(Arc::clone(session));
     }
 
     /// The back-end codec this store seals intervals with.
@@ -796,6 +861,10 @@ impl LogStore {
             tx: lane.tx.clone(),
             batch: Vec::new(),
             stats: self.stats.clone(),
+            tracer: self
+                .trace
+                .as_ref()
+                .map(|s| s.thread(format!("store-t{}", thread.0))),
         }
     }
 
@@ -810,6 +879,7 @@ impl LogStore {
     /// content, not of cross-thread arrival timing.
     pub fn reconcile(&mut self) -> usize {
         let started = self.stats.as_ref().map(|_| std::time::Instant::now());
+        let trace_start = self.tracer.as_ref().map(|t| t.now());
         let mut pending: Vec<SealedCheckpoint> = Vec::new();
         for (i, lane) in self.lanes.iter().enumerate() {
             let mut drained = 0u64;
@@ -836,6 +906,14 @@ impl LogStore {
                 stats.reconcile_ns.record_duration(started.elapsed());
             }
         }
+        // Only ingesting reconciles are timeline-worthy: the machine loop
+        // polls this every scheduling round, and a span per empty poll would
+        // drown the ring.
+        if ingested > 0 {
+            if let (Some(tracer), Some(start)) = (&mut self.tracer, trace_start) {
+                tracer.span_since_arg("reconcile", "store", start, "intervals", ingested as u64);
+            }
+        }
         ingested
     }
 
@@ -846,9 +924,19 @@ impl LogStore {
     pub fn push(&mut self, logs: CheckpointLogs) {
         let codec = self.codec;
         let started = self.stats.as_ref().map(|_| std::time::Instant::now());
+        let trace_start = self.tracer.as_ref().map(|t| t.now());
         let sealed = SealedCheckpoint::seal_observed(logs, codec, self.stats.as_ref());
         if let (Some(stats), Some(started)) = (&self.stats, started) {
             stats.seal_ns.record_duration(started.elapsed());
+        }
+        if let (Some(tracer), Some(start)) = (&mut self.tracer, trace_start) {
+            tracer.span_since_arg(
+                "seal",
+                "store",
+                start,
+                "stored_bytes",
+                sealed.fll_stored_bytes() + sealed.mrl_stored_bytes(),
+            );
         }
         self.push_sealed(sealed);
     }

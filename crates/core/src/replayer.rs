@@ -261,6 +261,31 @@ impl Replayer {
     /// Returns a [`ReplayError`] if the log is corrupt, the initial state is
     /// invalid, or the replay diverges from the recorded instruction count.
     pub fn replay_interval(&self, fll: &FirstLoadLog) -> Result<ReplayedInterval, ReplayError> {
+        self.replay_interval_inner(fll, None)
+    }
+
+    /// Replays one checkpoint interval like [`Replayer::replay_interval`],
+    /// handing the PC of every dispatched instruction (including the final
+    /// faulting one) to `hook`. This is the execution-sampling entry the
+    /// dump profiler uses to build hot-PC histograms; the replay result is
+    /// identical to the un-hooked variant.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Replayer::replay_interval`].
+    pub fn replay_interval_sampled(
+        &self,
+        fll: &FirstLoadLog,
+        hook: &mut dyn FnMut(Addr),
+    ) -> Result<ReplayedInterval, ReplayError> {
+        self.replay_interval_inner(fll, Some(hook))
+    }
+
+    fn replay_interval_inner(
+        &self,
+        fll: &FirstLoadLog,
+        mut hook: Option<&mut dyn FnMut(Addr)>,
+    ) -> Result<ReplayedInterval, ReplayError> {
         let mut cpu = Cpu::new(Arc::clone(&self.program));
         cpu.set_arch_state(&fll.header.arch)
             .map_err(ReplayError::BadInitialState)?;
@@ -298,7 +323,10 @@ impl Replayer {
         let mut committed = 0u64;
         while committed < fll.instructions {
             port.current_ic = committed;
-            let event = cpu.step(&mut port);
+            let event = match hook.as_deref_mut() {
+                Some(h) => cpu.step_hooked(&mut port, h),
+                None => cpu.step(&mut port),
+            };
             if let Some(err) = port.error.take() {
                 return Err(err);
             }
@@ -332,7 +360,11 @@ impl Replayer {
         // crashing instruction.
         let observed_fault = if fll.fault.is_some() {
             let pc_before = cpu.pc();
-            match cpu.step(&mut port) {
+            let event = match hook {
+                Some(h) => cpu.step_hooked(&mut port, h),
+                None => cpu.step(&mut port),
+            };
+            match event {
                 StepEvent::Faulted(fault) => Some((pc_before, fault)),
                 _ => None,
             }
@@ -532,6 +564,22 @@ mod tests {
         assert!(replayed.trace.iter().any(|op| op.is_store));
         // Trace is ordered by instruction count.
         assert!(replayed.trace.windows(2).all(|w| w[0].ic <= w[1].ic));
+    }
+
+    #[test]
+    fn sampled_replay_matches_plain_and_observes_every_pc() {
+        let program = array_walk_program();
+        let cfg = BugNetConfig::default();
+        let logs = record_one_interval(&program, &cfg, 1_000_000);
+        let replayer = Replayer::new(Arc::clone(&program));
+        let plain = replayer.replay_interval(&logs.fll).unwrap();
+        let mut pcs = Vec::new();
+        let sampled = replayer
+            .replay_interval_sampled(&logs.fll, &mut |pc| pcs.push(pc))
+            .unwrap();
+        assert_eq!(sampled, plain, "the hook must not perturb the replay");
+        assert_eq!(pcs.len() as u64, plain.instructions);
+        assert!(pcs.iter().all(|pc| program.index_of_pc(*pc).is_some()));
     }
 
     #[test]

@@ -279,6 +279,25 @@ impl Cpu {
         event
     }
 
+    /// Executes the next instruction like [`Cpu::step`], first handing the
+    /// PC of the instruction about to execute to `hook`.
+    ///
+    /// This is the sampling seam the dump profiler builds its hot-PC
+    /// histogram on: the hook fires only when the thread is running, so
+    /// every call observes the PC of an instruction that is actually
+    /// dispatched (committed or faulting). The un-hooked [`Cpu::step`]
+    /// path is untouched.
+    pub fn step_hooked<P: MemoryPort>(
+        &mut self,
+        port: &mut P,
+        hook: &mut dyn FnMut(Addr),
+    ) -> StepEvent {
+        if matches!(self.state, CpuState::Running) {
+            hook(self.pc());
+        }
+        self.step(port)
+    }
+
     /// Runs until the thread halts, faults or `max_steps` instructions commit.
     /// Returns the final event observed.
     pub fn run<P: MemoryPort>(&mut self, port: &mut P, max_steps: u64) -> StepEvent {

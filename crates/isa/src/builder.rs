@@ -144,6 +144,14 @@ impl ProgramBuilder {
         self.symbols.push((name.into(), addr));
     }
 
+    /// Records a symbol at the current code position — the address of the
+    /// next instruction emitted. Naming function entries and loop heads this
+    /// way lets `bugnet profile` symbolize hot PCs instead of printing `?`.
+    pub fn symbol_here(&mut self, name: impl Into<String>) {
+        let addr = Addr::new(self.code_base.raw() + self.code.len() as u64 * 4);
+        self.symbols.push((name.into(), addr));
+    }
+
     // ---- instruction emitters ----------------------------------------------
 
     /// Emits a raw instruction and returns its index.

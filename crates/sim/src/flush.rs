@@ -36,6 +36,7 @@ use std::thread::JoinHandle;
 use bugnet_compress::CodecId;
 use bugnet_core::recorder::{CheckpointLogs, LogStore, ThreadStoreHandle};
 use bugnet_telemetry::{Counter, Gauge, Histogram, Registry};
+use bugnet_trace::{ThreadTracer, TraceSession};
 use bugnet_types::ThreadId;
 
 /// Work items routed to the sealing workers. Adoption of a thread's store
@@ -49,6 +50,10 @@ enum Job {
     Seal(Box<CheckpointLogs>),
     /// Flush every owned handle to the store lanes, then acknowledge.
     Barrier(mpsc::Sender<()>),
+    /// Adopt the worker's timeline tracer. Workers spawn in
+    /// [`FlushPipeline::new`], before any tracing session exists, so the
+    /// tracer is delivered over the job channel like everything else.
+    Trace(ThreadTracer),
 }
 
 impl std::fmt::Debug for Job {
@@ -57,6 +62,7 @@ impl std::fmt::Debug for Job {
             Job::Adopt(h) => write!(f, "Adopt({:?})", h.thread()),
             Job::Seal(logs) => write!(f, "Seal({:?})", logs.fll.header.thread),
             Job::Barrier(_) => write!(f, "Barrier"),
+            Job::Trace(_) => write!(f, "Trace"),
         }
     }
 }
@@ -143,25 +149,45 @@ impl FlushPipeline {
         });
     }
 
+    /// Mints one timeline track per worker (`flush-worker-{i}`) and ships
+    /// the tracers to the running workers. `seal_job` spans and `barrier`
+    /// instants land on those tracks from then on.
+    pub fn attach_trace(&mut self, session: &TraceSession) {
+        for (i, sender) in self.senders.iter().enumerate() {
+            sender
+                .send(Job::Trace(session.thread(format!("flush-worker-{i}"))))
+                .expect("flush workers outlive the pipeline");
+        }
+    }
+
     fn worker_loop(rx: mpsc::Receiver<Job>) {
         let mut owned: Vec<ThreadStoreHandle> = Vec::new();
+        let mut tracer: Option<ThreadTracer> = None;
         while let Ok(job) = rx.recv() {
             match job {
                 Job::Adopt(handle) => owned.push(handle),
                 Job::Seal(logs) => {
+                    let start = tracer.as_ref().map(|t| t.now());
                     let tid = logs.fll.header.thread;
                     let handle = owned
                         .iter_mut()
                         .find(|h| h.thread() == tid)
                         .expect("interval submitted before its handle was adopted");
                     handle.push(*logs);
+                    if let (Some(t), Some(start)) = (tracer.as_mut(), start) {
+                        t.span_since("seal_job", "flush", start);
+                    }
                 }
                 Job::Barrier(ack) => {
                     for handle in owned.iter_mut() {
                         handle.flush();
                     }
+                    if let Some(t) = tracer.as_mut() {
+                        t.instant("barrier", "flush");
+                    }
                     let _ = ack.send(());
                 }
+                Job::Trace(t) => tracer = Some(t),
             }
         }
         // Channel closed: `owned` drops here, flushing residual batches into

@@ -9,7 +9,7 @@ use bugnet_core::dump::{
 };
 use bugnet_core::fll::TerminationCause;
 use bugnet_core::io::{
-    clean_orphaned_staging, DumpIo, InstrumentedIo, IoStats, SharedDumpIo, StdIo,
+    clean_orphaned_staging, DumpIo, InstrumentedIo, IoStats, SharedDumpIo, StdIo, TracedIo,
 };
 use bugnet_core::recorder::{CheckpointLogs, LogStore, RecorderStats, ThreadRecorder};
 use bugnet_core::stats::LogSizeReport;
@@ -66,6 +66,12 @@ pub struct RecordingOptions {
     /// the machine writes — which makes dump bytes depend on run timing,
     /// so determinism-sensitive callers must leave this off.
     pub telemetry: Option<Arc<bugnet_telemetry::Registry>>,
+    /// Timeline-tracing session the machine emits span/instant events
+    /// into (recorder intervals, store seals, flush workers, dump I/O);
+    /// `None` (the default) emits nothing and stays off every hot path.
+    /// Same contract as `telemetry`: attaching a session never changes
+    /// the bytes of a dump the machine writes.
+    pub trace: Option<Arc<bugnet_trace::TraceSession>>,
 }
 
 impl Default for RecordingOptions {
@@ -78,6 +84,7 @@ impl Default for RecordingOptions {
             dump_on_crash: None,
             dump_io: None,
             telemetry: None,
+            trace: None,
         }
     }
 }
@@ -160,6 +167,9 @@ impl MachineBuilder {
             let mut pipeline = FlushPipeline::new(opts.flush_workers, opts.codec);
             if let Some(registry) = &machine.telemetry {
                 pipeline.attach_telemetry(registry);
+            }
+            if let Some(session) = &machine.trace {
+                pipeline.attach_trace(session);
             }
             machine.pipeline = Some(pipeline);
         }
@@ -265,6 +275,7 @@ pub struct Machine {
     embed_image: bool,
     dump_io: Option<SharedDumpIo>,
     telemetry: Option<Arc<bugnet_telemetry::Registry>>,
+    trace: Option<Arc<bugnet_trace::TraceSession>>,
     crash_dump: Option<Result<DumpManifest, DumpError>>,
 }
 
@@ -326,6 +337,16 @@ impl Machine {
                 recorder.attach_telemetry(RecorderStats::register(registry));
             }
         }
+        if let Some(session) = &opts.trace {
+            // Same ordering rule as telemetry: handles capture their track
+            // at mint time, so the store learns about the session first.
+            if let Some(store) = log_store.as_mut() {
+                store.attach_trace(session);
+            }
+            for (i, recorder) in recorders.iter_mut().enumerate() {
+                recorder.attach_trace(session.thread(format!("recorder-t{i}")));
+            }
+        }
         Machine {
             directory: Directory::new(cfg.cache.l1.block_bytes),
             dma: DmaEngine::new(),
@@ -347,6 +368,7 @@ impl Machine {
             embed_image: true,
             dump_io: None,
             telemetry: opts.telemetry.clone(),
+            trace: opts.trace.clone(),
             crash_dump: None,
             memory,
             cfg,
@@ -357,6 +379,12 @@ impl Machine {
     /// via [`RecordingOptions::telemetry`].
     pub fn telemetry(&self) -> Option<&Arc<bugnet_telemetry::Registry>> {
         self.telemetry.as_ref()
+    }
+
+    /// The tracing session the machine emits timeline events into, if one
+    /// was attached via [`RecordingOptions::trace`].
+    pub fn trace(&self) -> Option<&Arc<bugnet_trace::TraceSession>> {
+        self.trace.as_ref()
     }
 
     /// The machine configuration.
@@ -577,9 +605,16 @@ impl Machine {
             let _ = clean_orphaned_staging(io, dir);
             write(io, dir, &meta, dump_store, &mut image_of)
         };
-        let mut run = |io: &mut dyn DumpIo| match &self.telemetry {
+        // Observability wrappers stack outside-in: trace spans time the
+        // whole operation including stats bookkeeping; either layer alone
+        // also works. Neither changes the bytes that reach the backend.
+        let mut observed = |io: &mut dyn DumpIo| match &self.telemetry {
             Some(registry) => inner(&mut InstrumentedIo::new(io, IoStats::register(registry))),
             None => inner(io),
+        };
+        let mut run = |io: &mut dyn DumpIo| match &self.trace {
+            Some(session) => observed(&mut TracedIo::new(io, session.thread("dump-io"))),
+            None => observed(io),
         };
         match &self.dump_io {
             Some(shared) => {
@@ -1219,6 +1254,89 @@ mod tests {
             }
         }
         std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn tracing_leaves_dump_bytes_identical() {
+        let base = std::env::temp_dir().join(format!("bugnet-tracedump-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let workload = mt::racy_counter(2, 400);
+        let dump_with = |traced: bool| -> std::path::PathBuf {
+            let dir = base.join(if traced { "traced" } else { "plain" });
+            let mut machine = MachineBuilder::new()
+                .bugnet(bugnet_cfg(1_000))
+                .recording(RecordingOptions {
+                    flush_workers: 2,
+                    trace: traced.then(|| Arc::new(bugnet_trace::TraceSession::new("bugnet"))),
+                    ..RecordingOptions::default()
+                })
+                .build_with_workload(&workload);
+            machine.run_to_completion();
+            machine.write_crash_dump(&dir).expect("dump writes");
+            if traced {
+                let session = machine.trace().expect("trace session attached");
+                assert!(session.emitted_events() > 0, "tracing emitted nothing");
+            }
+            dir
+        };
+        let plain = dump_with(false);
+        let traced = dump_with(true);
+        let mut names: Vec<String> = std::fs::read_dir(&plain)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        assert!(!names.is_empty());
+        for file in &names {
+            let a = std::fs::read(plain.join(file)).unwrap();
+            let b = std::fs::read(traced.join(file)).unwrap();
+            assert_eq!(a, b, "{file} differs between traced and untraced runs");
+        }
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn trace_round_trip_covers_record_dump_and_replay_stages() {
+        use bugnet_core::dump::CrashDump;
+        use bugnet_trace::{json, TraceSession};
+        let dir = std::env::temp_dir().join(format!("bugnet-tracee2e-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Arc::new(TraceSession::with_capacity("bugnet-e2e", 1 << 16));
+        let workload = mt::racy_counter(2, 400);
+        let mut machine = MachineBuilder::new()
+            .bugnet(bugnet_cfg(1_000))
+            .recording(RecordingOptions {
+                flush_workers: 2,
+                trace: Some(Arc::clone(&session)),
+                ..RecordingOptions::default()
+            })
+            .build_with_workload(&workload);
+        machine.run_to_completion();
+        machine.write_crash_dump(&dir).expect("dump writes");
+
+        let dump = CrashDump::load(&dir).unwrap();
+        let mut replay_tracer = session.thread("replay");
+        let report = dump
+            .replay_traced(|_| None, None, &mut replay_tracer)
+            .unwrap();
+        assert!(report.all_match());
+
+        let text = session.to_chrome_json();
+        let doc = json::parse(&text).expect("trace JSON parses");
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        let mut cats = std::collections::BTreeSet::new();
+        for ev in events {
+            if let Some(cat) = ev.get("cat").and_then(|c| c.as_str()) {
+                cats.insert(cat.to_string());
+            }
+        }
+        for expected in ["recorder", "store", "flush", "io", "replay"] {
+            assert!(
+                cats.contains(expected),
+                "missing category {expected:?} in {cats:?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Fixed log2-bucket latency histograms and monotonic span guards.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use bugnet_trace::clock;
 
 use crate::snapshot::HistSnapshot;
 
@@ -78,10 +80,12 @@ impl Histogram {
     }
 
     /// Starts a monotonic span that records into this histogram on drop.
+    /// Stamped against [`bugnet_trace::clock`], so histogram spans and
+    /// timeline trace events share one timebase.
     pub fn start_span(&self) -> TimedScope<'_> {
         TimedScope {
             hist: self,
-            start: Instant::now(),
+            start_ns: clock::monotonic_ns(),
         }
     }
 
@@ -122,13 +126,13 @@ impl Histogram {
 #[derive(Debug)]
 pub struct TimedScope<'h> {
     hist: &'h Histogram,
-    start: Instant,
+    start_ns: u64,
 }
 
 impl TimedScope<'_> {
     /// Nanoseconds elapsed so far (the span keeps running).
     pub fn elapsed_ns(&self) -> u64 {
-        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        clock::monotonic_ns().saturating_sub(self.start_ns)
     }
 }
 

@@ -30,7 +30,7 @@ mod hist;
 mod snapshot;
 
 pub use hist::{Histogram, TimedScope, HIST_BUCKETS};
-pub use snapshot::{HistSnapshot, MetricValue, Snapshot, SnapshotDecodeError};
+pub use snapshot::{HistSnapshot, MetricValue, Snapshot, SnapshotDecodeError, SnapshotJsonError};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};

@@ -6,6 +6,8 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
+use bugnet_trace::json::{self, JsonValue};
+
 use crate::hist::{bucket_bounds, HIST_BUCKETS};
 
 /// A frozen histogram: total count/sum, exact extremes, and the sparse
@@ -389,7 +391,82 @@ impl Snapshot {
         }
         Ok(Snapshot { entries })
     }
+
+    /// Reads a snapshot back from its [`Snapshot::to_json`] exposition —
+    /// what `bugnet stats --metrics-json` writes and `stats --diff`
+    /// compares. The JSON form is lossy for histograms (it carries
+    /// count/sum/min/max plus precomputed quantiles, not the buckets), so
+    /// histograms come back bucket-less: their deltas still subtract
+    /// count and sum exactly, but quantiles cannot be recomputed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotJsonError::Parse`] when the text is not valid JSON,
+    /// [`SnapshotJsonError::NotAnObject`] when the document is not an
+    /// object, [`SnapshotJsonError::BadEntry`] naming the first metric
+    /// whose value has an unrecognized shape.
+    pub fn from_json(text: &str) -> Result<Snapshot, SnapshotJsonError> {
+        let doc = json::parse(text).map_err(SnapshotJsonError::Parse)?;
+        let members = doc.as_object().ok_or(SnapshotJsonError::NotAnObject)?;
+        let mut entries = BTreeMap::new();
+        for (name, value) in members {
+            let parsed = match value {
+                JsonValue::Number(_) => value.as_u64().map(MetricValue::Counter),
+                JsonValue::Object(_) if value.get("count").is_some() => {
+                    let field = |k: &str| value.get(k).and_then(JsonValue::as_u64);
+                    (|| {
+                        Some(MetricValue::Histogram(HistSnapshot {
+                            count: field("count")?,
+                            sum: field("sum")?,
+                            min: field("min")?,
+                            max: field("max")?,
+                            buckets: Vec::new(),
+                        }))
+                    })()
+                }
+                JsonValue::Object(_) => {
+                    let field = |k: &str| value.get(k).and_then(JsonValue::as_f64);
+                    (|| {
+                        Some(MetricValue::Gauge {
+                            value: field("value")? as i64,
+                            max: field("max")? as i64,
+                        })
+                    })()
+                }
+                _ => None,
+            };
+            let parsed = parsed.ok_or_else(|| SnapshotJsonError::BadEntry(name.clone()))?;
+            entries.insert(name.clone(), parsed);
+        }
+        Ok(Snapshot { entries })
+    }
 }
+
+/// Why a JSON snapshot failed to read back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotJsonError {
+    /// The text is not valid JSON.
+    Parse(json::JsonError),
+    /// The document is valid JSON but not an object.
+    NotAnObject,
+    /// A metric value is neither a counter number, a gauge object nor a
+    /// histogram object (the offending metric name).
+    BadEntry(String),
+}
+
+impl fmt::Display for SnapshotJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotJsonError::Parse(e) => write!(f, "metrics JSON does not parse: {e}"),
+            SnapshotJsonError::NotAnObject => write!(f, "metrics JSON is not an object"),
+            SnapshotJsonError::BadEntry(name) => {
+                write!(f, "metric {name:?} has an unrecognized value shape")
+            }
+        }
+    }
+}
+
+impl Error for SnapshotJsonError {}
 
 /// Appends `s` as a JSON string literal (quotes, escapes).
 fn push_json_string(out: &mut String, s: &str) {
@@ -513,6 +590,53 @@ mod tests {
         assert!(prom.contains("recorder_loads_seen_total 1000000"));
         assert!(prom.contains("seal_ns{quantile=\"0.99\"}"));
         assert!(prom.contains("seal_ns_count 5"));
+    }
+
+    #[test]
+    fn json_roundtrip_recovers_counters_gauges_and_histogram_moments() {
+        let snap = sample();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(
+            back.entries["recorder_loads_seen_total"],
+            MetricValue::Counter(1_000_000)
+        );
+        assert_eq!(
+            back.entries["flush_in_flight"],
+            MetricValue::Gauge { value: 3, max: 3 }
+        );
+        match (&snap.entries["seal_ns"], &back.entries["seal_ns"]) {
+            (MetricValue::Histogram(orig), MetricValue::Histogram(read)) => {
+                assert_eq!(read.count, orig.count);
+                assert_eq!(read.sum, orig.sum);
+                assert_eq!(read.min, orig.min);
+                assert_eq!(read.max, orig.max);
+                // The JSON form does not carry buckets.
+                assert!(read.buckets.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // And deltas of two read-back snapshots subtract exactly.
+        let d = back.delta(&back);
+        assert_eq!(
+            d.entries["recorder_loads_seen_total"],
+            MetricValue::Counter(0)
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(matches!(
+            Snapshot::from_json("not json"),
+            Err(SnapshotJsonError::Parse(_))
+        ));
+        assert!(matches!(
+            Snapshot::from_json("[1, 2]"),
+            Err(SnapshotJsonError::NotAnObject)
+        ));
+        assert!(matches!(
+            Snapshot::from_json("{\"m\": \"strings are not metrics\"}"),
+            Err(SnapshotJsonError::BadEntry(name)) if name == "m"
+        ));
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Chrome trace-event JSON export (the format Perfetto and
+//! `chrome://tracing` load).
+//!
+//! The writer emits the object form — `{"traceEvents": [...]}` — with one
+//! `M` (metadata) row naming the process, one per thread, and then the
+//! payload events: spans as self-contained `X` complete events (a span lost
+//! to ring overwrite never orphans a begin/end pair), instants as `i`,
+//! counters as `C`. Timestamps are microseconds with nanosecond precision
+//! kept in the fractional digits.
+
+use crate::json::escape_into;
+use crate::{EventKind, TraceEvent};
+
+/// Fixed pid for the single simulated process in a trace.
+const PID: u64 = 1;
+
+/// Appends `ns` as a decimal microsecond count ("12.345") to `out`.
+fn push_us(out: &mut String, ns: u64) {
+    out.push_str(&format!("{}.{:03}", ns / 1_000, ns % 1_000));
+}
+
+fn push_common(out: &mut String, ph: char, tid: u64, name: &str) {
+    out.push_str(&format!(
+        "{{\"ph\":\"{ph}\",\"pid\":{PID},\"tid\":{tid},\"name\":"
+    ));
+    escape_into(out, name);
+}
+
+fn push_metadata(out: &mut String, tid: u64, kind: &str, name: &str) {
+    push_common(out, 'M', tid, kind);
+    out.push_str(",\"args\":{\"name\":");
+    escape_into(out, name);
+    out.push_str("}}");
+}
+
+fn push_event(out: &mut String, tid: u64, event: &TraceEvent) {
+    let ph = match event.kind {
+        EventKind::Span { .. } => 'X',
+        EventKind::Instant => 'i',
+        EventKind::Counter { .. } => 'C',
+    };
+    push_common(out, ph, tid, event.name);
+    out.push_str(",\"cat\":");
+    escape_into(out, event.cat);
+    out.push_str(",\"ts\":");
+    push_us(out, event.ts_ns);
+    match event.kind {
+        EventKind::Span { dur_ns } => {
+            out.push_str(",\"dur\":");
+            push_us(out, dur_ns);
+        }
+        // Thread-scoped instants ("s":"t") render as ticks on their track.
+        EventKind::Instant => out.push_str(",\"s\":\"t\""),
+        EventKind::Counter { .. } => {}
+    }
+    match event.kind {
+        EventKind::Counter { value } => {
+            out.push_str(&format!(",\"args\":{{\"value\":{value}}}"));
+        }
+        _ if !event.arg_name.is_empty() => {
+            out.push_str(",\"args\":{");
+            escape_into(out, event.arg_name);
+            out.push_str(&format!(":{}}}", event.arg));
+        }
+        _ => {}
+    }
+    out.push('}');
+}
+
+/// Renders a full trace document from per-thread event streams.
+///
+/// `threads` yields `(tid, thread name, events)`; `dropped` is the total
+/// overwritten-event count, recorded in the document metadata so a truncated
+/// trace is distinguishable from a complete one.
+pub(crate) fn render(
+    process_name: &str,
+    threads: &[(u64, String, Vec<TraceEvent>)],
+    dropped: u64,
+) -> String {
+    let total: usize = threads.iter().map(|(_, _, e)| e.len()).sum();
+    let mut out = String::with_capacity(128 + 96 * (threads.len() + total));
+    out.push_str("{\"traceEvents\":[\n");
+    push_metadata(&mut out, 0, "process_name", process_name);
+    for (tid, name, _) in threads {
+        out.push_str(",\n");
+        push_metadata(&mut out, *tid, "thread_name", name);
+    }
+    for (tid, _, events) in threads {
+        for event in events {
+            out.push_str(",\n");
+            push_event(&mut out, *tid, event);
+        }
+    }
+    out.push_str(&format!(
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped_events\":{dropped}}}}}"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn rendered_document_parses_and_carries_metadata() {
+        let threads = vec![
+            (
+                1,
+                "recorder-t0".to_string(),
+                vec![
+                    TraceEvent::span("interval", "recorder", 1_500, 2_250)
+                        .with_arg("instructions", 2_000),
+                    TraceEvent::instant("fault", "recorder", 4_000),
+                ],
+            ),
+            (
+                2,
+                "flush-worker-0".to_string(),
+                vec![TraceEvent::counter("queue_depth", "flush", 5_000, 3)],
+            ),
+        ];
+        let doc = render("bugnet", &threads, 7);
+        let parsed = json::parse(&doc).expect("export must be valid JSON");
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        // 1 process row + 2 thread rows + 3 events.
+        assert_eq!(events.len(), 6);
+        assert_eq!(
+            events[0].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("bugnet")
+        );
+        let span = &events[3];
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(2.25));
+        assert_eq!(
+            span.get("args")
+                .unwrap()
+                .get("instructions")
+                .unwrap()
+                .as_u64(),
+            Some(2_000)
+        );
+        assert_eq!(
+            parsed
+                .get("otherData")
+                .unwrap()
+                .get("dropped_events")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+    }
+}

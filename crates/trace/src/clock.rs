@@ -1,0 +1,37 @@
+//! The shared monotonic trace clock.
+//!
+//! Every event in a [`crate::TraceSession`] — and every latency histogram in
+//! `bugnet_telemetry`, which reuses this module — is stamped against one
+//! process-wide epoch, so spans recorded by different threads and different
+//! subsystems land on a single comparable timeline in the exported trace.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide trace epoch (the first call wins the
+/// epoch). Monotonic within a thread and comparable across threads.
+pub fn monotonic_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        let c = monotonic_ns();
+        assert!(a <= b && b <= c);
+    }
+
+    #[test]
+    fn clock_shares_one_epoch_across_threads() {
+        let before = monotonic_ns();
+        let from_thread = std::thread::spawn(monotonic_ns).join().unwrap();
+        assert!(from_thread >= before);
+    }
+}

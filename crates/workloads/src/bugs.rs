@@ -276,6 +276,7 @@ fn build_buggy_program(spec: &BugSpec, window: u64) -> (Arc<Program>, u32) {
 
     // Warm-up phase: realistic pre-bug activity over the scratch array.
     let warmup_iterations = (window / 4).clamp(64, 20_000) as u32;
+    b.symbol_here("warmup");
     b.li(idx, 0);
     b.li(limit, warmup_iterations);
     let warm_top = b.here();
@@ -291,6 +292,7 @@ fn build_buggy_program(spec: &BugSpec, window: u64) -> (Arc<Program>, u32) {
     // For multithreaded variants, touch the shared region so coherence
     // replies (and hence MRL entries) are generated.
     if spec.multithreaded {
+        b.symbol_here("shared_touch");
         b.li(Reg::R12, SHARED_REGION_BASE as u32);
         b.li(idx, 0);
         b.li(limit, 64);
@@ -306,6 +308,7 @@ fn build_buggy_program(spec: &BugSpec, window: u64) -> (Arc<Program>, u32) {
 
     // The root cause: one store that corrupts the victim state. The corrupt
     // value depends on the defect class.
+    b.symbol_here("root_cause");
     let watch_index = match spec.class {
         BugClass::NullPointerDereference | BugClass::NullFunctionPointer => {
             b.li(corrupt, 0);
@@ -335,6 +338,7 @@ fn build_buggy_program(spec: &BugSpec, window: u64) -> (Arc<Program>, u32) {
     // store (matching Table 1's measured distances).
     let delay_body_instructions = 7u64;
     let delay_iterations = (window / delay_body_instructions).max(1) as u32;
+    b.symbol_here("delay");
     b.li(idx, 0);
     b.li(limit, delay_iterations);
     let delay_top = b.here();
@@ -347,6 +351,7 @@ fn build_buggy_program(spec: &BugSpec, window: u64) -> (Arc<Program>, u32) {
     b.branch(BranchCond::Lt, idx, limit, delay_top);
 
     // The crash site: consume the corrupted state.
+    b.symbol_here("crash_site");
     match spec.class {
         BugClass::NullPointerDereference
         | BugClass::HeapCorruption
@@ -393,6 +398,7 @@ fn shared_worker_program(name: &str) -> Arc<Program> {
     b.li(base, SHARED_REGION_BASE as u32);
     b.li(round, 0);
     b.li(rounds, 2_000);
+    b.symbol_here("worker_loop");
     let outer = b.here();
     b.li(idx, 0);
     let inner = b.here();

@@ -245,6 +245,7 @@ impl SpecProfile {
         b.li(loop_ctr, 0);
         // Placeholder for the loop limit, patched after we know the body size.
         let loop_lim_slot = b.li(loop_lim, 1);
+        b.symbol_here("kernel");
         let top = b.here();
         let body_start = b.code_len();
 

@@ -11,6 +11,7 @@
 //! * [`core`] — the BugNet recorder, logs, compressor and replayer.
 //! * [`fdr`] — the Flight Data Recorder baseline model.
 //! * [`telemetry`] — always-on counters, gauges and latency histograms.
+//! * [`trace`] — timeline tracing with Perfetto (Chrome trace-event) export.
 //! * [`workloads`] — synthetic SPEC-like and buggy workloads.
 //! * [`sim`] — the full-machine harness and experiment runners.
 //!
@@ -39,5 +40,6 @@ pub use bugnet_isa as isa;
 pub use bugnet_memsys as memsys;
 pub use bugnet_sim as sim;
 pub use bugnet_telemetry as telemetry;
+pub use bugnet_trace as trace;
 pub use bugnet_types as types;
 pub use bugnet_workloads as workloads;

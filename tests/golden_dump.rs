@@ -1,13 +1,15 @@
-//! Golden-dump compatibility tests: small format-v2 and format-v4 dumps are
-//! committed to the repository, and these tests prove the current tree still
-//! loads, verifies and replays them. Format work (v5 and whatever comes
-//! after) can therefore never silently break loading of old dumps — the
-//! failure shows up here, in CI, against bytes that predate the change.
+//! Golden-dump compatibility tests: small dumps in every supported format
+//! (v2, v3, v4 and v5) are committed to the repository, and these tests
+//! prove the current tree still loads, verifies and replays them. Format
+//! work (v6 and whatever comes after) can therefore never silently break
+//! loading of old dumps — the failure shows up here, in CI, against bytes
+//! that predate the change.
 
 use std::path::PathBuf;
 
 use bugnet::core::dump::{
-    verify_dump, CrashDump, DumpFormat, DumpOptions, DUMP_VERSION_V2, DUMP_VERSION_V4,
+    verify_dump, CrashDump, DumpFormat, DumpOptions, DUMP_VERSION_V2, DUMP_VERSION_V3,
+    DUMP_VERSION_V4, DUMP_VERSION_V5,
 };
 use bugnet::types::{BugNetConfig, ThreadId};
 use bugnet::workloads::registry;
@@ -20,8 +22,16 @@ fn fixture_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden-v2")
 }
 
+fn fixture_dir_v3() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden-v3")
+}
+
 fn fixture_dir_v4() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden-v4")
+}
+
+fn fixture_dir_v5() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden-v5")
 }
 
 #[test]
@@ -59,6 +69,38 @@ fn committed_v2_dump_still_loads_verifies_and_replays() {
 }
 
 #[test]
+fn committed_v3_dump_still_loads_verifies_and_replays() {
+    let dir = fixture_dir_v3();
+    assert!(
+        dir.join("manifest.bnd").exists(),
+        "fixture missing at {} — run `cargo test --test golden_dump -- \
+         --ignored regenerate_golden_fixture_v3` to create it",
+        dir.display()
+    );
+
+    let report = verify_dump(&dir).expect("golden v3 dump verifies");
+    assert!(
+        report.checkpoints >= 4,
+        "checkpoints = {}",
+        report.checkpoints
+    );
+    assert_eq!(report.records, report.records_decoded);
+    assert!(report.images >= 1, "v3 dumps embed one image per thread");
+
+    let dump = CrashDump::load(&dir).expect("golden v3 dump loads");
+    assert_eq!(dump.manifest.version, DUMP_VERSION_V3);
+    assert_eq!(dump.manifest.workload, GOLDEN_SPEC);
+    assert!(dump.is_self_contained());
+
+    // v3 dumps are self-contained: the embedded image replays the digests
+    // recorded in the committed manifest, no workload registry needed.
+    let replay = dump
+        .replay(|_: ThreadId| None)
+        .expect("golden dump replays");
+    assert!(replay.all_match(), "{:?}", replay.divergences());
+}
+
+#[test]
 fn committed_v4_dump_still_loads_verifies_and_replays() {
     let dir = fixture_dir_v4();
     assert!(
@@ -90,6 +132,42 @@ fn committed_v4_dump_still_loads_verifies_and_replays() {
     assert!(replay.all_match(), "{:?}", replay.divergences());
 }
 
+#[test]
+fn committed_v5_dump_still_loads_verifies_and_replays() {
+    let dir = fixture_dir_v5();
+    assert!(
+        dir.join("manifest.bnd").exists(),
+        "fixture missing at {} — run `cargo test --test golden_dump -- \
+         --ignored regenerate_golden_fixture_v5` to create it",
+        dir.display()
+    );
+
+    let report = verify_dump(&dir).expect("golden v5 dump verifies");
+    assert!(
+        report.checkpoints >= 4,
+        "checkpoints = {}",
+        report.checkpoints
+    );
+    assert_eq!(report.records, report.records_decoded);
+    assert!(
+        report.images >= 1,
+        "v5 dumps embed content-addressed images"
+    );
+
+    let dump = CrashDump::load(&dir).expect("golden v5 dump loads");
+    assert_eq!(dump.manifest.version, DUMP_VERSION_V5);
+    assert_eq!(dump.manifest.workload, GOLDEN_SPEC);
+    assert!(dump.is_self_contained());
+
+    // v5 dumps are self-contained: the columnar streams decode and the
+    // embedded image replays the digests recorded in the committed
+    // manifest, no workload registry needed.
+    let replay = dump
+        .replay(|_: ThreadId| None)
+        .expect("golden dump replays");
+    assert!(replay.all_match(), "{:?}", replay.divergences());
+}
+
 /// Writes the v2 fixture. Run manually (once, or after an *intentional*
 /// format-v2 change, which should be impossible — v2 is frozen):
 ///
@@ -102,6 +180,17 @@ fn regenerate_golden_fixture() {
     regenerate(DumpFormat::V2, &fixture_dir());
 }
 
+/// Writes the v3 fixture. Same rules as the v2 one: v3 bytes are frozen.
+///
+/// ```text
+/// cargo test --test golden_dump -- --ignored regenerate_golden_fixture_v3
+/// ```
+#[test]
+#[ignore = "writes the committed fixture; run manually"]
+fn regenerate_golden_fixture_v3() {
+    regenerate(DumpFormat::V3, &fixture_dir_v3());
+}
+
 /// Writes the v4 fixture. Same rules as the v2 one: v4 bytes are frozen.
 ///
 /// ```text
@@ -111,6 +200,18 @@ fn regenerate_golden_fixture() {
 #[ignore = "writes the committed fixture; run manually"]
 fn regenerate_golden_fixture_v4() {
     regenerate(DumpFormat::V4, &fixture_dir_v4());
+}
+
+/// Writes the v5 fixture. v5 is the current default format; regenerate only
+/// on an *intentional* v5 change, alongside a version bump discussion.
+///
+/// ```text
+/// cargo test --test golden_dump -- --ignored regenerate_golden_fixture_v5
+/// ```
+#[test]
+#[ignore = "writes the committed fixture; run manually"]
+fn regenerate_golden_fixture_v5() {
+    regenerate(DumpFormat::V5, &fixture_dir_v5());
 }
 
 fn regenerate(format: DumpFormat, dir: &std::path::Path) {
